@@ -1,0 +1,326 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§IV). Each benchmark prints the same rows/series the paper reports and
+// exports throughput as the "txn/s" metric. Replica counts and durations
+// are scaled down so the full suite runs on a laptop; `go run ./cmd/poebench
+// -full` runs the larger configurations (up to the paper's n = 91).
+//
+// Absolute numbers differ from the paper (its substrate was a 91-machine
+// Google Cloud deployment; ours is an in-process fabric) — the claims under
+// test are the *shapes*: who wins, by roughly what factor, and where the
+// crossovers are. EXPERIMENTS.md records paper-vs-measured for each figure.
+package poe
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/harness"
+	"github.com/poexec/poe/internal/sim"
+)
+
+// benchScales holds the scaled-down experiment dimensions.
+var (
+	benchNs         = []int{4, 8, 16, 32}
+	benchBatchSizes = []int{10, 50, 100, 200, 400}
+	benchWarmup     = 400 * time.Millisecond
+	benchMeasure    = 800 * time.Millisecond
+)
+
+func runOnce(b *testing.B, opts harness.Options) harness.Result {
+	b.Helper()
+	opts.Warmup = benchWarmup
+	opts.Measure = benchMeasure
+	res, err := harness.Run(opts)
+	if err != nil {
+		b.Fatalf("harness: %v", err)
+	}
+	return res
+}
+
+// BenchmarkFig01CostModel regenerates the analytic comparison table (Fig 1).
+func BenchmarkFig01CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = protocol.FormatCostTable(91, 30)
+	}
+	b.Log("\n" + protocol.FormatCostTable(91, 30))
+}
+
+// BenchmarkFig07UpperBound measures the fabric ceiling without consensus:
+// primary-only no-execution vs execution (Fig 7).
+func BenchmarkFig07UpperBound(b *testing.B) {
+	for _, execute := range []bool{false, true} {
+		name := "NoExec"
+		if execute {
+			name = "Exec"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunUpperBound(harness.UpperBoundOptions{
+					Execute: execute, Warmup: benchWarmup, Measure: benchMeasure,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Throughput, "txn/s")
+				b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+			}
+		})
+	}
+}
+
+// BenchmarkFig08Signatures runs PBFT under the three signature schemes of
+// Fig 8 (None, ED, CMAC→HMAC) at n = 16.
+func BenchmarkFig08Signatures(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		scheme crypto.Scheme
+	}{{"None", crypto.SchemeNone}, {"ED", crypto.SchemeED}, {"CMAC", crypto.SchemeMAC}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, harness.Options{
+					Protocol: harness.PBFT, N: 16, Scheme: tc.scheme,
+					BatchSize: 50, Clients: 32, Outstanding: 16,
+				})
+				b.ReportMetric(res.Throughput, "txn/s")
+				b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+			}
+		})
+	}
+}
+
+func scalabilityBench(b *testing.B, crash, zeroPayload bool) {
+	for _, p := range harness.AllProtocols {
+		for _, n := range benchNs {
+			b.Run(fmt.Sprintf("%s/n=%d", p, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := runOnce(b, harness.Options{
+						Protocol: p, N: n,
+						BatchSize: 50, Clients: 32, Outstanding: 16,
+						CrashBackup: crash, ZeroPayload: zeroPayload,
+					})
+					b.ReportMetric(res.Throughput, "txn/s")
+					b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig09abScalabilityFailure: standard payload, one crashed backup.
+func BenchmarkFig09abScalabilityFailure(b *testing.B) { scalabilityBench(b, true, false) }
+
+// BenchmarkFig09cdScalabilityNoFailure: standard payload, fault-free.
+func BenchmarkFig09cdScalabilityNoFailure(b *testing.B) { scalabilityBench(b, false, false) }
+
+// BenchmarkFig09efZeroPayloadFailure: zero payload, one crashed backup.
+func BenchmarkFig09efZeroPayloadFailure(b *testing.B) { scalabilityBench(b, true, true) }
+
+// BenchmarkFig09ghZeroPayloadNoFailure: zero payload, fault-free.
+func BenchmarkFig09ghZeroPayloadNoFailure(b *testing.B) { scalabilityBench(b, false, true) }
+
+// BenchmarkFig09ijBatching sweeps the batch size under a single backup
+// failure (paper: n = 32; scaled to n = 8 here).
+func BenchmarkFig09ijBatching(b *testing.B) {
+	for _, p := range harness.AllProtocols {
+		for _, bs := range benchBatchSizes {
+			b.Run(fmt.Sprintf("%s/batch=%d", p, bs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := runOnce(b, harness.Options{
+						Protocol: p, N: 8,
+						// The client pool must be able to fill the largest
+						// batches (the paper drives this sweep with 320k
+						// clients).
+						BatchSize: bs, Clients: 64, Outstanding: 16,
+						CrashBackup: true,
+					})
+					b.ReportMetric(res.Throughput, "txn/s")
+					b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig09klNoOutOfOrder disables out-of-order processing: the window
+// is 1 and every client runs closed-loop (one outstanding request). A 5 ms
+// link delay stands in for the paper's real network: without delay the
+// window never binds. HotStuff keeps its natural 4-deep chained pipeline,
+// which is why the paper shows it ahead in this experiment.
+func BenchmarkFig09klNoOutOfOrder(b *testing.B) {
+	for _, p := range harness.AllProtocols {
+		for _, n := range benchNs {
+			b.Run(fmt.Sprintf("%s/n=%d", p, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := runOnce(b, harness.Options{
+						Protocol: p, N: n,
+						BatchSize: 100, Clients: 64, Outstanding: 1,
+						Window:   1,
+						NetDelay: 5 * time.Millisecond,
+					})
+					b.ReportMetric(res.Throughput, "txn/s")
+					b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10ViewChange crashes the primary mid-run and reports the
+// throughput timeline around the view change (PoE vs PBFT, paper n = 32;
+// scaled to n = 8).
+func BenchmarkFig10ViewChange(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.PoE, harness.PBFT} {
+		b.Run(string(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.Options{
+					Protocol: p, N: 8,
+					BatchSize: 50, Clients: 32, Outstanding: 16,
+					Warmup: benchWarmup, Measure: 2 * time.Second,
+					CrashPrimaryAfter: 500 * time.Millisecond,
+					SampleEvery:       100 * time.Millisecond,
+					ViewTimeout:       300 * time.Millisecond,
+					ClientTimeout:     300 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					for _, pt := range res.Timeline {
+						b.Logf("%s t=%5.1fs %10.0f txn/s", p, pt.Offset.Seconds(), pt.Throughput)
+					}
+				}
+				b.ReportMetric(res.Throughput, "txn/s")
+				b.ReportMetric(float64(res.ViewChanges), "viewchanges")
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Simulation runs the discrete-event simulation: decisions/s
+// as a function of message delay for 4/16/128 replicas, sequential and
+// out-of-order (paper: 500 decisions, 250-deep window).
+func BenchmarkFig11Simulation(b *testing.B) {
+	delays := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for _, n := range []int{4, 16, 128} {
+		for _, p := range []sim.Protocol{sim.PoE, sim.PBFT, sim.HotStuff} {
+			for _, d := range delays {
+				b.Run(fmt.Sprintf("seq/n=%d/%v/delay=%v", n, p, d), func(b *testing.B) {
+					var res sim.Result
+					for i := 0; i < b.N; i++ {
+						res = sim.Run(sim.Config{Protocol: p, N: n, Delay: d, Decisions: 500, Window: 1})
+					}
+					b.ReportMetric(res.DecisionsPS, "decisions/s")
+				})
+			}
+		}
+	}
+	// The out-of-order plot (only PoE* and PBFT* in the paper).
+	for _, p := range []sim.Protocol{sim.PoE, sim.PBFT} {
+		for _, d := range delays {
+			b.Run(fmt.Sprintf("ooo/n=128/%v/delay=%v", p, d), func(b *testing.B) {
+				var res sim.Result
+				for i := 0; i < b.N; i++ {
+					res = sim.Run(sim.Config{Protocol: p, N: 128, Delay: d, Decisions: 500, Window: 250})
+				}
+				b.ReportMetric(res.DecisionsPS, "decisions/s")
+			})
+		}
+	}
+}
+
+// --- ablation benches for the design choices called out in DESIGN.md §5 ---
+
+// BenchmarkAblationSpeculation contrasts speculative execution (PoE: execute
+// after prepare, saving one phase before the client sees a result) with
+// commit-phase execution (PBFT) at identical scheme and batch settings —
+// isolating ingredient I1. A link delay makes the phase count visible in
+// client latency.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.PoE, harness.PBFT} {
+		b.Run(string(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, harness.Options{
+					Protocol: p, N: 8, Scheme: crypto.SchemeMAC,
+					BatchSize: 50, Clients: 32, Outstanding: 16,
+					NetDelay: 5 * time.Millisecond,
+				})
+				b.ReportMetric(res.Throughput, "txn/s")
+				b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSignatureScheme sweeps PoE's scheme across replica counts
+// (ingredient I3: MAC favoured at small n, TS at larger n).
+func BenchmarkAblationSignatureScheme(b *testing.B) {
+	for _, scheme := range []crypto.Scheme{crypto.SchemeMAC, crypto.SchemeTS} {
+		for _, n := range benchNs {
+			b.Run(fmt.Sprintf("%v/n=%d", scheme, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := runOnce(b, harness.Options{
+						Protocol: harness.PoE, N: n, Scheme: scheme,
+						BatchSize: 50, Clients: 32, Outstanding: 16,
+					})
+					b.ReportMetric(res.Throughput, "txn/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWindow sweeps the out-of-order window (§II-F) under a
+// link delay, where the window size directly bounds the number of decisions
+// in flight.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, w := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, harness.Options{
+					Protocol: harness.PoE, N: 8, Window: w,
+					BatchSize: 10, Clients: 32, Outstanding: 32,
+					NetDelay: 5 * time.Millisecond,
+				})
+				b.ReportMetric(res.Throughput, "txn/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchZeroPayload crosses batching with zero payload.
+func BenchmarkAblationBatchZeroPayload(b *testing.B) {
+	for _, zero := range []bool{false, true} {
+		for _, bs := range []int{10, 100} {
+			name := fmt.Sprintf("zero=%v/batch=%d", zero, bs)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := runOnce(b, harness.Options{
+						Protocol: harness.PoE, N: 8, BatchSize: bs,
+						ZeroPayload: zero, Clients: 16, Outstanding: 8,
+					})
+					b.ReportMetric(res.Throughput, "txn/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCheckpointInterval varies the checkpoint cadence, which
+// trades undo-log/view-change size against checkpoint traffic (§II-D).
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	for _, interval := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("interval=%d", interval), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, harness.Options{
+					Protocol: harness.PoE, N: 8,
+					BatchSize: 50, Clients: 32, Outstanding: 16,
+					CheckpointInterval: interval,
+				})
+				b.ReportMetric(res.Throughput, "txn/s")
+			}
+		})
+	}
+}

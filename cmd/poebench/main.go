@@ -1,0 +1,304 @@
+// Command poebench regenerates the tables and figures of the PoE paper's
+// evaluation (§IV). Each figure has scaled-down defaults that finish in
+// seconds; -full raises replica counts and durations toward the paper's
+// configuration (n up to 91).
+//
+// Usage:
+//
+//	poebench -fig all
+//	poebench -fig 9ab -full
+//	poebench -fig 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/harness"
+	"github.com/poexec/poe/internal/sim"
+)
+
+type scale struct {
+	ns        []int
+	batchN    int
+	clients   int
+	out       int
+	warmup    time.Duration
+	measure   time.Duration
+	batchSize int
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,all")
+	full := flag.Bool("full", false, "run the larger (paper-scale) configurations")
+	flag.Parse()
+
+	sc := scale{
+		ns: []int{4, 8, 16}, batchN: 8,
+		clients: 16, out: 8,
+		warmup: 300 * time.Millisecond, measure: time.Second,
+		batchSize: 50,
+	}
+	if *full {
+		sc = scale{
+			ns: []int{4, 16, 32, 64, 91}, batchN: 32,
+			clients: 64, out: 16,
+			warmup: 3 * time.Second, measure: 10 * time.Second,
+			batchSize: 100,
+		}
+	}
+
+	figs := strings.Split(*fig, ",")
+	run := func(name string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, f := range figs {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	any := false
+	if run("1") {
+		any = true
+		fig1()
+	}
+	if run("7") {
+		any = true
+		fig7(sc)
+	}
+	if run("8") {
+		any = true
+		fig8(sc)
+	}
+	if run("9ab") {
+		any = true
+		fig9(sc, "9ab: scalability, standard payload, single backup failure", true, false)
+	}
+	if run("9cd") {
+		any = true
+		fig9(sc, "9cd: scalability, standard payload, no failures", false, false)
+	}
+	if run("9ef") {
+		any = true
+		fig9(sc, "9ef: zero payload, single backup failure", true, true)
+	}
+	if run("9gh") {
+		any = true
+		fig9(sc, "9gh: zero payload, no failures", false, true)
+	}
+	if run("9ij") {
+		any = true
+		fig9ij(sc)
+	}
+	if run("9kl") {
+		any = true
+		fig9kl(sc)
+	}
+	if run("10") {
+		any = true
+		fig10(sc)
+	}
+	if run("11") {
+		any = true
+		fig11()
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== Fig %s ===\n", title)
+}
+
+func fig1() {
+	header("1: protocol cost comparison (analytic)")
+	fmt.Print(protocol.FormatCostTable(91, 30))
+}
+
+func fig7(sc scale) {
+	header("7: upper bound (no consensus)")
+	for _, execute := range []bool{false, true} {
+		res, err := harness.RunUpperBound(harness.UpperBoundOptions{
+			Execute: execute, Warmup: sc.warmup, Measure: sc.measure,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		mode := "no exec."
+		if execute {
+			mode = "exec."
+		}
+		fmt.Printf("%-9s %10.0f txn/s  %8.2f ms\n", mode, res.Throughput, ms(res.AvgLatency))
+	}
+}
+
+func fig8(sc scale) {
+	header("8: signature schemes (PBFT, n=16)")
+	for _, tc := range []struct {
+		name   string
+		scheme crypto.Scheme
+	}{{"None", crypto.SchemeNone}, {"ED", crypto.SchemeED}, {"CMAC", crypto.SchemeMAC}} {
+		res, err := harness.Run(harness.Options{
+			Protocol: harness.PBFT, N: 16, Scheme: tc.scheme,
+			BatchSize: sc.batchSize, Clients: sc.clients, Outstanding: sc.out,
+			Warmup: sc.warmup, Measure: sc.measure,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("%-5s %10.0f txn/s  %8.2f ms\n", tc.name, res.Throughput, ms(res.AvgLatency))
+	}
+}
+
+func fig9(sc scale, title string, crash, zero bool) {
+	header(title)
+	fmt.Printf("%-9s", "protocol")
+	for _, n := range sc.ns {
+		fmt.Printf("  %14s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Println()
+	for _, p := range harness.AllProtocols {
+		fmt.Printf("%-9s", p)
+		for _, n := range sc.ns {
+			res, err := harness.Run(harness.Options{
+				Protocol: p, N: n,
+				BatchSize: sc.batchSize, Clients: sc.clients, Outstanding: sc.out,
+				CrashBackup: crash, ZeroPayload: zero,
+				Warmup: sc.warmup, Measure: sc.measure,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("  %8.0f/%4.0fms", res.Throughput, ms(res.AvgLatency))
+		}
+		fmt.Println()
+	}
+}
+
+func fig9ij(sc scale) {
+	header("9ij: batching under single backup failure")
+	batches := []int{10, 50, 100, 200, 400}
+	fmt.Printf("%-9s", "protocol")
+	for _, bs := range batches {
+		fmt.Printf("  %14s", fmt.Sprintf("batch=%d", bs))
+	}
+	fmt.Println()
+	for _, p := range harness.AllProtocols {
+		fmt.Printf("%-9s", p)
+		for _, bs := range batches {
+			res, err := harness.Run(harness.Options{
+				Protocol: p, N: sc.batchN,
+				BatchSize: bs, Clients: sc.clients, Outstanding: sc.out,
+				CrashBackup: true,
+				Warmup:      sc.warmup, Measure: sc.measure,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("  %8.0f/%4.0fms", res.Throughput, ms(res.AvgLatency))
+		}
+		fmt.Println()
+	}
+}
+
+func fig9kl(sc scale) {
+	header("9kl: out-of-ordering disabled (closed-loop clients)")
+	fmt.Printf("%-9s", "protocol")
+	for _, n := range sc.ns {
+		fmt.Printf("  %14s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Println()
+	for _, p := range harness.AllProtocols {
+		fmt.Printf("%-9s", p)
+		for _, n := range sc.ns {
+			out := 1
+			if p == harness.HotStuff {
+				out = 4 // the paper grants HotStuff its 4-deep chained pipeline
+			}
+			res, err := harness.Run(harness.Options{
+				Protocol: p, N: n,
+				BatchSize: 1, Clients: 4, Outstanding: out, Window: 1,
+				Warmup: sc.warmup, Measure: sc.measure,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("  %8.0f/%4.0fms", res.Throughput, ms(res.AvgLatency))
+		}
+		fmt.Println()
+	}
+}
+
+func fig10(sc scale) {
+	header("10: primary failure / view change timeline (PoE vs PBFT)")
+	for _, p := range []harness.Protocol{harness.PoE, harness.PBFT} {
+		res, err := harness.Run(harness.Options{
+			Protocol: p, N: sc.batchN,
+			BatchSize: sc.batchSize, Clients: sc.clients, Outstanding: sc.out,
+			Warmup: sc.warmup, Measure: 4 * sc.measure,
+			CrashPrimaryAfter: sc.measure,
+			SampleEvery:       sc.measure / 10,
+			ViewTimeout:       300 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("%s (view changes: %d)\n", p, res.ViewChanges)
+		for _, pt := range res.Timeline {
+			bar := int(pt.Throughput / 200)
+			if bar > 60 {
+				bar = 60
+			}
+			fmt.Printf("  t=%6.2fs %10.0f txn/s %s\n", pt.Offset.Seconds(), pt.Throughput, strings.Repeat("#", bar))
+		}
+	}
+}
+
+func fig11() {
+	header("11: simulated decisions/s vs message delay")
+	delays := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for _, n := range []int{4, 16, 128} {
+		fmt.Printf("n=%d (sequential)\n", n)
+		fmt.Printf("  %-9s", "delay")
+		for _, p := range []sim.Protocol{sim.PoE, sim.PBFT, sim.HotStuff} {
+			fmt.Printf("  %10s", p)
+		}
+		fmt.Println()
+		for _, d := range delays {
+			fmt.Printf("  %-9v", d)
+			for _, p := range []sim.Protocol{sim.PoE, sim.PBFT, sim.HotStuff} {
+				res := sim.Run(sim.Config{Protocol: p, N: n, Delay: d, Decisions: 500, Window: 1})
+				fmt.Printf("  %10.1f", res.DecisionsPS)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("n=128, out-of-order window 250 (PoE*, PBFT*)")
+	for _, d := range delays {
+		fmt.Printf("  %-9v", d)
+		for _, p := range []sim.Protocol{sim.PoE, sim.PBFT} {
+			res := sim.Run(sim.Config{Protocol: p, N: 128, Delay: d, Decisions: 500, Window: 250})
+			fmt.Printf("  %10.0f", res.DecisionsPS)
+		}
+		fmt.Println()
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

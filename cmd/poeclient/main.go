@@ -1,0 +1,98 @@
+// Command poeclient talks to a poeserver cluster over TCP: set or get keys,
+// or generate load.
+//
+//	poeclient -peers 127.0.0.1:7000,... -set greeting=hello
+//	poeclient -peers 127.0.0.1:7000,... -get greeting
+//	poeclient -peers 127.0.0.1:7000,... -load 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/poexec/poe/internal/client"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/workload"
+)
+
+func main() {
+	peerList := flag.String("peers", "", "comma-separated replica addresses")
+	set := flag.String("set", "", "write key=value")
+	get := flag.String("get", "", "read key")
+	load := flag.Duration("load", 0, "generate YCSB load for this duration")
+	listen := flag.String("listen", "127.0.0.1:0", "client listen address")
+	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
+	cid := flag.Int("client", 0, "client index")
+	flag.Parse()
+
+	addrs := strings.Split(*peerList, ",")
+	n := len(addrs)
+	if n < 4 {
+		log.Fatalf("need at least 4 replicas, got %d", n)
+	}
+	f := (n - 1) / 3
+	id := types.ClientID(types.ClientIDBase) + types.ClientID(*cid)
+	peers := make(map[types.NodeID]string, n+1)
+	for i, a := range addrs {
+		peers[types.ReplicaNode(types.ReplicaID(i))] = a
+	}
+	peers[types.ClientNode(id)] = *listen
+
+	tr, err := network.NewTCPNet(types.ClientNode(id), peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	ring := crypto.NewKeyRing(n, []byte(*seed))
+	cl, err := client.New(client.Config{
+		ID: id, N: n, F: f, Scheme: crypto.SchemeMAC,
+		Timeout: time.Second,
+	}, ring, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl.Start(ctx)
+
+	switch {
+	case *set != "":
+		kv := strings.SplitN(*set, "=", 2)
+		if len(kv) != 2 {
+			log.Fatal("-set wants key=value")
+		}
+		if _, err := cl.Submit(ctx, []types.Op{{Kind: types.OpWrite, Key: kv[0], Value: []byte(kv[1])}}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("ok")
+	case *get != "":
+		res, err := cl.Submit(ctx, []types.Op{{Kind: types.OpRead, Key: *get}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q\n", res.Values[0])
+	case *load > 0:
+		gen := workload.NewGenerator(workload.DefaultConfig(1000), id)
+		deadline := time.Now().Add(*load)
+		count := 0
+		for time.Now().Before(deadline) {
+			txn := gen.Next()
+			txn.Seq = cl.NextSeq()
+			if _, err := cl.SubmitTxn(ctx, txn); err != nil {
+				log.Fatal(err)
+			}
+			count++
+		}
+		fmt.Printf("%d transactions in %v (%.0f txn/s closed-loop)\n",
+			count, *load, float64(count)/load.Seconds())
+	default:
+		log.Fatal("one of -set, -get, -load is required")
+	}
+}

@@ -1,0 +1,94 @@
+// Command poeserver runs one PoE replica over TCP, so a cluster can be
+// spread across processes or machines.
+//
+// Example 4-replica cluster on one host:
+//
+//	poeserver -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	poeserver -id 1 -peers ... &  # and so on for ids 2 and 3
+//	poeclient -peers ... -set greeting=hello
+//
+// All replicas (and clients) must share the same -seed so the deterministic
+// key ring agrees.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/poexec/poe/internal/consensus/poe"
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+func main() {
+	id := flag.Int("id", 0, "replica id (0-based)")
+	peerList := flag.String("peers", "", "comma-separated replica addresses, index = replica id")
+	f := flag.Int("f", 0, "faults tolerated (default (n-1)/3)")
+	batch := flag.Int("batch", 100, "batch size")
+	scheme := flag.String("scheme", "mac", "authentication scheme: mac|ts|ed|none")
+	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
+	flag.Parse()
+
+	addrs := strings.Split(*peerList, ",")
+	n := len(addrs)
+	if n < 4 {
+		log.Fatalf("need at least 4 replicas, got %d", n)
+	}
+	if *f == 0 {
+		*f = (n - 1) / 3
+	}
+	peers := make(map[types.NodeID]string, n)
+	for i, a := range addrs {
+		peers[types.ReplicaNode(types.ReplicaID(i))] = a
+	}
+
+	var sch crypto.Scheme
+	switch *scheme {
+	case "mac":
+		sch = crypto.SchemeMAC
+	case "ts":
+		sch = crypto.SchemeTS
+	case "ed":
+		sch = crypto.SchemeED
+	case "none":
+		sch = crypto.SchemeNone
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+
+	tr, err := network.NewTCPNet(types.ReplicaNode(types.ReplicaID(*id)), peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	ring := crypto.NewKeyRing(n, []byte(*seed))
+	cfg := protocol.Config{
+		ID: types.ReplicaID(*id), N: n, F: *f,
+		Scheme: sch, BatchSize: *batch,
+	}
+	replica, err := poe.New(cfg, ring, tr, poe.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		cancel()
+	}()
+
+	fmt.Printf("poe replica %d/%d listening on %s (scheme %s)\n", *id, n, tr.Addr(), sch)
+	replica.Run(ctx)
+}

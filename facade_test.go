@@ -1,0 +1,74 @@
+package poe
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClusterFacadePoE(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{Replicas: 4, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := cl.Submit(ctx, []Op{{Kind: OpWrite, Key: "a", Value: []byte("1")}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Submit(ctx, []Op{{Kind: OpRead, Key: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Values[0]) != "1" {
+		t.Fatalf("read %q", res.Values[0])
+	}
+	for id := ReplicaID(0); id < 4; id++ {
+		if !cluster.VerifyLedger(id) {
+			t.Fatalf("replica %d ledger invalid", id)
+		}
+	}
+}
+
+func TestClusterFacadeAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{ProtocolPoE, ProtocolPBFT, ProtocolSBFT, ProtocolHotStuff, ProtocolZyzzyva} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			cluster, err := NewCluster(ClusterConfig{Replicas: 4, Protocol: p, BatchSize: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Stop()
+			cl, err := cluster.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for i := 0; i < 3; i++ {
+				key := fmt.Sprintf("k%d", i)
+				if _, err := cl.Submit(ctx, []Op{{Kind: OpWrite, Key: key, Value: []byte("v")}}); err != nil {
+					t.Fatalf("%s submit %d: %v", p, i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestClusterFacadeRejectsBadConfig(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Replicas: 3, Faults: 1}); err == nil {
+		t.Fatal("n=3, f=1 violates n > 3f and must be rejected")
+	}
+	if _, err := NewCluster(ClusterConfig{Replicas: 4, Protocol: "nonsense"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Replicas: 4, Scheme: "nonsense"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package client implements the client role of the protocols (Fig 3,
+// Client-role): sign a transaction, send it to the primary, collect
+// identical INFORM messages from a protocol-specific number of distinct
+// replicas, and — if no timely response arrives — broadcast the request to
+// all replicas so they can forward it to the primary and start their
+// failure-detection timers (§II-B).
+//
+// The quorum rule differs per protocol: PoE clients need nf identical
+// replies (the proof-of-execution), PBFT clients need f+1, Zyzzyva clients
+// need all n (its fast path), and SBFT clients accept a single reply
+// carrying a valid threshold certificate. The rule is configured per client;
+// the Zyzzyva-specific commit-certificate fallback lives in the zyzzyva
+// package.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// ID is the client's identity.
+	ID types.ClientID
+	// N and F describe the replica system.
+	N, F int
+	// Scheme is the cluster's authentication scheme; clients sign requests
+	// with Ed25519 except under SchemeNone (§IV-C).
+	Scheme crypto.Scheme
+	// Quorum is the number of identical replies from distinct replicas
+	// required to accept a result. Zero defaults to nf = n − f (PoE's
+	// proof-of-execution rule).
+	Quorum int
+	// CertAccept, if non-nil, completes a request immediately when a single
+	// reply satisfies it (SBFT's aggregated execute-ack).
+	CertAccept func(m *protocol.Inform) bool
+	// Timeout is how long to wait for a quorum before broadcasting the
+	// request to all replicas (paper: clients use coarse timeouts; §IV-D
+	// discusses the consequences).
+	Timeout time.Duration
+	// VerifyReplyMAC enables checking the MAC tag on replies. Defaults on
+	// for all schemes but SchemeNone.
+	VerifyReplyMAC bool
+	// BroadcastRequests sends every request to all replicas immediately
+	// instead of to the presumed primary. Rotating-leader protocols
+	// (HotStuff) need this: any replica may become the proposer.
+	BroadcastRequests bool
+}
+
+// Client is a protocol client. One Client may have many Submit calls in
+// flight concurrently (the paper's out-of-order experiments depend on deep
+// client pipelines); each outstanding request is keyed by its client-local
+// sequence number.
+type Client struct {
+	cfg  Config
+	keys *crypto.NodeKeys
+	net  network.Transport
+
+	nextSeq  atomic.Uint64
+	viewHint atomic.Uint64 // latest view observed in replies
+
+	mu      sync.Mutex
+	waiters map[uint64]*waiter
+
+	// OnSpeculative, if set, receives speculative replies (Zyzzyva fast
+	// path) instead of the normal tally; used by the zyzzyva client
+	// wrapper.
+	OnSpeculative func(m *protocol.Inform)
+
+	started sync.Once
+	done    chan struct{}
+}
+
+type waiter struct {
+	ch    chan types.Result
+	tally map[protocol.ReplyKey]map[types.ReplicaID]bool
+	res   map[protocol.ReplyKey]types.Result
+}
+
+// New creates a client over the given transport. The transport's node must
+// equal ClientNode(cfg.ID).
+func New(cfg Config, ring *crypto.KeyRing, net network.Transport) (*Client, error) {
+	if cfg.N <= 3*cfg.F {
+		return nil, fmt.Errorf("client: need n > 3f, got n=%d f=%d", cfg.N, cfg.F)
+	}
+	if net.Node() != types.ClientNode(cfg.ID) {
+		return nil, fmt.Errorf("client: transport joined as %v, want %v", net.Node(), types.ClientNode(cfg.ID))
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = cfg.N - cfg.F
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	if cfg.Scheme != crypto.SchemeNone {
+		cfg.VerifyReplyMAC = true
+	}
+	return &Client{
+		cfg:     cfg,
+		keys:    ring.NodeKeys(types.ClientNode(cfg.ID)),
+		net:     net,
+		waiters: make(map[uint64]*waiter),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the reply-processing goroutine. It is idempotent.
+func (c *Client) Start(ctx context.Context) {
+	c.started.Do(func() {
+		go c.readLoop(ctx)
+	})
+}
+
+// Sign produces the signed request 〈T〉c for a transaction.
+func (c *Client) Sign(txn types.Transaction) types.Request {
+	req := types.Request{Txn: txn}
+	if c.cfg.Scheme != crypto.SchemeNone {
+		d := req.Digest()
+		req.Sig = c.keys.Sign(d[:])
+	}
+	return req
+}
+
+// NextSeq allocates the next client-local sequence number.
+func (c *Client) NextSeq() uint64 { return c.nextSeq.Add(1) }
+
+// ErrClosed is returned when the client's transport closed mid-request.
+var ErrClosed = errors.New("client: transport closed")
+
+// Submit signs ops as a transaction and drives it to completion: it returns
+// once Quorum identical replies (or a certificate-bearing reply) arrived.
+// Submit retransmits on timeout — first to the presumed primary, then by
+// broadcasting to all replicas — and only fails when ctx is done.
+func (c *Client) Submit(ctx context.Context, ops []types.Op) (types.Result, error) {
+	txn := types.Transaction{
+		Client:    c.cfg.ID,
+		Seq:       c.NextSeq(),
+		Ops:       ops,
+		TimeNanos: time.Now().UnixNano(),
+	}
+	return c.SubmitTxn(ctx, txn)
+}
+
+// SubmitTxn is Submit for a pre-built transaction (the workload generator
+// produces these). The transaction's client must be this client and its
+// sequence number must be fresh.
+func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Result, error) {
+	if txn.Client != c.cfg.ID {
+		return types.Result{}, fmt.Errorf("client: transaction for %d submitted via client %d", txn.Client, c.cfg.ID)
+	}
+	req := c.Sign(txn)
+	w := &waiter{
+		ch:    make(chan types.Result, 1),
+		tally: make(map[protocol.ReplyKey]map[types.ReplicaID]bool),
+		res:   make(map[protocol.ReplyKey]types.Result),
+	}
+	c.mu.Lock()
+	c.waiters[txn.Seq] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, txn.Seq)
+		c.mu.Unlock()
+	}()
+
+	// First attempt goes to the presumed primary (or everywhere, for
+	// rotating-leader protocols); retries broadcast.
+	if c.cfg.BroadcastRequests {
+		for i := 0; i < c.cfg.N; i++ {
+			c.net.Send(types.ReplicaNode(types.ReplicaID(i)), &protocol.ClientRequest{Req: req})
+		}
+	} else {
+		c.net.Send(c.primaryNode(), &protocol.ClientRequest{Req: req})
+	}
+	timer := time.NewTimer(c.cfg.Timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return types.Result{}, ctx.Err()
+		case <-c.done:
+			return types.Result{}, ErrClosed
+		case res := <-w.ch:
+			return res, nil
+		case <-timer.C:
+			// §II-B: on timeout, broadcast so replicas forward to the
+			// primary and arm their failure detectors.
+			for i := 0; i < c.cfg.N; i++ {
+				c.net.Send(types.ReplicaNode(types.ReplicaID(i)), &protocol.ClientRequest{Req: req})
+			}
+			timer.Reset(c.cfg.Timeout)
+		}
+	}
+}
+
+func (c *Client) primaryNode() types.NodeID {
+	v := types.View(c.viewHint.Load())
+	return types.ReplicaNode(v.Primary(c.cfg.N))
+}
+
+func (c *Client) readLoop(ctx context.Context) {
+	defer close(c.done)
+	inbox := c.net.Inbox()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			m, ok := env.Msg.(*protocol.Inform)
+			if !ok || !env.From.IsReplica() {
+				continue
+			}
+			c.onInform(env.From.Replica(), m)
+		}
+	}
+}
+
+func (c *Client) onInform(from types.ReplicaID, m *protocol.Inform) {
+	if m.From != from {
+		return
+	}
+	key := m.Key()
+	if c.cfg.VerifyReplyMAC && !c.keys.CheckMAC(types.ReplicaNode(from), key.Digest[:], m.Tag) {
+		return
+	}
+	// Track the view so retransmissions reach the current primary.
+	for {
+		cur := c.viewHint.Load()
+		if uint64(m.View) <= cur || c.viewHint.CompareAndSwap(cur, uint64(m.View)) {
+			break
+		}
+	}
+	if m.Speculative && c.OnSpeculative != nil {
+		c.OnSpeculative(m)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.waiters[m.ClientSeq]
+	if !ok {
+		return
+	}
+	if c.cfg.CertAccept != nil && c.cfg.CertAccept(m) {
+		c.finish(w, types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values})
+		return
+	}
+	votes, ok := w.tally[key]
+	if !ok {
+		votes = make(map[types.ReplicaID]bool)
+		w.tally[key] = votes
+		w.res[key] = types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values}
+	}
+	votes[from] = true
+	if len(votes) >= c.cfg.Quorum {
+		c.finish(w, w.res[key])
+	}
+}
+
+func (c *Client) finish(w *waiter, res types.Result) {
+	select {
+	case w.ch <- res:
+	default:
+	}
+}

@@ -1,0 +1,670 @@
+// Package hotstuff implements chained HotStuff (Yin et al., PODC'19) as the
+// paper's rotating-leader baseline (§IV-A): the leader of round i proposes a
+// node justified by a quorum certificate (QC) over its parent; replicas vote
+// by sending threshold shares to the NEXT leader, which combines them into
+// the next QC and proposes round i+1. A node commits once it heads a
+// three-chain of consecutive rounds.
+//
+// The defining performance property the paper measures: consensus is
+// sequential. Each leader must wait for the previous round's QC before
+// proposing, so requests cannot be processed out-of-order (§II-F, Fig 9k/l);
+// chaining pipelines the phases but not the decisions.
+package hotstuff
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// QC is a quorum certificate: nf threshold shares over a node hash.
+type QC struct {
+	Round types.View
+	Node  types.Digest
+	Cert  []byte
+}
+
+// Node is one entry in the HotStuff chain.
+type Node struct {
+	Round      types.View
+	ParentHash types.Digest
+	Batch      types.Batch
+	Justify    QC // certificate over the parent
+}
+
+// Hash identifies the node.
+func (n *Node) Hash() types.Digest {
+	bd := n.Batch.Digest()
+	return types.DigestConcat([]byte("hs-node"), u64(uint64(n.Round)), n.ParentHash[:], bd[:], n.Justify.Node[:])
+}
+
+// Proposal is the round leader's broadcast.
+type Proposal struct {
+	Node Node
+	Auth [][]byte
+}
+
+// SignedPayload returns the bytes covered by the proposal authenticator.
+func (m *Proposal) SignedPayload() []byte {
+	h := m.Node.Hash()
+	return h[:]
+}
+
+// Vote is a replica's threshold share over the node hash, sent to the next
+// leader.
+type Vote struct {
+	Round types.View
+	Node  types.Digest
+	Share crypto.Share
+}
+
+// NewView is the pacemaker message: on round timeout, replicas advance and
+// hand the next leader their highest QC.
+type NewView struct {
+	From  types.ReplicaID
+	Round types.View // the round being entered
+	High  QC
+}
+
+// FetchNodes asks a peer for the ancestor chain of a node (catch-up).
+type FetchNodes struct {
+	From types.ReplicaID
+	Hash types.Digest
+	Max  int
+}
+
+// NodeBundle answers FetchNodes.
+type NodeBundle struct {
+	Nodes []Node
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+func init() {
+	network.Register(&Proposal{})
+	network.Register(&Vote{})
+	network.Register(&NewView{})
+	network.Register(&FetchNodes{})
+	network.Register(&NodeBundle{})
+}
+
+// Leader returns the leader of a round: the replica with id = round mod n.
+func Leader(n int, round types.View) types.ReplicaID {
+	return types.ReplicaID(uint64(round) % uint64(n))
+}
+
+// Options configure a HotStuff replica.
+type Options struct {
+	protocol.RuntimeOptions
+	Tick time.Duration
+	// Pipeline is the number of client requests the paper grants HotStuff
+	// in the no-out-of-order experiment (Fig 9k allows 4, one per phase of
+	// the chained pipeline). It only affects the harness; the replica
+	// itself always chains.
+	Pipeline int
+}
+
+// Replica is one chained-HotStuff replica.
+type Replica struct {
+	rt *protocol.Runtime
+
+	curRound  types.View
+	nodes     map[types.Digest]*Node
+	committed map[types.Digest]bool
+	highQC    QC
+	lockedQC  QC
+	lastVoted types.View
+	execSeq   types.SeqNum // decision counter driving the executor
+
+	votes    map[types.Digest]map[types.ReplicaID]crypto.Share
+	newViews map[types.View]map[types.ReplicaID]QC
+	sentNV   map[types.View]bool
+
+	roundStart time.Time
+	curTimeout time.Duration
+
+	genesisHash types.Digest
+
+	tick time.Duration
+}
+
+// New creates a HotStuff replica.
+func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts Options) (*Replica, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := protocol.NewRuntime(cfg, ring, net, opts.RuntimeOptions)
+	tick := opts.Tick
+	if tick == 0 {
+		// The tick drives both failure detection (needs ≲ ViewTimeout/4)
+		// and batch-linger flushing (needs milliseconds).
+		tick = cfg.ViewTimeout / 4
+		if tick > 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+	}
+	r := &Replica{
+		rt:         rt,
+		curRound:   1,
+		nodes:      make(map[types.Digest]*Node),
+		committed:  make(map[types.Digest]bool),
+		votes:      make(map[types.Digest]map[types.ReplicaID]crypto.Share),
+		newViews:   make(map[types.View]map[types.ReplicaID]QC),
+		sentNV:     make(map[types.View]bool),
+		roundStart: time.Now(),
+		curTimeout: cfg.ViewTimeout,
+		tick:       tick,
+	}
+	// The genesis node anchors the chain; its QC is implicit (round 0).
+	genesis := &Node{Round: 0}
+	r.genesisHash = genesis.Hash()
+	r.nodes[r.genesisHash] = genesis
+	r.committed[r.genesisHash] = true
+	r.highQC = QC{Round: 0, Node: r.genesisHash}
+	r.lockedQC = r.highQC
+	return r, nil
+}
+
+// Runtime exposes the replica runtime.
+func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
+
+// Round returns the current round (racy while running; for tests).
+func (r *Replica) Round() types.View { return r.curRound }
+
+// Run processes messages until ctx is cancelled.
+func (r *Replica) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	inbox := r.rt.Net.Inbox()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.rt.Metrics.MessagesIn.Add(1)
+			r.dispatch(env)
+		case <-ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+func (r *Replica) dispatch(env network.Envelope) {
+	switch m := env.Msg.(type) {
+	case *protocol.ClientRequest:
+		r.onClientRequest(env.From, &m.Req)
+	case *protocol.ForwardRequest:
+		if r.rt.VerifyClientRequest(&m.Req) && !r.rt.ReplayReply(&m.Req) {
+			r.enqueue(m.Req)
+		}
+	case *Proposal:
+		if env.From.IsReplica() {
+			r.onProposal(env.From.Replica(), m)
+		}
+	case *Vote:
+		if env.From.IsReplica() {
+			r.onVote(env.From.Replica(), m)
+		}
+	case *NewView:
+		r.onNewView(m)
+	case *FetchNodes:
+		r.onFetchNodes(m)
+	case *NodeBundle:
+		r.onNodeBundle(m)
+	case *protocol.Checkpoint:
+		r.rt.OnCheckpoint(m)
+	}
+}
+
+// --- client requests ---
+
+func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
+	if !from.IsClient() || req.Txn.Client != from.Client() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+		return
+	}
+	r.enqueue(*req)
+}
+
+func (r *Replica) enqueue(req types.Request) {
+	if r.rt.Exec.AlreadyExecuted(req.Txn.Client, req.Txn.Seq) {
+		return
+	}
+	// A request may have been consumed into a proposal that was orphaned by
+	// a round timeout (its QC never formed). The batcher's proposed-history
+	// dedup would silently drop the client's retransmission and the request
+	// would be lost forever, so unexecuted retransmissions re-enter the
+	// queue; duplicate execution is prevented by the executor's dedup.
+	r.rt.Batcher.Forget(req.Txn.Client)
+	r.rt.Batcher.Add(req)
+	r.maybePropose(false)
+}
+
+// --- proposing ---
+
+// maybePropose lets the current round's leader propose once it holds the
+// previous round's QC. This wait is HotStuff's sequential bottleneck.
+func (r *Replica) maybePropose(force bool) {
+	cfg := r.rt.Cfg
+	if Leader(cfg.N, r.curRound) != cfg.ID {
+		return
+	}
+	if r.highQC.Round != r.curRound-1 {
+		// Not yet entitled: either the previous QC hasn't formed, or this
+		// round was entered via timeouts and needs nf NewViews (onNewView
+		// proposes then).
+		return
+	}
+	batch, ok := r.rt.Batcher.Take(force)
+	if !ok {
+		// Propose an empty node only when needed to flush uncommitted
+		// ancestors through the three-chain; otherwise wait for load.
+		if !r.pendingUncommitted() {
+			return
+		}
+		batch = types.Batch{}
+	}
+	r.propose(batch)
+}
+
+// pendingUncommitted reports whether the high-QC branch still has
+// uncommitted non-empty nodes that an empty extension would help commit.
+func (r *Replica) pendingUncommitted() bool {
+	h := r.highQC.Node
+	for i := 0; i < 3; i++ {
+		node, ok := r.nodes[h]
+		if !ok || r.committed[h] {
+			return false
+		}
+		if node.Batch.Size() > 0 || len(node.Batch.Requests) > 0 {
+			return true
+		}
+		h = node.ParentHash
+	}
+	return false
+}
+
+func (r *Replica) propose(batch types.Batch) {
+	// Drop requests another leader already got executed (clients broadcast
+	// to all replicas, so queues overlap across replicas).
+	if len(batch.Requests) > 0 {
+		kept := batch.Requests[:0]
+		for i := range batch.Requests {
+			txn := &batch.Requests[i].Txn
+			if !r.rt.Exec.AlreadyExecuted(txn.Client, txn.Seq) {
+				kept = append(kept, batch.Requests[i])
+			}
+		}
+		batch.Requests = kept
+		if batch.ZeroPayload {
+			batch.ZeroCount = len(kept)
+		}
+		if len(kept) == 0 && !r.pendingUncommitted() {
+			return
+		}
+	}
+	node := Node{
+		Round:      r.curRound,
+		ParentHash: r.highQC.Node,
+		Batch:      batch,
+		Justify:    r.highQC,
+	}
+	p := &Proposal{Node: node}
+	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
+	r.rt.Metrics.ProposedBatches.Add(1)
+	r.rt.Broadcast(p)
+	r.onProposal(r.rt.Cfg.ID, p)
+}
+
+// --- voting ---
+
+func (r *Replica) verifyQC(qc QC) bool {
+	if qc.Round == 0 && qc.Node == r.genesisHash {
+		return true
+	}
+	return r.rt.TS.Verify(qc.Node[:], qc.Cert)
+}
+
+func (r *Replica) onProposal(from types.ReplicaID, m *Proposal) {
+	cfg := r.rt.Cfg
+	node := m.Node
+	if node.Round < r.curRound || Leader(cfg.N, node.Round) != from {
+		return
+	}
+	if from != cfg.ID {
+		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
+			return
+		}
+		for i := range node.Batch.Requests {
+			if !r.rt.VerifyClientRequest(&node.Batch.Requests[i]) {
+				return
+			}
+		}
+	}
+	if !r.verifyQC(node.Justify) || node.Justify.Node != node.ParentHash {
+		return
+	}
+	h := node.Hash()
+	if _, dup := r.nodes[h]; !dup {
+		cp := node
+		r.nodes[h] = &cp
+	}
+	// Seeing a valid QC advances the pacemaker.
+	r.updateHighQC(node.Justify)
+	if node.Round > r.curRound {
+		r.advanceRound(node.Round)
+	}
+	if _, ok := r.nodes[node.ParentHash]; !ok && node.ParentHash != r.genesisHash {
+		// Missing ancestry: catch up from the proposer before voting.
+		r.rt.SendReplica(from, &FetchNodes{From: cfg.ID, Hash: node.ParentHash, Max: 64})
+		return
+	}
+	r.tryCommit(&node)
+
+	// safeNode: vote if the node extends the locked branch, or its justify
+	// is fresher than the lock (liveness rule).
+	if node.Round <= r.lastVoted {
+		return
+	}
+	if !r.extendsLocked(&node) && node.Justify.Round <= r.lockedQC.Round {
+		return
+	}
+	r.lastVoted = node.Round
+	share := r.rt.TS.Share(h[:])
+	vote := &Vote{Round: node.Round, Node: h, Share: share}
+	next := Leader(cfg.N, node.Round+1)
+	if next == cfg.ID {
+		r.onVote(cfg.ID, vote)
+	} else {
+		r.rt.SendReplica(next, vote)
+	}
+}
+
+// extendsLocked walks the parent chain to check the node descends from the
+// locked node.
+func (r *Replica) extendsLocked(node *Node) bool {
+	h := node.ParentHash
+	for {
+		if h == r.lockedQC.Node {
+			return true
+		}
+		parent, ok := r.nodes[h]
+		if !ok || parent.Round <= r.lockedQC.Round {
+			return h == r.lockedQC.Node
+		}
+		h = parent.ParentHash
+	}
+}
+
+func (r *Replica) onVote(from types.ReplicaID, m *Vote) {
+	cfg := r.rt.Cfg
+	if Leader(cfg.N, m.Round+1) != cfg.ID || m.Share.Signer != from {
+		return
+	}
+	if !r.rt.TS.VerifyShare(m.Node[:], m.Share) {
+		return
+	}
+	votes, ok := r.votes[m.Node]
+	if !ok {
+		votes = make(map[types.ReplicaID]crypto.Share)
+		r.votes[m.Node] = votes
+	}
+	if _, dup := votes[from]; dup {
+		return
+	}
+	votes[from] = m.Share
+	if len(votes) < cfg.NF() {
+		return
+	}
+	shares := make([]crypto.Share, 0, len(votes))
+	for _, sh := range votes {
+		shares = append(shares, sh)
+	}
+	cert, err := r.rt.TS.Combine(m.Node[:], shares)
+	if err != nil {
+		return
+	}
+	delete(r.votes, m.Node)
+	qc := QC{Round: m.Round, Node: m.Node, Cert: cert}
+	r.updateHighQC(qc)
+	r.advanceRound(m.Round + 1)
+	r.maybePropose(true)
+}
+
+func (r *Replica) updateHighQC(qc QC) {
+	if qc.Round > r.highQC.Round && r.verifyQC(qc) {
+		r.highQC = qc
+	}
+	// Two-chain lock: lock the parent of the newest QC'd node.
+	if node, ok := r.nodes[qc.Node]; ok {
+		if parentQC := node.Justify; parentQC.Round > r.lockedQC.Round {
+			r.lockedQC = parentQC
+		}
+	}
+}
+
+func (r *Replica) advanceRound(round types.View) {
+	if round <= r.curRound {
+		return
+	}
+	r.curRound = round
+	r.roundStart = time.Now()
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	for rd := range r.newViews {
+		if rd < round {
+			delete(r.newViews, rd)
+		}
+	}
+	for rd := range r.sentNV {
+		if rd < round {
+			delete(r.sentNV, rd)
+		}
+	}
+}
+
+// --- commit rule ---
+
+// tryCommit applies the two-chain commit rule: a node commits when its
+// direct child is certified and the two have consecutive rounds. This is
+// the rule the paper itself uses to model HotStuff ("the two rounds of
+// HotStuff", §IV-I / Fig 11) and the one adopted by deployed descendants
+// (Jolteon/DiemBFT). The original three-consecutive-round rule cannot make
+// progress at n = 4 with one crashed replica under strict round-robin
+// rotation — three consecutive live-leader rounds never occur — which the
+// paper's single-failure HotStuff numbers show is not the behaviour of the
+// evaluated implementation.
+func (r *Replica) tryCommit(node *Node) {
+	// node.Justify certifies b1; b1.Justify certifies b2 = b1's parent.
+	// If their rounds are consecutive, b2 commits.
+	b1, ok := r.nodes[node.Justify.Node]
+	if !ok {
+		return
+	}
+	b2, ok := r.nodes[b1.Justify.Node]
+	if !ok {
+		return
+	}
+	if b1.Round != b2.Round+1 {
+		return
+	}
+	r.commitChain(b2)
+}
+
+// commitChain commits b3 and all its uncommitted ancestors, oldest first.
+func (r *Replica) commitChain(tip *Node) {
+	var chain []*Node
+	h := tip.Hash()
+	for {
+		if r.committed[h] {
+			break
+		}
+		node, ok := r.nodes[h]
+		if !ok {
+			// Cannot execute with missing ancestry; fetch and retry later.
+			return
+		}
+		chain = append(chain, node)
+		h = node.ParentHash
+	}
+	sort.Slice(chain, func(i, j int) bool { return chain[i].Round < chain[j].Round })
+	for _, node := range chain {
+		nh := node.Hash()
+		r.committed[nh] = true
+		r.execSeq++
+		events := r.rt.Exec.Commit(r.execSeq, node.Round, node.Batch, node.Justify.Cert)
+		for _, ev := range events {
+			r.rt.Metrics.ExecutedBatches.Add(1)
+			r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
+			r.rt.InformBatch(ev.Rec, ev.Results, false, types.ZeroDigest)
+			r.rt.MaybeCheckpoint(ev.Rec.Seq)
+		}
+	}
+	r.pruneNodes()
+}
+
+// pruneNodes bounds the in-memory chain: committed nodes far behind the
+// high QC are dropped (their effects live in the store and ledger).
+func (r *Replica) pruneNodes() {
+	if len(r.nodes) < 4096 {
+		return
+	}
+	cutoff := r.highQC.Round
+	if cutoff > 256 {
+		cutoff -= 256
+	} else {
+		return
+	}
+	for h, node := range r.nodes {
+		if node.Round > 0 && node.Round < cutoff && r.committed[h] {
+			delete(r.nodes, h)
+			delete(r.committed, h)
+		}
+	}
+}
+
+// --- pacemaker ---
+
+func (r *Replica) onTick() {
+	now := time.Now()
+	cfg := r.rt.Cfg
+	if Leader(cfg.N, r.curRound) == cfg.ID && r.rt.Batcher.Ripe(now) {
+		r.maybePropose(true)
+	}
+	if now.Sub(r.roundStart) > r.curTimeout {
+		// Round expired: move on. NewView is broadcast to ALL replicas so
+		// the pacemaker stays synchronized even when the next leader is
+		// crashed (votes or point-to-point NewViews to it would vanish and
+		// replicas would drift apart one round at a time).
+		r.roundStart = now
+		r.curTimeout *= 2
+		r.rt.Metrics.ViewChanges.Add(1)
+		r.broadcastNewView(r.curRound + 1)
+	}
+}
+
+// broadcastNewView announces this replica's move to the given round.
+func (r *Replica) broadcastNewView(round types.View) {
+	if r.sentNV[round] {
+		return
+	}
+	r.sentNV[round] = true
+	if round > r.curRound {
+		r.curRound = round
+	}
+	nv := &NewView{From: r.rt.Cfg.ID, Round: round, High: r.highQC}
+	r.rt.Broadcast(nv)
+	r.onNewView(nv)
+}
+
+func (r *Replica) onNewView(m *NewView) {
+	cfg := r.rt.Cfg
+	if m.Round < r.curRound {
+		return
+	}
+	if !r.verifyQC(m.High) {
+		return
+	}
+	r.updateHighQC(m.High)
+	nvs, ok := r.newViews[m.Round]
+	if !ok {
+		nvs = make(map[types.ReplicaID]QC)
+		r.newViews[m.Round] = nvs
+	}
+	nvs[m.From] = m.High
+	// f+1 replicas entered the round: at least one is honest, so join it
+	// (keeps the pacemaker synchronized across skewed timeouts).
+	if len(nvs) >= cfg.FPlus1() {
+		r.broadcastNewView(m.Round)
+	}
+	if len(nvs) < cfg.NF() || Leader(cfg.N, m.Round) != cfg.ID {
+		return
+	}
+	if m.Round > r.curRound {
+		r.advanceRound(m.Round)
+	} else {
+		r.roundStart = time.Now()
+		r.curTimeout = r.rt.Cfg.ViewTimeout
+	}
+	// Propose on the highest QC we learned, even with an empty batch, to
+	// restore progress.
+	batch, ok := r.rt.Batcher.Take(true)
+	if !ok {
+		batch = types.Batch{}
+	}
+	node := Node{Round: r.curRound, ParentHash: r.highQC.Node, Batch: batch, Justify: r.highQC}
+	p := &Proposal{Node: node}
+	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
+	r.rt.Broadcast(p)
+	r.onProposal(cfg.ID, p)
+}
+
+// --- catch-up ---
+
+func (r *Replica) onFetchNodes(m *FetchNodes) {
+	var out []Node
+	h := m.Hash
+	for len(out) < m.Max {
+		node, ok := r.nodes[h]
+		if !ok || node.Round == 0 {
+			break
+		}
+		out = append(out, *node)
+		h = node.ParentHash
+	}
+	if len(out) > 0 {
+		r.rt.SendReplica(m.From, &NodeBundle{Nodes: out})
+	}
+}
+
+func (r *Replica) onNodeBundle(m *NodeBundle) {
+	for i := range m.Nodes {
+		node := m.Nodes[i]
+		if !r.verifyQC(node.Justify) || node.Justify.Node != node.ParentHash {
+			continue
+		}
+		h := node.Hash()
+		if _, dup := r.nodes[h]; !dup {
+			cp := node
+			r.nodes[h] = &cp
+		}
+		r.tryCommit(&node)
+	}
+}

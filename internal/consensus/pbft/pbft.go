@@ -1,0 +1,860 @@
+// Package pbft implements the Practical Byzantine Fault Tolerance protocol
+// (Castro & Liskov, OSDI'99) as the paper's primary baseline (§IV-A): three
+// phases — PRE-PREPARE from the primary, then two all-to-all quadratic
+// phases PREPARE and COMMIT — with out-of-order processing, batching,
+// checkpoints, and a view-change algorithm. Clients wait for f+1 identical
+// replies.
+//
+// To make view-change messages verifiable by third parties, PREPARE and
+// COMMIT messages carry threshold-style shares over the proposal digest (the
+// same crypto.Share machinery PoE uses): a replica holding nf prepare shares
+// has a compact *prepared certificate*, which is what the view-change
+// protocol exchanges. Under the MAC scheme the shares are HMACs, so the cost
+// profile matches the paper's MAC-based PBFT (BFTSmart-style with
+// ResilientDB's pipelining).
+package pbft
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// PrePrepare is the primary's ordering proposal.
+type PrePrepare struct {
+	View  types.View
+	Seq   types.SeqNum
+	Batch types.Batch
+	Auth  [][]byte
+}
+
+// SignedPayload returns the bytes covered by the authenticator.
+func (m *PrePrepare) SignedPayload() []byte {
+	bd := m.Batch.Digest()
+	d := types.ProposalDigest(m.Seq, m.View, bd)
+	return d[:]
+}
+
+// Prepare is the first all-to-all phase: agreement on the proposal digest.
+// The share doubles as authentication and as view-change evidence.
+type Prepare struct {
+	View  types.View
+	Seq   types.SeqNum
+	Share crypto.Share
+}
+
+// Commit is the second all-to-all phase.
+type Commit struct {
+	View  types.View
+	Seq   types.SeqNum
+	Share crypto.Share
+}
+
+// VCRequest is PBFT's VIEW-CHANGE message: the sender's stable checkpoint
+// plus its prepared entries (batch + prepared certificate), whether executed
+// or not. Carrying prepared (not merely executed) entries is what makes the
+// f+1 client quorum safe across view changes.
+type VCRequest struct {
+	From      types.ReplicaID
+	View      types.View // failed view
+	StableSeq types.SeqNum
+	Prepared  []PreparedEntry
+	Sig       []byte
+}
+
+// PreparedEntry is one prepared batch with its certificate.
+type PreparedEntry struct {
+	Seq    types.SeqNum
+	View   types.View
+	Digest types.Digest
+	Proof  []byte
+	Batch  types.Batch
+}
+
+// SignedPayload returns the bytes covered by the view-change signature.
+func (m *VCRequest) SignedPayload() []byte {
+	parts := [][]byte{[]byte("pbft-vc"), u64(uint64(m.From)), u64(uint64(m.View)), u64(uint64(m.StableSeq))}
+	for i := range m.Prepared {
+		e := &m.Prepared[i]
+		parts = append(parts, u64(uint64(e.Seq)), u64(uint64(e.View)), e.Digest[:], e.Proof)
+	}
+	d := types.DigestConcat(parts...)
+	return d[:]
+}
+
+// NVPropose is PBFT's NEW-VIEW message.
+type NVPropose struct {
+	NewView  types.View
+	Requests []VCRequest
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+// commitDigest derives the distinct digest signed in Commit shares, so
+// prepare and commit shares cannot be confused.
+func commitDigest(h types.Digest) types.Digest {
+	return types.DigestConcat([]byte("pbft-commit"), h[:])
+}
+
+func init() {
+	network.Register(&PrePrepare{})
+	network.Register(&Prepare{})
+	network.Register(&Commit{})
+	network.Register(&VCRequest{})
+	network.Register(&NVPropose{})
+}
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+// Options configure a PBFT replica.
+type Options struct {
+	protocol.RuntimeOptions
+	Tick time.Duration
+}
+
+// Replica is one PBFT replica.
+type Replica struct {
+	rt *protocol.Runtime
+
+	view        types.View
+	status      status
+	nextPropose types.SeqNum
+	slots       map[types.SeqNum]*slot
+
+	pendingReqs  map[types.Digest]pendingReq
+	lastProgress time.Time
+	curTimeout   time.Duration
+
+	vcTarget   types.View
+	vcStarted  time.Time
+	vcVotes    map[types.View]map[types.ReplicaID]*VCRequest
+	sentVC     map[types.View]bool
+	lastNV     *NVPropose
+	fetchRound int
+
+	tick time.Duration
+}
+
+type slot struct {
+	view          types.View
+	haveBatch     bool
+	batch         types.Batch
+	digest        types.Digest // h = D(k||v||D(batch))
+	prepares      map[types.ReplicaID]crypto.Share
+	commits       map[types.ReplicaID]crypto.Share
+	preparedCert  []byte // nf prepare shares combined
+	committedCert []byte
+	committed     bool
+}
+
+type pendingReq struct {
+	req   types.Request
+	since time.Time
+}
+
+// New creates a PBFT replica.
+func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts Options) (*Replica, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := protocol.NewRuntime(cfg, ring, net, opts.RuntimeOptions)
+	tick := opts.Tick
+	if tick == 0 {
+		// The tick drives both failure detection (needs ≲ ViewTimeout/4)
+		// and batch-linger flushing (needs milliseconds).
+		tick = cfg.ViewTimeout / 4
+		if tick > 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+	}
+	return &Replica{
+		rt:           rt,
+		nextPropose:  1,
+		slots:        make(map[types.SeqNum]*slot),
+		pendingReqs:  make(map[types.Digest]pendingReq),
+		lastProgress: time.Now(),
+		curTimeout:   cfg.ViewTimeout,
+		vcVotes:      make(map[types.View]map[types.ReplicaID]*VCRequest),
+		sentVC:       make(map[types.View]bool),
+		tick:         tick,
+	}, nil
+}
+
+// Runtime exposes the replica runtime for the harness and tests.
+func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
+
+// View returns the current view (racy while running; for tests).
+func (r *Replica) View() types.View { return r.view }
+
+// Run processes messages until ctx is cancelled.
+func (r *Replica) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	inbox := r.rt.Net.Inbox()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.rt.Metrics.MessagesIn.Add(1)
+			r.dispatch(env)
+		case <-ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+func (r *Replica) dispatch(env network.Envelope) {
+	switch m := env.Msg.(type) {
+	case *protocol.ClientRequest:
+		r.onClientRequest(env.From, &m.Req)
+	case *protocol.ForwardRequest:
+		r.onForwardRequest(&m.Req)
+	case *PrePrepare:
+		if env.From.IsReplica() {
+			r.handlePrePrepare(env.From.Replica(), m)
+		}
+	case *Prepare:
+		if env.From.IsReplica() {
+			r.onPrepare(env.From.Replica(), m)
+		}
+	case *Commit:
+		if env.From.IsReplica() {
+			r.onCommit(env.From.Replica(), m)
+		}
+	case *protocol.Checkpoint:
+		r.rt.OnCheckpoint(m)
+	case *protocol.Fetch:
+		r.rt.HandleFetch(m)
+	case *protocol.FetchReply:
+		r.onFetchReply(m)
+	case *VCRequest:
+		r.onVCRequest(m)
+	case *NVPropose:
+		if env.From.IsReplica() {
+			r.onNVPropose(env.From.Replica(), m)
+		}
+	}
+}
+
+func (r *Replica) isPrimary() bool { return r.rt.Cfg.IsPrimary(r.view) }
+
+// --- client requests ---
+
+func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
+	if !from.IsClient() || req.Txn.Client != from.Client() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+		return
+	}
+	if r.status != statusNormal {
+		r.trackPending(req)
+		return
+	}
+	if r.isPrimary() {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	r.trackPending(req)
+	r.rt.SendReplica(r.rt.Cfg.Primary(r.view), &protocol.ForwardRequest{Req: *req})
+}
+
+func (r *Replica) onForwardRequest(req *types.Request) {
+	if r.status != statusNormal || !r.isPrimary() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+		return
+	}
+	r.rt.Batcher.Add(*req)
+	r.proposeReady(false)
+}
+
+func (r *Replica) trackPending(req *types.Request) {
+	d := req.Digest()
+	if _, ok := r.pendingReqs[d]; !ok {
+		r.pendingReqs[d] = pendingReq{req: *req, since: time.Now()}
+	}
+}
+
+// --- normal case ---
+
+func (r *Replica) proposeReady(force bool) {
+	if !r.isPrimary() || r.status != statusNormal {
+		return
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	for r.nextPropose <= lastExec+types.SeqNum(r.rt.Cfg.Window) {
+		batch, ok := r.rt.Batcher.Take(force)
+		if !ok {
+			return
+		}
+		seq := r.nextPropose
+		r.nextPropose++
+		m := &PrePrepare{View: r.view, Seq: seq, Batch: batch}
+		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
+		r.rt.Metrics.ProposedBatches.Add(1)
+		r.rt.Broadcast(m)
+		r.handlePrePrepare(r.rt.Cfg.ID, m)
+	}
+}
+
+func (r *Replica) slot(seq types.SeqNum) *slot {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &slot{
+			prepares: make(map[types.ReplicaID]crypto.Share),
+			commits:  make(map[types.ReplicaID]crypto.Share),
+		}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
+	cfg := r.rt.Cfg
+	if r.status != statusNormal || m.View != r.view || from != cfg.Primary(r.view) {
+		return
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	if m.Seq <= lastExec || m.Seq > lastExec+types.SeqNum(8*cfg.Window) {
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.haveBatch {
+		return
+	}
+	if from != cfg.ID {
+		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
+			return
+		}
+		for i := range m.Batch.Requests {
+			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
+				return
+			}
+		}
+	}
+	s.view = m.View
+	s.haveBatch = true
+	s.batch = m.Batch
+	s.digest = types.ProposalDigest(m.Seq, m.View, m.Batch.Digest())
+	// Broadcast PREPARE and count our own.
+	p := &Prepare{View: m.View, Seq: m.Seq, Share: r.rt.TS.Share(s.digest[:])}
+	r.rt.Broadcast(p)
+	r.addPrepare(cfg.ID, p, s)
+}
+
+func (r *Replica) onPrepare(from types.ReplicaID, m *Prepare) {
+	if r.status != statusNormal || m.View != r.view || m.Share.Signer != from {
+		return
+	}
+	s := r.slot(m.Seq)
+	r.addPrepare(from, m, s)
+}
+
+func (r *Replica) addPrepare(from types.ReplicaID, m *Prepare, s *slot) {
+	if s.preparedCert != nil {
+		return
+	}
+	if _, dup := s.prepares[from]; dup {
+		return
+	}
+	s.prepares[from] = m.Share
+	r.tryPrepared(m.Seq, s)
+}
+
+// tryPrepared fires once the slot has the batch and nf prepare shares: the
+// replica is "prepared" and broadcasts COMMIT.
+func (r *Replica) tryPrepared(seq types.SeqNum, s *slot) {
+	if s.preparedCert != nil || !s.haveBatch || len(s.prepares) < r.rt.Cfg.NF() {
+		return
+	}
+	// Shares may have arrived before the pre-prepare fixed the digest;
+	// validate them now and drop mismatches.
+	shares := make([]crypto.Share, 0, len(s.prepares))
+	for id, sh := range s.prepares {
+		if r.rt.TS.VerifyShare(s.digest[:], sh) {
+			shares = append(shares, sh)
+		} else {
+			delete(s.prepares, id)
+		}
+	}
+	if len(shares) < r.rt.Cfg.NF() {
+		return
+	}
+	cert, err := r.rt.TS.Combine(s.digest[:], shares)
+	if err != nil {
+		return
+	}
+	s.preparedCert = cert
+	r.lastProgress = time.Now()
+	cd := commitDigest(s.digest)
+	c := &Commit{View: s.view, Seq: seq, Share: r.rt.TS.Share(cd[:])}
+	r.rt.Broadcast(c)
+	r.addCommit(r.rt.Cfg.ID, c, s)
+}
+
+func (r *Replica) onCommit(from types.ReplicaID, m *Commit) {
+	if r.status != statusNormal || m.View != r.view || m.Share.Signer != from {
+		return
+	}
+	s := r.slot(m.Seq)
+	r.addCommit(from, m, s)
+}
+
+func (r *Replica) addCommit(from types.ReplicaID, m *Commit, s *slot) {
+	if s.committed {
+		return
+	}
+	if _, dup := s.commits[from]; dup {
+		return
+	}
+	s.commits[from] = m.Share
+	r.tryCommitted(m.Seq, s)
+}
+
+// tryCommitted fires once the replica is prepared and holds nf commit
+// shares: the batch is committed-local and scheduled for execution.
+func (r *Replica) tryCommitted(seq types.SeqNum, s *slot) {
+	if s.committed || s.preparedCert == nil || len(s.commits) < r.rt.Cfg.NF() {
+		return
+	}
+	cd := commitDigest(s.digest)
+	shares := make([]crypto.Share, 0, len(s.commits))
+	for id, sh := range s.commits {
+		if r.rt.TS.VerifyShare(cd[:], sh) {
+			shares = append(shares, sh)
+		} else {
+			delete(s.commits, id)
+		}
+	}
+	if len(shares) < r.rt.Cfg.NF() {
+		return
+	}
+	cert, err := r.rt.TS.Combine(cd[:], shares)
+	if err != nil {
+		return
+	}
+	s.committedCert = cert
+	s.committed = true
+	r.lastProgress = time.Now()
+	// The execution record stores the prepared certificate: it is what the
+	// view-change protocol needs to carry the batch across views.
+	events := r.rt.Exec.Commit(seq, s.view, s.batch, s.preparedCert)
+	r.afterExecution(events)
+}
+
+func (r *Replica) afterExecution(events []protocol.Executed) {
+	if len(events) == 0 {
+		return
+	}
+	for _, ev := range events {
+		r.lastProgress = time.Now()
+		r.rt.Metrics.ExecutedBatches.Add(1)
+		r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
+		r.rt.InformBatch(ev.Rec, ev.Results, false, types.ZeroDigest)
+		for i := range ev.Rec.Batch.Requests {
+			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
+		}
+		delete(r.slots, ev.Rec.Seq)
+		r.rt.MaybeCheckpoint(ev.Rec.Seq)
+	}
+	r.proposeReady(false)
+}
+
+// --- housekeeping ---
+
+func (r *Replica) onTick() {
+	now := time.Now()
+	switch r.status {
+	case statusNormal:
+		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
+			r.proposeReady(true)
+		}
+		r.maybeFetch()
+		if r.suspectPrimary(now) {
+			r.startViewChange(r.view + 1)
+		}
+	case statusViewChange:
+		if now.Sub(r.vcStarted) > r.curTimeout {
+			r.startViewChange(r.vcTarget + 1)
+		}
+	}
+}
+
+func (r *Replica) suspectPrimary(now time.Time) bool {
+	if now.Sub(r.lastProgress) <= r.curTimeout {
+		return false
+	}
+	if len(r.pendingReqs) > 0 {
+		return true
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	for seq := range r.slots {
+		if seq > lastExec {
+			return true
+		}
+	}
+	if _, _, gapped := r.rt.Exec.Gap(); gapped {
+		return true
+	}
+	return false
+}
+
+func (r *Replica) maybeFetch() {
+	after, _, gapped := r.rt.Exec.Gap()
+	if !gapped {
+		return
+	}
+	n := r.rt.Cfg.N
+	for i := 0; i < n; i++ {
+		r.fetchRound++
+		peer := types.ReplicaID(r.fetchRound % n)
+		if peer == r.rt.Cfg.ID {
+			continue
+		}
+		r.rt.SendReplica(peer, &protocol.Fetch{From: r.rt.Cfg.ID, After: after, Max: 4 * r.rt.Cfg.Window})
+		return
+	}
+}
+
+func (r *Replica) onFetchReply(m *protocol.FetchReply) {
+	for i := range m.Records {
+		rec := &m.Records[i]
+		if rec.Digest != rec.Batch.Digest() {
+			continue
+		}
+		if len(rec.Proof) == 0 {
+			// Only no-op gap fillers travel without a certificate.
+			if len(rec.Batch.Requests) != 0 || rec.Batch.ZeroPayload {
+				continue
+			}
+		} else {
+			h := types.ProposalDigest(rec.Seq, rec.View, rec.Digest)
+			if !r.rt.TS.Verify(h[:], rec.Proof) {
+				continue
+			}
+		}
+		events := r.rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
+		r.afterExecution(events)
+	}
+}
+
+// --- view change ---
+
+func (r *Replica) startViewChange(target types.View) {
+	if target <= r.view {
+		return
+	}
+	if r.status == statusViewChange && target <= r.vcTarget {
+		return
+	}
+	r.status = statusViewChange
+	r.vcTarget = target
+	r.vcStarted = time.Now()
+	r.curTimeout *= 2
+	r.rt.Metrics.ViewChanges.Add(1)
+	if r.sentVC[target] {
+		return
+	}
+	r.sentVC[target] = true
+	req := r.buildVCRequest(target)
+	r.recordVCVote(req)
+	r.rt.Broadcast(req)
+	r.maybeProposeNewView(target)
+}
+
+// buildVCRequest collects this replica's prepared entries above its stable
+// checkpoint: executed batches (their record keeps the prepared cert) plus
+// in-flight slots that reached prepared.
+func (r *Replica) buildVCRequest(target types.View) *VCRequest {
+	stable := r.rt.Exec.StableCheckpointSeq()
+	req := &VCRequest{From: r.rt.Cfg.ID, View: target - 1, StableSeq: stable}
+	for _, rec := range r.rt.Exec.ExecutedSince(stable) {
+		req.Prepared = append(req.Prepared, PreparedEntry{
+			Seq: rec.Seq, View: rec.View, Digest: rec.Digest, Proof: rec.Proof, Batch: rec.Batch,
+		})
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	var extra []types.SeqNum
+	for seq, s := range r.slots {
+		if seq > lastExec && s.preparedCert != nil {
+			extra = append(extra, seq)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	for _, seq := range extra {
+		s := r.slots[seq]
+		req.Prepared = append(req.Prepared, PreparedEntry{
+			Seq: seq, View: s.view, Digest: s.batch.Digest(), Proof: s.preparedCert, Batch: s.batch,
+		})
+	}
+	req.Sig = r.rt.Keys.Sign(req.SignedPayload())
+	return req
+}
+
+func (r *Replica) recordVCVote(m *VCRequest) {
+	target := m.View + 1
+	votes, ok := r.vcVotes[target]
+	if !ok {
+		votes = make(map[types.ReplicaID]*VCRequest)
+		r.vcVotes[target] = votes
+	}
+	if _, dup := votes[m.From]; !dup {
+		votes[m.From] = m
+	}
+}
+
+// validateVCRequest checks signature and per-entry prepared certificates.
+// Entries need not be consecutive (a replica can prepare out of order).
+func (r *Replica) validateVCRequest(m *VCRequest) bool {
+	if m.From < 0 || int(m.From) >= r.rt.Cfg.N {
+		return false
+	}
+	if !r.rt.Keys.VerifyFrom(types.ReplicaNode(m.From), m.SignedPayload(), m.Sig) {
+		return false
+	}
+	var last types.SeqNum
+	for i := range m.Prepared {
+		e := &m.Prepared[i]
+		if e.Seq <= m.StableSeq || e.Seq <= last {
+			return false
+		}
+		last = e.Seq
+		if e.Digest != e.Batch.Digest() {
+			return false
+		}
+		if isNullEntry(e) {
+			// No-op batches installed by a previous view change carry no
+			// certificate; they are acceptable but can never override a
+			// proven entry (see applyNVPropose).
+			continue
+		}
+		// The prepared certificate covers h = D(k||v||D(batch)) — the same
+		// digest prepare shares sign.
+		h := types.ProposalDigest(e.Seq, e.View, e.Digest)
+		if !r.rt.TS.Verify(h[:], e.Proof) {
+			return false
+		}
+	}
+	return true
+}
+
+// isNullEntry reports whether the entry is a no-op gap filler: an empty
+// batch with no certificate.
+func isNullEntry(e *PreparedEntry) bool {
+	return len(e.Proof) == 0 && len(e.Batch.Requests) == 0 && !e.Batch.ZeroPayload
+}
+
+func (r *Replica) onVCRequest(m *VCRequest) {
+	target := m.View + 1
+	if target <= r.view {
+		if r.lastNV != nil && r.lastNV.NewView >= target && r.rt.Cfg.IsPrimary(r.lastNV.NewView) {
+			r.rt.SendReplica(m.From, r.lastNV)
+		}
+		return
+	}
+	if !r.validateVCRequest(m) {
+		return
+	}
+	r.recordVCVote(m)
+	if len(r.vcVotes[target]) >= r.rt.Cfg.FPlus1() {
+		if r.status == statusNormal || r.vcTarget < target {
+			r.startViewChange(target)
+		}
+	}
+	r.maybeProposeNewView(target)
+}
+
+func (r *Replica) maybeProposeNewView(target types.View) {
+	cfg := r.rt.Cfg
+	if !cfg.IsPrimary(target) || r.status != statusViewChange || r.vcTarget != target {
+		return
+	}
+	if r.lastNV != nil && r.lastNV.NewView >= target {
+		return
+	}
+	votes := r.vcVotes[target]
+	if len(votes) < cfg.NF() {
+		return
+	}
+	ids := make([]types.ReplicaID, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nv := &NVPropose{NewView: target}
+	for _, id := range ids[:cfg.NF()] {
+		nv.Requests = append(nv.Requests, *votes[id])
+	}
+	r.lastNV = nv
+	r.rt.Broadcast(nv)
+	r.applyNVPropose(nv)
+}
+
+func (r *Replica) onNVPropose(from types.ReplicaID, m *NVPropose) {
+	if from != r.rt.Cfg.Primary(m.NewView) {
+		return
+	}
+	if m.NewView < r.view || (m.NewView == r.view && r.status == statusNormal) {
+		return
+	}
+	if !r.validateNVPropose(m) {
+		r.startViewChange(m.NewView + 1)
+		return
+	}
+	r.applyNVPropose(m)
+}
+
+func (r *Replica) validateNVPropose(m *NVPropose) bool {
+	if len(m.Requests) < r.rt.Cfg.NF() {
+		return false
+	}
+	seen := make(map[types.ReplicaID]bool, len(m.Requests))
+	for i := range m.Requests {
+		req := &m.Requests[i]
+		if req.View != m.NewView-1 || seen[req.From] {
+			return false
+		}
+		seen[req.From] = true
+		if !r.validateVCRequest(req) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyNVPropose derives the new view's order: for every sequence number
+// between the highest stable checkpoint among the requests and the highest
+// prepared sequence number, the entry prepared in the highest view wins;
+// gaps are filled with no-op batches (PBFT's null requests).
+func (r *Replica) applyNVPropose(m *NVPropose) {
+	base := types.SeqNum(0)
+	maxSeq := types.SeqNum(0)
+	for i := range m.Requests {
+		req := &m.Requests[i]
+		if req.StableSeq > base {
+			base = req.StableSeq
+		}
+		for j := range req.Prepared {
+			if req.Prepared[j].Seq > maxSeq {
+				maxSeq = req.Prepared[j].Seq
+			}
+		}
+	}
+	chosen := make(map[types.SeqNum]*PreparedEntry)
+	for i := range m.Requests {
+		req := &m.Requests[i]
+		for j := range req.Prepared {
+			e := &req.Prepared[j]
+			if e.Seq <= base {
+				continue
+			}
+			cur, ok := chosen[e.Seq]
+			switch {
+			case !ok:
+				chosen[e.Seq] = e
+			case isNullEntry(cur) && !isNullEntry(e):
+				// A proven entry always beats an unproven no-op filler: a
+				// byzantine replica must not be able to erase a prepared
+				// batch by advertising a fake high-view null.
+				chosen[e.Seq] = e
+			case isNullEntry(e) != isNullEntry(cur):
+				// keep cur (proven beats null)
+			case e.View > cur.View:
+				chosen[e.Seq] = e
+			}
+		}
+	}
+
+	var events [][]protocol.Executed
+	myLast := r.rt.Exec.LastExecuted()
+	for seq := base + 1; seq <= maxSeq; seq++ {
+		e, ok := chosen[seq]
+		if seq <= myLast {
+			// PBFT never rolls back: committed-local batches must agree
+			// with the new view's choice (quorum intersection guarantees
+			// it for genuinely committed entries).
+			if ok {
+				if rec, have := r.rt.Exec.Record(seq); have && rec.Digest != e.Digest {
+					panic(fmt.Sprintf("pbft: new-view conflicts with committed seq %d", seq))
+				}
+			}
+			continue
+		}
+		if !ok {
+			// Gap: fill with a no-op batch so execution stays consecutive.
+			evs := r.rt.Exec.Commit(seq, m.NewView, types.Batch{}, nil)
+			if len(evs) > 0 {
+				events = append(events, evs)
+			}
+			continue
+		}
+		evs := r.rt.Exec.Commit(e.Seq, e.View, e.Batch, e.Proof)
+		if len(evs) > 0 {
+			events = append(events, evs)
+		}
+	}
+
+	r.enterView(m.NewView, maxSeq)
+	for _, evs := range events {
+		r.afterExecution(evs)
+	}
+}
+
+func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
+	r.view = v
+	r.status = statusNormal
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.lastProgress = time.Now()
+	r.slots = make(map[types.SeqNum]*slot)
+	for target := range r.vcVotes {
+		if target <= v {
+			delete(r.vcVotes, target)
+		}
+	}
+	for target := range r.sentVC {
+		if target <= v {
+			delete(r.sentVC, target)
+		}
+	}
+	if r.rt.Cfg.IsPrimary(v) {
+		if kmax < r.rt.Exec.LastExecuted() {
+			kmax = r.rt.Exec.LastExecuted()
+		}
+		r.nextPropose = kmax + 1
+		r.rt.Batcher.ResetProposed()
+		for _, p := range r.pendingReqs {
+			r.rt.Batcher.Add(p.req)
+		}
+		r.proposeReady(true)
+	} else {
+		for _, p := range r.pendingReqs {
+			r.rt.SendReplica(r.rt.Cfg.Primary(v), &protocol.ForwardRequest{Req: p.req})
+		}
+	}
+}

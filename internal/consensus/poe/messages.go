@@ -1,0 +1,113 @@
+// Package poe implements the Proof-of-Execution consensus protocol, the
+// primary contribution of the paper (§II).
+//
+// Normal case with threshold signatures (Fig 2b, Fig 3):
+//
+//	client ──〈T〉c──▶ primary ──PROPOSE──▶ all
+//	replica ──SUPPORT(share)──▶ primary
+//	primary ──CERTIFY(cert)──▶ all
+//	replica: view-commit, speculative execute, ──INFORM──▶ client
+//
+// Normal case with MACs (Fig 2a, Appendix A): the SUPPORT message is
+// broadcast all-to-all and each replica assembles the certificate locally;
+// there is no CERTIFY phase.
+//
+// The client treats a transaction as executed once it has identical INFORM
+// messages from nf = n − f distinct replicas: its proof-of-execution.
+// Execution is speculative — non-divergent because every replica has
+// view-committed (prepared) before executing — and the view-change algorithm
+// (Fig 5) rolls back any speculative suffix not carried into the new view.
+package poe
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// Propose is the primary's proposal of a batch as the k-th transaction of
+// view v: PROPOSE(〈T〉c, v, k).
+type Propose struct {
+	View  types.View
+	Seq   types.SeqNum
+	Batch types.Batch
+	Auth  [][]byte // broadcast authenticator over SignedPayload
+}
+
+// SignedPayload returns the bytes covered by the proposal's authenticator.
+func (m *Propose) SignedPayload() []byte {
+	bd := m.Batch.Digest()
+	d := types.ProposalDigest(m.Seq, m.View, bd)
+	return d[:]
+}
+
+// Support carries replica i's signature share s〈h〉i over the proposal
+// digest h = D(k||v||〈T〉c) back to the primary (TS mode), or broadcast to
+// all replicas (MAC mode).
+type Support struct {
+	View  types.View
+	Seq   types.SeqNum
+	Share crypto.Share
+}
+
+// Certify distributes the aggregated threshold signature 〈h〉 (TS mode
+// only). It needs no additional authentication: tampering invalidates the
+// certificate (§II-E).
+type Certify struct {
+	View   types.View
+	Seq    types.SeqNum
+	Digest types.Digest // h, the certified proposal digest
+	Cert   []byte
+}
+
+// VCRequest is the view-change request VC-REQUEST(v, E): it announces the
+// failure of view View's primary and carries the sender's execution summary
+// E — every batch executed after its stable checkpoint, each justified by
+// its certificate. VC-REQUESTs are signed (they are forwarded inside
+// NV-PROPOSE and must not be forgeable, §II-E).
+type VCRequest struct {
+	From      types.ReplicaID
+	View      types.View // the failed view; the request asks for View+1
+	StableSeq types.SeqNum
+	Executed  []types.ExecRecord
+	Sig       []byte
+}
+
+// SignedPayload returns the bytes covered by the view-change signature.
+func (m *VCRequest) SignedPayload() []byte {
+	parts := [][]byte{
+		[]byte("poe-vcrequest"),
+		u64(uint64(m.From)), u64(uint64(m.View)), u64(uint64(m.StableSeq)),
+	}
+	for i := range m.Executed {
+		e := &m.Executed[i]
+		parts = append(parts, u64(uint64(e.Seq)), u64(uint64(e.View)), e.Digest[:], e.Proof)
+	}
+	d := types.DigestConcat(parts...)
+	return d[:]
+}
+
+// NVPropose is the new primary's NV-PROPOSE(v+1, m1, …, mnf) message: the
+// set of nf view-change requests from which every replica deterministically
+// derives the new view's starting state.
+type NVPropose struct {
+	NewView  types.View
+	Requests []VCRequest
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+func init() {
+	network.Register(&Propose{})
+	network.Register(&Support{})
+	network.Register(&Certify{})
+	network.Register(&VCRequest{})
+	network.Register(&NVPropose{})
+}

@@ -1,0 +1,568 @@
+package poe
+
+import (
+	"context"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+// Byzantine lets tests inject malicious primary behaviour (Example 3 of the
+// paper). A nil Byzantine is honest.
+type Byzantine interface {
+	// ProposeTo rewrites (or suppresses, by returning nil) the proposal the
+	// primary sends to one replica. Equivocation returns different batches
+	// for different replicas; darkness returns nil for a subset.
+	ProposeTo(to types.ReplicaID, p *Propose) *Propose
+	// SilenceCertify suppresses the CERTIFY broadcast for a sequence number
+	// (TS mode), leaving replicas supported-but-uncommitted.
+	SilenceCertify(seq types.SeqNum) bool
+}
+
+// Options configure a PoE replica.
+type Options struct {
+	protocol.RuntimeOptions
+	// Byz injects malicious behaviour for tests; nil means honest.
+	Byz Byzantine
+	// Tick overrides the housekeeping interval (defaults to a quarter of
+	// the view timeout).
+	Tick time.Duration
+}
+
+// Replica is one PoE replica: the backup role of Fig 3 plus, when
+// id = v mod n, the primary role, plus the view-change algorithm of Fig 5.
+// All state is confined to the Run goroutine.
+type Replica struct {
+	rt  *protocol.Runtime
+	byz Byzantine
+
+	view        types.View
+	status      status
+	nextPropose types.SeqNum
+	slots       map[types.SeqNum]*slot
+
+	// failure detection
+	pendingReqs  map[types.Digest]pendingReq
+	lastProgress time.Time
+	curTimeout   time.Duration
+
+	// view-change state
+	vcTarget   types.View // view we are trying to move to while in statusViewChange
+	vcStarted  time.Time
+	vcExecMark types.SeqNum // last executed seq when the view change started
+	vcVotes    map[types.View]map[types.ReplicaID]*VCRequest
+	sentVC     map[types.View]bool
+	lastNV     *NVPropose // cached by the new primary for late joiners
+	fetchRound int
+
+	tick time.Duration
+}
+
+type slot struct {
+	view        types.View
+	haveBatch   bool
+	batch       types.Batch
+	digest      types.Digest // h = D(k||v||D(batch))
+	supported   bool
+	shares      map[types.ReplicaID]crypto.Share
+	committed   bool
+	pendingCert *Certify // certify that arrived before the proposal
+}
+
+type pendingReq struct {
+	req   types.Request
+	since time.Time
+}
+
+// New creates a PoE replica bound to a transport. Call Run to start it.
+func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts Options) (*Replica, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := protocol.NewRuntime(cfg, ring, net, opts.RuntimeOptions)
+	tick := opts.Tick
+	if tick == 0 {
+		// The tick drives both failure detection (needs ≲ ViewTimeout/4)
+		// and batch-linger flushing (needs milliseconds).
+		tick = cfg.ViewTimeout / 4
+		if tick > 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+	}
+	return &Replica{
+		rt:           rt,
+		byz:          opts.Byz,
+		nextPropose:  1,
+		slots:        make(map[types.SeqNum]*slot),
+		pendingReqs:  make(map[types.Digest]pendingReq),
+		lastProgress: time.Now(),
+		curTimeout:   cfg.ViewTimeout,
+		vcVotes:      make(map[types.View]map[types.ReplicaID]*VCRequest),
+		sentVC:       make(map[types.View]bool),
+		tick:         tick,
+	}, nil
+}
+
+// Runtime exposes the replica's runtime for inspection by tests and the
+// harness (metrics, executor state). The returned value must be treated as
+// read-mostly while the replica runs.
+func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
+
+// View returns the replica's current view (for tests; racy while running).
+func (r *Replica) View() types.View { return r.view }
+
+// Run processes messages until the context is cancelled.
+func (r *Replica) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	inbox := r.rt.Net.Inbox()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.rt.Metrics.MessagesIn.Add(1)
+			r.dispatch(env)
+		case <-ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+func (r *Replica) dispatch(env network.Envelope) {
+	switch m := env.Msg.(type) {
+	case *protocol.ClientRequest:
+		r.onClientRequest(env.From, &m.Req)
+	case *protocol.ForwardRequest:
+		r.onForwardRequest(&m.Req)
+	case *Propose:
+		r.onPropose(env.From, m)
+	case *Support:
+		r.onSupport(env.From, m)
+	case *Certify:
+		r.onCertify(env.From, m)
+	case *protocol.Checkpoint:
+		r.rt.OnCheckpoint(m)
+	case *protocol.Fetch:
+		r.rt.HandleFetch(m)
+	case *protocol.FetchReply:
+		r.onFetchReply(m)
+	case *VCRequest:
+		r.onVCRequest(m)
+	case *NVPropose:
+		r.onNVPropose(env.From, m)
+	}
+}
+
+func (r *Replica) isPrimary() bool { return r.rt.Cfg.IsPrimary(r.view) }
+
+func (r *Replica) primaryNode() types.NodeID {
+	return types.ReplicaNode(r.rt.Cfg.Primary(r.view))
+}
+
+// --- client requests ---
+
+func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
+	if !from.IsClient() || req.Txn.Client != from.Client() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) {
+		return
+	}
+	if r.rt.ReplayReply(req) {
+		return
+	}
+	if r.status != statusNormal {
+		// Remember the request; it is re-forwarded once the new view starts.
+		r.trackPending(req)
+		return
+	}
+	if r.isPrimary() {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	// A client only contacts a backup when it suspects the primary: forward
+	// the request and start the failure-detection timer (§II-B).
+	r.trackPending(req)
+	fwd := &protocol.ForwardRequest{Req: *req}
+	r.rt.Net.Send(r.primaryNode(), fwd)
+}
+
+func (r *Replica) onForwardRequest(req *types.Request) {
+	if r.status != statusNormal || !r.isPrimary() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) {
+		return
+	}
+	if r.rt.ReplayReply(req) {
+		return
+	}
+	r.rt.Batcher.Add(*req)
+	r.proposeReady(false)
+}
+
+func (r *Replica) trackPending(req *types.Request) {
+	d := req.Digest()
+	if _, ok := r.pendingReqs[d]; !ok {
+		r.pendingReqs[d] = pendingReq{req: *req, since: time.Now()}
+	}
+}
+
+// --- primary: propose ---
+
+// proposeReady proposes as many batches as the batcher and the out-of-order
+// window allow. With force, a lingering partial batch is proposed too.
+func (r *Replica) proposeReady(force bool) {
+	if !r.isPrimary() || r.status != statusNormal {
+		return
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	for r.nextPropose <= lastExec+types.SeqNum(r.rt.Cfg.Window) {
+		batch, ok := r.rt.Batcher.Take(force)
+		if !ok {
+			return
+		}
+		r.propose(batch)
+	}
+}
+
+func (r *Replica) propose(batch types.Batch) {
+	seq := r.nextPropose
+	r.nextPropose++
+	m := &Propose{View: r.view, Seq: seq, Batch: batch}
+	m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
+	r.rt.Metrics.ProposedBatches.Add(1)
+	if r.byz != nil {
+		for i := 0; i < r.rt.Cfg.N; i++ {
+			id := types.ReplicaID(i)
+			if id == r.rt.Cfg.ID {
+				continue
+			}
+			variant := r.byz.ProposeTo(id, m)
+			if variant == nil {
+				continue
+			}
+			if variant != m {
+				variant.Auth = r.rt.AuthBroadcast(variant.SignedPayload())
+			}
+			r.rt.SendReplica(id, variant)
+		}
+	} else {
+		r.rt.Broadcast(m)
+	}
+	r.handlePropose(r.rt.Cfg.ID, m)
+}
+
+// --- backup: support ---
+
+func (r *Replica) onPropose(from types.NodeID, m *Propose) {
+	if !from.IsReplica() {
+		return
+	}
+	r.handlePropose(from.Replica(), m)
+}
+
+func (r *Replica) handlePropose(from types.ReplicaID, m *Propose) {
+	cfg := r.rt.Cfg
+	if r.status != statusNormal || m.View != r.view || from != cfg.Primary(r.view) {
+		return
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	if m.Seq <= lastExec {
+		return
+	}
+	// High watermark: bound how far ahead of execution proposals are
+	// accepted (the paper's active-set watermarks, §II-F).
+	if m.Seq > lastExec+types.SeqNum(8*cfg.Window) {
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.haveBatch {
+		return // only the first k-th proposal in a view is supported (Fig 3, Line 12)
+	}
+	if from != cfg.ID {
+		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
+			return
+		}
+		for i := range m.Batch.Requests {
+			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
+				return
+			}
+		}
+	}
+	s.view = m.View
+	s.haveBatch = true
+	s.batch = m.Batch
+	s.digest = types.ProposalDigest(m.Seq, m.View, m.Batch.Digest())
+	s.supported = true
+	share := r.rt.TS.Share(s.digest[:])
+	sup := &Support{View: m.View, Seq: m.Seq, Share: share}
+	if cfg.Scheme == crypto.SchemeMAC || cfg.Scheme == crypto.SchemeNone {
+		// MAC instantiation (Appendix A): SUPPORT is broadcast all-to-all
+		// and every replica assembles the certificate itself.
+		r.rt.Broadcast(sup)
+		r.addSupport(cfg.ID, sup, s)
+	} else {
+		// TS instantiation: SUPPORT goes to the primary only.
+		if r.isPrimary() {
+			r.addSupport(cfg.ID, sup, s)
+		} else {
+			r.rt.Net.Send(r.primaryNode(), sup)
+		}
+	}
+	if s.pendingCert != nil {
+		cert := s.pendingCert
+		s.pendingCert = nil
+		r.handleCertify(cert, s)
+	}
+}
+
+func (r *Replica) slot(seq types.SeqNum) *slot {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &slot{shares: make(map[types.ReplicaID]crypto.Share)}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *Replica) onSupport(from types.NodeID, m *Support) {
+	if !from.IsReplica() || r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.Share.Signer != from.Replica() {
+		return
+	}
+	cfg := r.rt.Cfg
+	collector := cfg.Scheme == crypto.SchemeMAC || cfg.Scheme == crypto.SchemeNone || r.isPrimary()
+	if !collector {
+		return
+	}
+	s, ok := r.slots[m.Seq]
+	if !ok || !s.haveBatch || s.committed {
+		return
+	}
+	r.addSupport(from.Replica(), m, s)
+}
+
+func (r *Replica) addSupport(from types.ReplicaID, m *Support, s *slot) {
+	if s.committed {
+		return
+	}
+	if _, dup := s.shares[from]; dup {
+		return
+	}
+	// Shares are validated once, inside Combine (which skips invalid ones);
+	// verifying here too would double the asymmetric-crypto cost on the
+	// primary, the protocol's hot path.
+	s.shares[from] = m.Share
+	if len(s.shares) < r.rt.Cfg.NF() {
+		return
+	}
+	shares := make([]crypto.Share, 0, len(s.shares))
+	for _, sh := range s.shares {
+		shares = append(shares, sh)
+	}
+	cert, err := r.rt.TS.Combine(s.digest[:], shares)
+	if err != nil {
+		// Some collected shares were invalid (byzantine); drop them so
+		// further supports can push the count back over the threshold.
+		for id, sh := range s.shares {
+			if !r.rt.TS.VerifyShare(s.digest[:], sh) {
+				delete(s.shares, id)
+			}
+		}
+		return
+	}
+	switch r.rt.Cfg.Scheme {
+	case crypto.SchemeMAC, crypto.SchemeNone:
+		// Every replica reached the certificate locally; commit directly.
+		r.commitSlot(m.Seq, s, cert)
+	default:
+		// TS mode: the primary distributes the certificate.
+		if r.byz == nil || !r.byz.SilenceCertify(m.Seq) {
+			r.rt.Broadcast(&Certify{View: r.view, Seq: m.Seq, Digest: s.digest, Cert: cert})
+		}
+		r.commitSlot(m.Seq, s, cert)
+	}
+}
+
+func (r *Replica) onCertify(from types.NodeID, m *Certify) {
+	if !from.IsReplica() || r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if from.Replica() != r.rt.Cfg.Primary(r.view) {
+		return
+	}
+	s := r.slot(m.Seq)
+	r.handleCertify(m, s)
+}
+
+func (r *Replica) handleCertify(m *Certify, s *slot) {
+	if s.committed {
+		return
+	}
+	if !s.haveBatch || !s.supported {
+		// The proposal may still be in flight; remember the certificate
+		// (Fig 3 requires the replica to have transmitted SUPPORT before
+		// view-committing). A valid certificate also proves the decision
+		// happened without us — the malicious primary may be keeping this
+		// replica in the dark (Example 3(2)) — so start state transfer.
+		s.pendingCert = m
+		if r.rt.TS.Verify(m.Digest[:], m.Cert) {
+			r.fetchFrom(r.rt.Exec.LastExecuted())
+		}
+		return
+	}
+	if s.digest != m.Digest || !r.rt.TS.Verify(m.Digest[:], m.Cert) {
+		return
+	}
+	r.commitSlot(m.Seq, s, m.Cert)
+}
+
+// commitSlot logs VCommitR (Fig 3, Line 18) and schedules speculative
+// execution.
+func (r *Replica) commitSlot(seq types.SeqNum, s *slot, cert []byte) {
+	if s.committed {
+		return
+	}
+	s.committed = true
+	r.lastProgress = time.Now()
+	events := r.rt.Exec.Commit(seq, s.view, s.batch, cert)
+	r.afterExecution(events)
+}
+
+// afterExecution handles executor events: INFORM the clients (Fig 3,
+// Line 23), update metrics, trigger checkpoints, clear failure-detection
+// state, discard retired slots, and let the primary propose into the freed
+// window.
+func (r *Replica) afterExecution(events []protocol.Executed) {
+	if len(events) == 0 {
+		return
+	}
+	for _, ev := range events {
+		r.lastProgress = time.Now()
+		r.rt.Metrics.ExecutedBatches.Add(1)
+		r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
+		r.rt.InformBatch(ev.Rec, ev.Results, false, types.ZeroDigest)
+		for i := range ev.Rec.Batch.Requests {
+			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
+		}
+		delete(r.slots, ev.Rec.Seq)
+		r.rt.MaybeCheckpoint(ev.Rec.Seq)
+	}
+	r.proposeReady(false)
+}
+
+// --- housekeeping ---
+
+func (r *Replica) onTick() {
+	now := time.Now()
+	switch r.status {
+	case statusNormal:
+		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
+			r.proposeReady(true)
+		}
+		r.maybeFetch()
+		if r.suspectPrimary(now) {
+			r.startViewChange(r.view + 1)
+		}
+	case statusViewChange:
+		// Keep catching up during the view change: FetchReply commits are
+		// processed in any status.
+		r.maybeFetch()
+		// Un-suspect: if execution progressed past where it was when we
+		// suspected the primary and nobody joined our view change, the
+		// current view is demonstrably live — we were merely in the dark.
+		// Rejoin it instead of stalling in a lonely view change.
+		if r.rt.Exec.LastExecuted() > r.vcExecMark && len(r.vcVotes[r.vcTarget]) < r.rt.Cfg.FPlus1() {
+			r.status = statusNormal
+			r.curTimeout = r.rt.Cfg.ViewTimeout
+			r.lastProgress = now
+			return
+		}
+		if now.Sub(r.vcStarted) > r.curTimeout {
+			// The view change itself failed (the next primary is also
+			// faulty or unreachable): move one view further with a doubled
+			// timeout (exponential backoff, Theorem 7).
+			r.startViewChange(r.vcTarget + 1)
+		}
+	}
+}
+
+// suspectPrimary reports whether outstanding work has been stuck beyond the
+// current timeout.
+func (r *Replica) suspectPrimary(now time.Time) bool {
+	if now.Sub(r.lastProgress) <= r.curTimeout {
+		return false
+	}
+	if len(r.pendingReqs) > 0 {
+		return true
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	for seq := range r.slots {
+		if seq > lastExec {
+			return true
+		}
+	}
+	if _, _, gapped := r.rt.Exec.Gap(); gapped {
+		return true
+	}
+	return false
+}
+
+// maybeFetch requests state transfer when decided batches are stuck behind
+// missing predecessors (a replica left in the dark, §II-D).
+func (r *Replica) maybeFetch() {
+	after, _, gapped := r.rt.Exec.Gap()
+	if !gapped {
+		return
+	}
+	r.fetchFrom(after)
+}
+
+// fetchFrom asks the next peer (round-robin) for executed records above
+// after.
+func (r *Replica) fetchFrom(after types.SeqNum) {
+	n := r.rt.Cfg.N
+	for i := 0; i < n; i++ {
+		r.fetchRound++
+		peer := types.ReplicaID(r.fetchRound % n)
+		if peer == r.rt.Cfg.ID {
+			continue
+		}
+		r.rt.SendReplica(peer, &protocol.Fetch{From: r.rt.Cfg.ID, After: after, Max: 4 * r.rt.Cfg.Window})
+		return
+	}
+}
+
+func (r *Replica) onFetchReply(m *protocol.FetchReply) {
+	for i := range m.Records {
+		rec := &m.Records[i]
+		if rec.Digest != rec.Batch.Digest() {
+			continue
+		}
+		h := types.ProposalDigest(rec.Seq, rec.View, rec.Digest)
+		if !r.rt.TS.Verify(h[:], rec.Proof) {
+			continue
+		}
+		events := r.rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
+		r.afterExecution(events)
+	}
+}

@@ -1,0 +1,112 @@
+package poe
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/client"
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// TestTCPCluster runs a full PoE cluster over real TCP connections on
+// localhost, exercising the gob wire encoding of every message type the
+// normal case uses.
+func TestTCPCluster(t *testing.T) {
+	const n, f = 4, 1
+	ring := crypto.NewKeyRing(n, []byte("tcp-test"))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Bind all replica listeners on ephemeral ports first, then share the
+	// address book.
+	addrs := make(map[types.NodeID]string, n+1)
+	nets := make([]*network.TCPNet, n)
+	for i := 0; i < n; i++ {
+		node := types.ReplicaNode(types.ReplicaID(i))
+		tn, err := network.NewTCPNet(node, map[types.NodeID]string{node: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = tn
+		addrs[node] = tn.Addr()
+		defer tn.Close()
+	}
+	clientID := types.ClientID(types.ClientIDBase)
+	clientNode := types.ClientNode(clientID)
+	ctn, err := network.NewTCPNet(clientNode, map[types.NodeID]string{clientNode: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctn.Close()
+	addrs[clientNode] = ctn.Addr()
+
+	// Rebuild each transport's peer book (TCPNet dials lazily from the map
+	// it was built with, so construct final transports now).
+	for i := 0; i < n; i++ {
+		nets[i].Close()
+	}
+	ctn.Close()
+	finalNets := make([]*network.TCPNet, n)
+	book := func(self types.NodeID) map[types.NodeID]string {
+		m := make(map[types.NodeID]string, len(addrs))
+		for k, v := range addrs {
+			m[k] = v
+		}
+		_ = self
+		return m
+	}
+	for i := 0; i < n; i++ {
+		node := types.ReplicaNode(types.ReplicaID(i))
+		tn, err := network.NewTCPNet(node, book(node))
+		if err != nil {
+			t.Fatal(err)
+		}
+		finalNets[i] = tn
+		defer tn.Close()
+		cfg := protocol.Config{
+			ID: types.ReplicaID(i), N: n, F: f, Scheme: crypto.SchemeMAC,
+			BatchSize: 1, BatchLinger: time.Millisecond,
+			Window: 16, CheckpointInterval: 16,
+			ViewTimeout: 500 * time.Millisecond,
+		}
+		r, err := New(cfg, ring, tn, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go r.Run(ctx)
+	}
+	cnet, err := network.NewTCPNet(clientNode, book(clientNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cnet.Close()
+	cl, err := client.New(client.Config{
+		ID: clientID, N: n, F: f, Scheme: crypto.SchemeMAC,
+		Timeout: 500 * time.Millisecond,
+	}, ring, cnet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start(ctx)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("tcp-k%d", i)
+		if _, err := cl.Submit(sctx, writeOp(key, "v")); err != nil {
+			t.Fatalf("submit %d over tcp: %v", i, err)
+		}
+	}
+	res, err := cl.Submit(sctx, []types.Op{{Kind: types.OpRead, Key: "tcp-k4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Values[0]) != "v" {
+		t.Fatalf("read %q over tcp", res.Values[0])
+	}
+}

@@ -1,0 +1,293 @@
+package poe
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/types"
+)
+
+// This file implements the view-change algorithm of §II-C (Fig 5):
+//
+//  1. Failure detection: a replica that suspects the primary (timeout, or
+//     f+1 VC-REQUESTs from others — the join rule) halts the normal-case
+//     algorithm and broadcasts VC-REQUEST(v, E) with its execution summary.
+//  2. New-view proposal: the next primary collects nf valid VC-REQUESTs and
+//     broadcasts them in NV-PROPOSE.
+//  3. Move to the new view: each replica picks the request with the longest
+//     consecutive sequence of executed transactions E′, rolls back any
+//     speculatively executed transactions not in E′, executes the missing
+//     ones, and enters the new view at kmax+1.
+
+// startViewChange halts normal processing and requests a move to target.
+func (r *Replica) startViewChange(target types.View) {
+	if target <= r.view {
+		return
+	}
+	if r.status == statusViewChange && target <= r.vcTarget {
+		return
+	}
+	r.status = statusViewChange
+	r.vcTarget = target
+	r.vcStarted = time.Now()
+	r.vcExecMark = r.rt.Exec.LastExecuted()
+	r.curTimeout *= 2 // exponential backoff (Theorem 7)
+	r.rt.Metrics.ViewChanges.Add(1)
+	if r.sentVC[target] {
+		return
+	}
+	r.sentVC[target] = true
+	stable := r.rt.Exec.StableCheckpointSeq()
+	req := &VCRequest{
+		From:      r.rt.Cfg.ID,
+		View:      target - 1,
+		StableSeq: stable,
+		Executed:  r.rt.Exec.ExecutedSince(stable),
+	}
+	req.Sig = r.rt.Keys.Sign(req.SignedPayload())
+	r.recordVCVote(req)
+	r.rt.Broadcast(req)
+	r.maybeProposeNewView(target)
+}
+
+func (r *Replica) recordVCVote(m *VCRequest) {
+	target := m.View + 1
+	votes, ok := r.vcVotes[target]
+	if !ok {
+		votes = make(map[types.ReplicaID]*VCRequest)
+		r.vcVotes[target] = votes
+	}
+	if _, dup := votes[m.From]; !dup {
+		votes[m.From] = m
+	}
+}
+
+// validateVCRequest checks the signature, the consecutiveness of the
+// execution summary, and every per-entry certificate.
+func (r *Replica) validateVCRequest(m *VCRequest) bool {
+	if m.From < 0 || int(m.From) >= r.rt.Cfg.N {
+		return false
+	}
+	if !r.rt.Keys.VerifyFrom(types.ReplicaNode(m.From), m.SignedPayload(), m.Sig) {
+		return false
+	}
+	next := m.StableSeq + 1
+	for i := range m.Executed {
+		e := &m.Executed[i]
+		if e.Seq != next {
+			return false
+		}
+		next++
+		if e.Digest != e.Batch.Digest() {
+			return false
+		}
+		h := types.ProposalDigest(e.Seq, e.View, e.Digest)
+		if !r.rt.TS.Verify(h[:], e.Proof) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replica) onVCRequest(m *VCRequest) {
+	target := m.View + 1
+	if target <= r.view {
+		// A lagging replica asking for a view we already left (or are in):
+		// if we are the primary that installed it, replay the cached
+		// NV-PROPOSE so the straggler can catch up.
+		if r.lastNV != nil && r.lastNV.NewView >= target && r.rt.Cfg.IsPrimary(r.lastNV.NewView) {
+			r.rt.SendReplica(m.From, r.lastNV)
+		}
+		return
+	}
+	if !r.validateVCRequest(m) {
+		return
+	}
+	r.recordVCVote(m)
+	// Join rule: f+1 distinct requests mean at least one non-faulty replica
+	// detected a failure (Fig 5, Line 8).
+	if len(r.vcVotes[target]) >= r.rt.Cfg.FPlus1() {
+		if r.status == statusNormal || r.vcTarget < target {
+			r.startViewChange(target)
+		}
+	}
+	r.maybeProposeNewView(target)
+}
+
+// maybeProposeNewView broadcasts NV-PROPOSE once this replica is the next
+// primary and holds nf valid view-change requests (Fig 5, Line 18).
+func (r *Replica) maybeProposeNewView(target types.View) {
+	cfg := r.rt.Cfg
+	if !cfg.IsPrimary(target) || r.status != statusViewChange || r.vcTarget != target {
+		return
+	}
+	if r.lastNV != nil && r.lastNV.NewView >= target {
+		return
+	}
+	votes := r.vcVotes[target]
+	if len(votes) < cfg.NF() {
+		return
+	}
+	ids := make([]types.ReplicaID, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nv := &NVPropose{NewView: target}
+	for _, id := range ids[:cfg.NF()] {
+		nv.Requests = append(nv.Requests, *votes[id])
+	}
+	r.lastNV = nv
+	r.rt.Broadcast(nv)
+	r.applyNVPropose(nv)
+}
+
+func (r *Replica) onNVPropose(from types.NodeID, m *NVPropose) {
+	if !from.IsReplica() || from.Replica() != r.rt.Cfg.Primary(m.NewView) {
+		return
+	}
+	if m.NewView < r.view || (m.NewView == r.view && r.status == statusNormal) {
+		return
+	}
+	if !r.validateNVPropose(m) {
+		// An invalid proposal exposes the new primary as faulty: move on
+		// (Fig 5's "otherwise, replicas detect failure of P′").
+		r.startViewChange(m.NewView + 1)
+		return
+	}
+	r.applyNVPropose(m)
+}
+
+// validateNVPropose re-runs the checks the new primary performed when
+// creating the proposal (Fig 5, Line 12).
+func (r *Replica) validateNVPropose(m *NVPropose) bool {
+	if len(m.Requests) < r.rt.Cfg.NF() {
+		return false
+	}
+	seen := make(map[types.ReplicaID]bool, len(m.Requests))
+	for i := range m.Requests {
+		req := &m.Requests[i]
+		if req.View != m.NewView-1 || seen[req.From] {
+			return false
+		}
+		seen[req.From] = true
+		if !r.validateVCRequest(req) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyNVPropose installs the new view: derive E′ (the longest consecutive
+// executed prefix among the nf requests), roll back any divergent or
+// surplus speculative execution, schedule the missing batches, and switch.
+func (r *Replica) applyNVPropose(m *NVPropose) {
+	best := chooseNewViewState(m.Requests)
+	kmax := best.StableSeq + types.SeqNum(len(best.Executed))
+
+	myLast := r.rt.Exec.LastExecuted()
+	rollbackTo := myLast
+	if kmax < rollbackTo {
+		// Surplus speculative suffix that did not make it into the new
+		// view: revert it (Fig 5, Line 14). Proposition 5 guarantees no
+		// client-visible transaction is in this suffix.
+		rollbackTo = kmax
+	}
+	for i := range best.Executed {
+		e := &best.Executed[i]
+		if e.Seq > rollbackTo {
+			break
+		}
+		if rec, ok := r.rt.Exec.Record(e.Seq); ok && rec.Digest != e.Digest {
+			// Divergent speculative execution below kmax; revert from the
+			// first mismatch on.
+			rollbackTo = e.Seq - 1
+			break
+		}
+	}
+	if rollbackTo < myLast {
+		if err := r.rt.Exec.Rollback(rollbackTo); err != nil {
+			// Rolling below a stable checkpoint would mean nf replicas
+			// certified conflicting histories — impossible with n > 3f
+			// honest-majority (Proposition 2); surface the broken invariant.
+			panic(fmt.Sprintf("poe: view change rollback to %d: %v", rollbackTo, err))
+		}
+		r.rt.Metrics.Rollbacks.Add(1)
+	}
+
+	var events [][]protocol.Executed
+	for i := range best.Executed {
+		e := &best.Executed[i]
+		if e.Seq <= r.rt.Exec.LastExecuted() {
+			continue
+		}
+		evs := r.rt.Exec.Commit(e.Seq, e.View, e.Batch, e.Proof)
+		if len(evs) > 0 {
+			events = append(events, evs)
+		}
+	}
+
+	r.enterView(m.NewView, kmax)
+	for _, evs := range events {
+		r.afterExecution(evs)
+	}
+}
+
+// chooseNewViewState picks E′: the request with the longest consecutive
+// sequence of executed transactions; ties break deterministically so every
+// replica derives the same state.
+func chooseNewViewState(reqs []VCRequest) *VCRequest {
+	best := &reqs[0]
+	bestEnd := best.StableSeq + types.SeqNum(len(best.Executed))
+	for i := 1; i < len(reqs); i++ {
+		req := &reqs[i]
+		end := req.StableSeq + types.SeqNum(len(req.Executed))
+		switch {
+		case end > bestEnd:
+			best, bestEnd = req, end
+		case end == bestEnd && req.StableSeq > best.StableSeq:
+			best = req
+		case end == bestEnd && req.StableSeq == best.StableSeq && req.From < best.From:
+			best = req
+		}
+	}
+	return best
+}
+
+// enterView switches to view v with the order finalized through kmax.
+func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
+	r.view = v
+	r.status = statusNormal
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.lastProgress = time.Now()
+	r.slots = make(map[types.SeqNum]*slot)
+	for target := range r.vcVotes {
+		if target <= v {
+			delete(r.vcVotes, target)
+		}
+	}
+	for target := range r.sentVC {
+		if target <= v {
+			delete(r.sentVC, target)
+		}
+	}
+	if r.rt.Cfg.IsPrimary(v) {
+		// The new primary proposes from kmax+1 (Fig 5, §II-C3). Its
+		// batching dedup history is rebuilt from the new-view state, so the
+		// proposed-map is reset and pending requests re-enter the queue.
+		r.nextPropose = kmax + 1
+		r.rt.Batcher.ResetProposed()
+		for _, p := range r.pendingReqs {
+			r.rt.Batcher.Add(p.req)
+		}
+		r.proposeReady(true)
+	} else {
+		// Re-forward outstanding requests to the new primary and keep the
+		// failure-detection timer running.
+		for _, p := range r.pendingReqs {
+			r.rt.Net.Send(types.ReplicaNode(r.rt.Cfg.Primary(v)), &protocol.ForwardRequest{Req: p.req})
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package protocol
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+)
+
+// Broadcast authenticators. Following the paper's ingredient I4 and §II-E,
+// most protocol messages only need MACs: a broadcast message carries a MAC
+// vector with one tag per receiving replica (the classic PBFT authenticator),
+// while under SchemeED it carries a single signature. Under SchemeNone the
+// vector is empty and verification always succeeds.
+//
+// CERTIFY-style messages that carry a threshold certificate need no extra
+// authentication — tampering invalidates the certificate — so protocols skip
+// these helpers for them.
+
+// AuthBroadcast produces the authenticator vector for a broadcast of payload
+// by this replica.
+func (rt *Runtime) AuthBroadcast(payload []byte) [][]byte {
+	switch rt.Cfg.Scheme {
+	case crypto.SchemeNone:
+		return nil
+	case crypto.SchemeED:
+		return [][]byte{rt.Keys.Sign(payload)}
+	default: // SchemeMAC, SchemeTS: MAC vector, one tag per replica
+		vec := make([][]byte, rt.Cfg.N)
+		for i := 0; i < rt.Cfg.N; i++ {
+			if types.ReplicaID(i) == rt.Cfg.ID {
+				continue
+			}
+			vec[i] = rt.Keys.MAC(types.ReplicaNode(types.ReplicaID(i)), payload)
+		}
+		return vec
+	}
+}
+
+// VerifyBroadcast checks the slice of authenticators on a broadcast received
+// from replica from.
+func (rt *Runtime) VerifyBroadcast(from types.ReplicaID, payload []byte, vec [][]byte) bool {
+	if from == rt.Cfg.ID {
+		return true
+	}
+	switch rt.Cfg.Scheme {
+	case crypto.SchemeNone:
+		return true
+	case crypto.SchemeED:
+		return len(vec) == 1 && rt.Keys.VerifyFrom(types.ReplicaNode(from), payload, vec[0])
+	default:
+		i := int(rt.Cfg.ID)
+		return i < len(vec) && rt.Keys.CheckMAC(types.ReplicaNode(from), payload, vec[i])
+	}
+}
+
+// AuthP2P produces the authenticator for a point-to-point message to a
+// replica.
+func (rt *Runtime) AuthP2P(to types.ReplicaID, payload []byte) []byte {
+	switch rt.Cfg.Scheme {
+	case crypto.SchemeNone:
+		return nil
+	case crypto.SchemeED:
+		return rt.Keys.Sign(payload)
+	default:
+		return rt.Keys.MAC(types.ReplicaNode(to), payload)
+	}
+}
+
+// VerifyP2P checks a point-to-point authenticator from replica from.
+func (rt *Runtime) VerifyP2P(from types.ReplicaID, payload, tag []byte) bool {
+	if from == rt.Cfg.ID {
+		return true
+	}
+	switch rt.Cfg.Scheme {
+	case crypto.SchemeNone:
+		return true
+	case crypto.SchemeED:
+		return rt.Keys.VerifyFrom(types.ReplicaNode(from), payload, tag)
+	default:
+		return rt.Keys.CheckMAC(types.ReplicaNode(from), payload, tag)
+	}
+}

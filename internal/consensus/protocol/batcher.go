@@ -1,0 +1,101 @@
+package protocol
+
+import (
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// Batcher is the primary-side batch-creation stage (Fig 6, §III "Batching"):
+// it aggregates incoming client requests into batches of a configured size,
+// deduplicating retransmissions against both the pending queue and the
+// already-proposed history.
+//
+// Batcher is used from a single replica event loop and is not safe for
+// concurrent use.
+type Batcher struct {
+	max         int
+	linger      time.Duration
+	zeroPayload bool
+
+	pending  []types.Request
+	oldest   time.Time
+	proposed map[types.ClientID]uint64
+}
+
+// NewBatcher creates a batcher producing batches of at most max requests.
+// If zeroPayload is set, produced batches carry the zero-payload marker so
+// replicas execute dummy instructions (§IV-E).
+func NewBatcher(max int, linger time.Duration, zeroPayload bool) *Batcher {
+	return &Batcher{
+		max:         max,
+		linger:      linger,
+		zeroPayload: zeroPayload,
+		proposed:    make(map[types.ClientID]uint64),
+	}
+}
+
+// Add queues a client request. It returns true if a full batch is now
+// available. Duplicate requests (client-local sequence number not newer than
+// the last queued or proposed one) are dropped.
+func (b *Batcher) Add(req types.Request) bool {
+	if req.Txn.Seq <= b.proposed[req.Txn.Client] {
+		return len(b.pending) >= b.max
+	}
+	b.proposed[req.Txn.Client] = req.Txn.Seq
+	if len(b.pending) == 0 {
+		b.oldest = time.Now()
+	}
+	b.pending = append(b.pending, req)
+	return len(b.pending) >= b.max
+}
+
+// Pending returns the number of queued requests.
+func (b *Batcher) Pending() int { return len(b.pending) }
+
+// Ripe reports whether a partial batch has lingered long enough to propose.
+func (b *Batcher) Ripe(now time.Time) bool {
+	return len(b.pending) > 0 && now.Sub(b.oldest) >= b.linger
+}
+
+// Take removes and returns the next batch. If force is false, a batch is
+// returned only when full; if force is true, any non-empty pending set is
+// batched. The second return is false when no batch is available.
+func (b *Batcher) Take(force bool) (types.Batch, bool) {
+	if len(b.pending) == 0 {
+		return types.Batch{}, false
+	}
+	if !force && len(b.pending) < b.max {
+		return types.Batch{}, false
+	}
+	n := b.max
+	if n > len(b.pending) {
+		n = len(b.pending)
+	}
+	reqs := make([]types.Request, n)
+	copy(reqs, b.pending[:n])
+	rest := b.pending[n:]
+	b.pending = append(b.pending[:0:0], rest...)
+	if len(b.pending) > 0 {
+		b.oldest = time.Now()
+	}
+	batch := types.Batch{Requests: reqs}
+	if b.zeroPayload {
+		batch.ZeroPayload = true
+		batch.ZeroCount = n
+	}
+	return batch, true
+}
+
+// Forget removes a client's dedup entry (used when a view change discards a
+// proposal so the request can be re-proposed by the next primary).
+func (b *Batcher) Forget(client types.ClientID) {
+	delete(b.proposed, client)
+}
+
+// ResetProposed clears the proposed-history dedup map. A new primary calls
+// this on taking over: its knowledge of what was proposed comes from the
+// new-view state, not from its own batching history.
+func (b *Batcher) ResetProposed() {
+	b.proposed = make(map[types.ClientID]uint64)
+}

@@ -1,0 +1,74 @@
+package protocol
+
+import "fmt"
+
+// CostModel is the analytic comparison behind Fig 1 of the paper: the
+// normal-case cost of one consensus decision with a good primary.
+type CostModel struct {
+	Protocol string
+	// Phases is the number of communication phases per decision.
+	Phases int
+	// Messages returns the number of protocol messages exchanged for one
+	// decision in a system of n replicas.
+	Messages func(n int) int
+	// MessagesExpr is the closed form shown in the paper's table.
+	MessagesExpr string
+	// Resilience is the number of faulty replicas tolerated without
+	// degradation (Zyzzyva and SBFT's fast paths tolerate 0).
+	Resilience func(f int) int
+	// ResilienceExpr is the closed form ("f" or "0").
+	ResilienceExpr string
+	// Requirements summarizes the extra assumptions the protocol makes.
+	Requirements string
+}
+
+// CostModels returns the Fig 1 table rows, in the paper's order.
+func CostModels() []CostModel {
+	id := func(f int) int { return f }
+	zero := func(int) int { return 0 }
+	return []CostModel{
+		{
+			Protocol: "Zyzzyva", Phases: 1,
+			Messages: func(n int) int { return n }, MessagesExpr: "O(n)",
+			Resilience: zero, ResilienceExpr: "0",
+			Requirements: "reliable clients and unsafe",
+		},
+		{
+			Protocol: "PoE", Phases: 3,
+			Messages: func(n int) int { return 3 * n }, MessagesExpr: "O(3n)",
+			Resilience: id, ResilienceExpr: "f",
+			Requirements: "sign. agnostic",
+		},
+		{
+			Protocol: "PBFT", Phases: 3,
+			Messages: func(n int) int { return n + 2*n*n }, MessagesExpr: "O(n+2n^2)",
+			Resilience: id, ResilienceExpr: "f",
+			Requirements: "",
+		},
+		{
+			Protocol: "HotStuff-TS", Phases: 8,
+			Messages: func(n int) int { return 8 * n }, MessagesExpr: "O(8n)",
+			Resilience: id, ResilienceExpr: "f",
+			Requirements: "Sequential Consensuses",
+		},
+		{
+			Protocol: "SBFT", Phases: 5,
+			Messages: func(n int) int { return 5 * n }, MessagesExpr: "O(5n)",
+			Resilience: zero, ResilienceExpr: "0",
+			Requirements: "Twin paths",
+		},
+	}
+}
+
+// FormatCostTable renders the Fig 1 table for a concrete n and f.
+func FormatCostTable(n, f int) string {
+	s := fmt.Sprintf("%-12s %-7s %-14s %-11s %s\n", "Protocol", "Phases", "Messages", "Resilience", "Requirements")
+	for _, m := range CostModels() {
+		s += fmt.Sprintf("%-12s %-7d %-14s %-11s %s\n",
+			m.Protocol, m.Phases,
+			fmt.Sprintf("%s = %d", m.MessagesExpr, m.Messages(n)),
+			fmt.Sprintf("%s = %d", m.ResilienceExpr, m.Resilience(f)),
+			m.Requirements)
+	}
+	return s
+}

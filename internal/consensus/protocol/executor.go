@@ -1,0 +1,287 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/poexec/poe/internal/ledger"
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+// Executor is the execute-stage of the replica pipeline (Fig 6 of the
+// paper): it accepts batches that the protocol has decided (view-committed,
+// prepared, certified — whatever the protocol's rule is) in any order, and
+// executes them strictly in sequence order against the store, appending a
+// block per batch to the ledger.
+//
+// For speculative protocols, Rollback reverts the suffix of executed batches
+// above a sequence number (store undo log + ledger truncation), implementing
+// the paper's ingredient I2.
+//
+// Executor also performs deterministic client-level deduplication: a
+// transaction whose client-local sequence number is not newer than the last
+// executed one from that client is skipped (its ops are not re-applied).
+// Because the skip decision depends only on executed history, all non-faulty
+// replicas skip identically.
+type Executor struct {
+	mu      sync.Mutex
+	kv      *store.KV
+	chain   *ledger.Chain
+	pending map[types.SeqNum]*decided
+	log     map[types.SeqNum]*types.ExecRecord // executed, above the stable checkpoint
+	lastCli map[types.ClientID]uint64
+
+	stable types.SeqNum // last stable checkpoint
+
+	// RetainSlack keeps execution records for this many sequence numbers
+	// below the stable checkpoint so replicas left in the dark can still
+	// catch up via Fetch after the checkpoint stabilized without them.
+	// (Deeper darkness would need snapshot transfer, which real systems
+	// layer on top of checkpoints.)
+	RetainSlack types.SeqNum
+}
+
+// Executed reports one batch execution to the replica, which sends INFORMs,
+// counts throughput, and triggers checkpoints.
+type Executed struct {
+	Rec     *types.ExecRecord
+	Results []types.Result
+}
+
+type decided struct {
+	view  types.View
+	batch types.Batch
+	proof []byte
+}
+
+// NewExecutor creates an executor over a store and ledger.
+func NewExecutor(kv *store.KV, chain *ledger.Chain) *Executor {
+	return &Executor{
+		kv:      kv,
+		chain:   chain,
+		pending: make(map[types.SeqNum]*decided),
+		log:     make(map[types.SeqNum]*types.ExecRecord),
+		lastCli: make(map[types.ClientID]uint64),
+	}
+}
+
+// Store returns the underlying key-value store.
+func (e *Executor) Store() *store.KV { return e.kv }
+
+// Chain returns the underlying ledger.
+func (e *Executor) Chain() *ledger.Chain { return e.chain }
+
+// LastExecuted returns the highest executed sequence number.
+func (e *Executor) LastExecuted() types.SeqNum {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.kv.LastApplied()
+}
+
+// StableCheckpointSeq returns the last stable checkpoint sequence number.
+func (e *Executor) StableCheckpointSeq() types.SeqNum {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stable
+}
+
+// Commit schedules the batch decided for seq in view view. Batches execute
+// as soon as all their predecessors have executed (Fig 3, Line 20). Commit
+// is idempotent: re-deciding an already scheduled or executed sequence
+// number is a no-op. It returns the executions (possibly several, possibly
+// none) this decision unblocked, in order.
+func (e *Executor) Commit(seq types.SeqNum, view types.View, batch types.Batch, proof []byte) []Executed {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seq <= e.kv.LastApplied() {
+		return nil
+	}
+	if _, dup := e.pending[seq]; dup {
+		return nil
+	}
+	e.pending[seq] = &decided{view: view, batch: batch, proof: proof}
+	return e.drainLocked()
+}
+
+// drainLocked executes contiguous pending batches.
+func (e *Executor) drainLocked() []Executed {
+	var events []Executed
+	for {
+		next := e.kv.LastApplied() + 1
+		d, ok := e.pending[next]
+		if !ok {
+			return events
+		}
+		delete(e.pending, next)
+		events = append(events, e.executeLocked(next, d))
+	}
+}
+
+func (e *Executor) executeLocked(seq types.SeqNum, d *decided) Executed {
+	effective := e.dedupLocked(&d.batch)
+	results, err := e.kv.Apply(seq, effective)
+	if err != nil {
+		// Apply can only fail on ordering violations, which drainLocked
+		// rules out; treat as a programming error.
+		panic(fmt.Sprintf("protocol: executor apply seq %d: %v", seq, err))
+	}
+	for i := range effective.Requests {
+		txn := &effective.Requests[i].Txn
+		if txn.Seq > e.lastCli[txn.Client] {
+			e.lastCli[txn.Client] = txn.Seq
+		}
+	}
+	digest := d.batch.Digest()
+	if _, err := e.chain.Append(seq, digest, d.view, d.proof); err != nil {
+		panic(fmt.Sprintf("protocol: ledger append seq %d: %v", seq, err))
+	}
+	rec := &types.ExecRecord{Seq: seq, View: d.view, Digest: digest, Proof: d.proof, Batch: d.batch}
+	e.log[seq] = rec
+	return Executed{Rec: rec, Results: results}
+}
+
+// Gap reports whether decided batches are waiting on missing predecessors:
+// the executor has pending decisions but cannot execute the next sequence
+// number. Replicas use it to trigger state transfer (Fetch).
+func (e *Executor) Gap() (after types.SeqNum, waiting int, gapped bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pending) == 0 {
+		return 0, 0, false
+	}
+	next := e.kv.LastApplied() + 1
+	if _, ok := e.pending[next]; ok {
+		return 0, len(e.pending), false
+	}
+	return e.kv.LastApplied(), len(e.pending), true
+}
+
+// dedupLocked filters out transactions already executed for their client.
+// Zero-payload batches pass through untouched.
+func (e *Executor) dedupLocked(b *types.Batch) *types.Batch {
+	if b.ZeroPayload {
+		return b
+	}
+	keep := -1
+	for i := range b.Requests {
+		if b.Requests[i].Txn.Seq <= e.lastCli[b.Requests[i].Txn.Client] {
+			keep = i
+			break
+		}
+	}
+	if keep == -1 {
+		return b
+	}
+	eff := &types.Batch{Requests: make([]types.Request, 0, len(b.Requests))}
+	for i := range b.Requests {
+		if b.Requests[i].Txn.Seq > e.lastCli[b.Requests[i].Txn.Client] {
+			eff.Requests = append(eff.Requests, b.Requests[i])
+		}
+	}
+	return eff
+}
+
+// AlreadyExecuted reports whether a transaction with the given client-local
+// sequence number (or a newer one from the same client) has executed.
+// Rotating-leader protocols use it to avoid re-proposing satisfied requests.
+func (e *Executor) AlreadyExecuted(client types.ClientID, seq uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return seq <= e.lastCli[client]
+}
+
+// Rollback reverts all executed batches above toSeq and discards pending
+// decisions above it. The deduplication history is rebuilt from the
+// remaining execution log so that rolled-back transactions can execute again.
+func (e *Executor) Rollback(toSeq types.SeqNum) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if toSeq < e.stable {
+		return fmt.Errorf("protocol: rollback to %d below stable checkpoint %d", toSeq, e.stable)
+	}
+	if err := e.kv.Rollback(toSeq); err != nil {
+		return err
+	}
+	if err := e.chain.TruncateAfter(toSeq); err != nil {
+		return err
+	}
+	for seq := range e.pending {
+		if seq > toSeq {
+			delete(e.pending, seq)
+		}
+	}
+	for seq, rec := range e.log {
+		if seq > toSeq {
+			_ = rec
+			delete(e.log, seq)
+		}
+	}
+	// Rebuild client dedup history from scratch: entries from rolled-back
+	// batches must not suppress re-execution.
+	e.lastCli = make(map[types.ClientID]uint64, len(e.lastCli))
+	for _, rec := range e.log {
+		for i := range rec.Batch.Requests {
+			txn := &rec.Batch.Requests[i].Txn
+			if txn.Seq > e.lastCli[txn.Client] {
+				e.lastCli[txn.Client] = txn.Seq
+			}
+		}
+	}
+	return nil
+}
+
+// MarkStable records a stable checkpoint at seq: undo information below it
+// is discarded and the ledger prefix is frozen.
+func (e *Executor) MarkStable(seq types.SeqNum) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seq <= e.stable {
+		return
+	}
+	e.stable = seq
+	e.kv.Checkpoint(seq)
+	e.chain.MarkStable(seq)
+	cut := types.SeqNum(0)
+	if seq > e.RetainSlack {
+		cut = seq - e.RetainSlack
+	}
+	for s := range e.log {
+		if s <= cut {
+			delete(e.log, s)
+		}
+	}
+}
+
+// ExecutedSince returns the executed records with sequence numbers in
+// (after, lastExecuted], in order. Used to build VC-REQUEST messages and to
+// answer Fetch state transfers.
+func (e *Executor) ExecutedSince(after types.SeqNum) []types.ExecRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []types.ExecRecord
+	for seq, rec := range e.log {
+		if seq > after {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Record returns the execution record at seq, if it is still retained.
+func (e *Executor) Record(seq types.SeqNum) (types.ExecRecord, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.log[seq]
+	if !ok {
+		return types.ExecRecord{}, false
+	}
+	return *rec, true
+}
+
+// StateDigest returns the store's state digest (for checkpoints).
+func (e *Executor) StateDigest() types.Digest {
+	return e.kv.StateDigest()
+}

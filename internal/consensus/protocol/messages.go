@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// ClientRequest carries a signed transaction 〈T〉c from a client to a
+// replica. Normally it is sent to the primary; after a client timeout it is
+// broadcast to all replicas, which forward it to the primary and start
+// failure-detection timers (§II-B).
+type ClientRequest struct {
+	Req types.Request
+}
+
+// ForwardRequest is a replica forwarding a client request to the primary
+// after receiving it via client broadcast.
+type ForwardRequest struct {
+	Req types.Request
+}
+
+// Inform tells a client that its transaction executed: the paper's
+// INFORM(D(〈T〉c), v, k, r) message. Clients collect identical Informs from
+// a protocol-specific number of distinct replicas.
+type Inform struct {
+	From      types.ReplicaID
+	Digest    types.Digest // D(〈T〉c)
+	View      types.View
+	Seq       types.SeqNum // global sequence number k
+	ClientSeq uint64       // client-local sequence number of the transaction
+	Values    [][]byte     // execution result r, if any
+	Tag       []byte       // MAC over the reply (replicas answer clients with MACs, §II-E)
+
+	// Speculative marks replies sent before the request's position is
+	// final. Zyzzyva's fast-path replies set this; PoE replies do not
+	// (PoE's reply already carries the proof-of-execution guarantee).
+	Speculative bool
+	// OrderProof is protocol-specific material for the client (Zyzzyva's
+	// history digest; unused by other protocols).
+	OrderProof types.Digest
+	// Share is a transferable signature share over the ordering (Zyzzyva
+	// clients assemble nf of these into a commit certificate; SBFT's
+	// executor puts the aggregated certificate in Cert instead).
+	Share crypto.Share
+	// Cert is an aggregated certificate accompanying the reply (SBFT's
+	// execute-ack path).
+	Cert []byte
+}
+
+// ReplyKey is the portion of an Inform that must match across replicas for
+// a client to count them as identical.
+type ReplyKey struct {
+	Digest    types.Digest
+	Seq       types.SeqNum
+	ClientSeq uint64
+	ValueHash types.Digest
+}
+
+// Key projects an Inform to its comparable core. The view is deliberately
+// not part of the key: after a view change replicas may re-inform in a later
+// view for the same slot.
+func (m *Inform) Key() ReplyKey {
+	h := types.DigestConcat(flatten(m.Values)...)
+	return ReplyKey{Digest: m.Digest, Seq: m.Seq, ClientSeq: m.ClientSeq, ValueHash: h}
+}
+
+func flatten(values [][]byte) [][]byte {
+	if len(values) == 0 {
+		return [][]byte{nil}
+	}
+	return values
+}
+
+// Fetch asks a peer for the executed batches with sequence numbers in
+// (After, After+Max]; used by replicas that were left in the dark to catch
+// up outside the critical path (checkpoint-based state transfer, §II-D).
+type Fetch struct {
+	From  types.ReplicaID
+	After types.SeqNum
+	Max   int
+}
+
+// FetchReply returns executed records. Each record carries the certificate
+// that justified it, so the receiver can validate before applying.
+type FetchReply struct {
+	From    types.ReplicaID
+	Records []types.ExecRecord
+}
+
+// Checkpoint announces that the sender executed every batch up to Seq and
+// has the given state and ledger digests (§II-D). Signed so it can be used
+// as a view-change base.
+type Checkpoint struct {
+	From   types.ReplicaID
+	Seq    types.SeqNum
+	State  types.Digest
+	Ledger types.Digest
+	Sig    []byte
+}
+
+// SignedPayload returns the bytes covered by the checkpoint signature.
+func (c *Checkpoint) SignedPayload() []byte {
+	d := types.DigestConcat(
+		[]byte("checkpoint"),
+		uint64Bytes(uint64(c.From)),
+		uint64Bytes(uint64(c.Seq)),
+		c.State[:],
+		c.Ledger[:],
+	)
+	return d[:]
+}
+
+func uint64Bytes(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+func init() {
+	network.Register(&ClientRequest{})
+	network.Register(&ForwardRequest{})
+	network.Register(&Inform{})
+	network.Register(&Fetch{})
+	network.Register(&FetchReply{})
+	network.Register(&Checkpoint{})
+}

@@ -1,0 +1,37 @@
+package protocol
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects replica-side counters. All fields are safe for concurrent
+// use; the harness samples them while the replica runs (Fig 10's throughput
+// timeline is built by periodic sampling of ExecutedTxns).
+type Metrics struct {
+	ExecutedTxns    atomic.Int64
+	ExecutedBatches atomic.Int64
+	ProposedBatches atomic.Int64
+	MessagesIn      atomic.Int64
+	ViewChanges     atomic.Int64
+	Rollbacks       atomic.Int64
+	Checkpoints     atomic.Int64
+
+	startNanos atomic.Int64
+}
+
+// Start records the measurement start time.
+func (m *Metrics) Start() { m.startNanos.Store(time.Now().UnixNano()) }
+
+// Throughput returns executed transactions per second since Start.
+func (m *Metrics) Throughput() float64 {
+	start := m.startNanos.Load()
+	if start == 0 {
+		return 0
+	}
+	elapsed := time.Since(time.Unix(0, start)).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.ExecutedTxns.Load()) / elapsed
+}

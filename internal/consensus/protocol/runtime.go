@@ -1,0 +1,221 @@
+package protocol
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/ledger"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+// Runtime bundles the pieces every protocol replica needs: configuration,
+// keys, transport, the ordered executor, the primary-side batcher, metrics,
+// the reply cache, and the shared checkpoint sub-protocol. It corresponds to
+// the per-replica fabric of §III that all five protocols are implemented on.
+type Runtime struct {
+	Cfg     Config
+	Ring    *crypto.KeyRing
+	Keys    *crypto.NodeKeys
+	TS      crypto.ThresholdScheme
+	Net     network.Transport
+	Exec    *Executor
+	Batcher *Batcher
+	Metrics *Metrics
+
+	// lastReply caches the most recent Inform per client so duplicates can
+	// be answered without re-execution.
+	lastReply map[types.ClientID]*Inform
+
+	// checkpoint vote bookkeeping
+	cpVotes map[types.SeqNum]map[types.ReplicaID]types.Digest
+}
+
+// RuntimeOptions tune runtime construction.
+type RuntimeOptions struct {
+	// ZeroPayload puts the batcher in zero-payload mode.
+	ZeroPayload bool
+	// InitialTable pre-loads the store (identical on every replica).
+	InitialTable map[string][]byte
+}
+
+// NewRuntime builds a runtime for one replica.
+func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts RuntimeOptions) *Runtime {
+	cfg = cfg.WithDefaults()
+	kv := store.New()
+	if opts.InitialTable != nil {
+		kv.Load(opts.InitialTable)
+	}
+	chain := ledger.NewChain(cfg.Primary(0))
+	rt := &Runtime{
+		Cfg:  cfg,
+		Ring: ring,
+		Keys: ring.NodeKeys(types.ReplicaNode(cfg.ID)),
+		// The threshold scheme follows the authentication scheme: the
+		// asymmetric schemes get unforgeable Ed25519 aggregation (the
+		// paper's BLS role), the symmetric/none schemes get the cheap
+		// HMAC construction.
+		TS: crypto.NewThresholdScheme(ring, cfg.ID, cfg.NF(),
+			cfg.Scheme == crypto.SchemeTS || cfg.Scheme == crypto.SchemeED),
+		Net:       net,
+		Exec:      NewExecutor(kv, chain),
+		Batcher:   NewBatcher(cfg.BatchSize, cfg.BatchLinger, opts.ZeroPayload),
+		Metrics:   &Metrics{},
+		lastReply: make(map[types.ClientID]*Inform),
+		cpVotes:   make(map[types.SeqNum]map[types.ReplicaID]types.Digest),
+	}
+	// Keep enough history beyond the stable checkpoint to serve state
+	// transfer to replicas a malicious primary kept in the dark.
+	rt.Exec.RetainSlack = 2 * cfg.CheckpointInterval
+	return rt
+}
+
+// Broadcast sends msg to every replica except this one.
+func (rt *Runtime) Broadcast(msg any) {
+	network.Broadcast(rt.Net, rt.Cfg.N, msg, true)
+}
+
+// SendReplica sends msg to one replica.
+func (rt *Runtime) SendReplica(to types.ReplicaID, msg any) {
+	rt.Net.Send(types.ReplicaNode(to), msg)
+}
+
+// Inform sends the execution result for one transaction to its client and
+// caches it for duplicate suppression. The reply carries a MAC: per §II-E
+// replicas answer clients with cheap MACs rather than signatures.
+func (rt *Runtime) Inform(view types.View, seq types.SeqNum, req *types.Request, res types.Result, speculative bool, orderProof types.Digest) {
+	client := req.Txn.Client
+	msg := &Inform{
+		From:        rt.Cfg.ID,
+		Digest:      req.Digest(),
+		View:        view,
+		Seq:         seq,
+		ClientSeq:   req.Txn.Seq,
+		Values:      res.Values,
+		Speculative: speculative,
+		OrderProof:  orderProof,
+	}
+	key := msg.Key()
+	msg.Tag = rt.Keys.MAC(types.ClientNode(client), key.Digest[:])
+	rt.lastReply[client] = msg
+	rt.Net.Send(types.ClientNode(client), msg)
+}
+
+// ReplayReply re-sends the cached reply for a duplicate request, if any.
+// It returns true when a cached reply existed.
+func (rt *Runtime) ReplayReply(req *types.Request) bool {
+	last, ok := rt.lastReply[req.Txn.Client]
+	if !ok || last.ClientSeq != req.Txn.Seq {
+		return false
+	}
+	rt.Net.Send(types.ClientNode(req.Txn.Client), last)
+	return true
+}
+
+// InformBatch sends INFORMs for every result of an executed batch.
+func (rt *Runtime) InformBatch(rec *types.ExecRecord, results []types.Result, speculative bool, orderProof types.Digest) {
+	// Results are produced in batch order for the deduplicated effective
+	// batch; match them to requests by (client, seq).
+	byKey := make(map[types.ClientID]map[uint64]types.Result, len(results))
+	for _, r := range results {
+		inner, ok := byKey[r.Client]
+		if !ok {
+			inner = make(map[uint64]types.Result)
+			byKey[r.Client] = inner
+		}
+		inner[r.Seq] = r
+	}
+	for i := range rec.Batch.Requests {
+		req := &rec.Batch.Requests[i]
+		res, ok := byKey[req.Txn.Client][req.Txn.Seq]
+		if !ok {
+			// Deduplicated away: answer from the reply cache instead.
+			rt.ReplayReply(req)
+			continue
+		}
+		rt.Inform(rec.View, rec.Seq, req, res, speculative, orderProof)
+	}
+}
+
+// VerifyClientRequest checks the client's signature on a request. With
+// SchemeNone all authentication is disabled (Fig 8's "None" column).
+func (rt *Runtime) VerifyClientRequest(req *types.Request) bool {
+	if rt.Cfg.Scheme == crypto.SchemeNone {
+		return true
+	}
+	d := req.Digest()
+	return rt.Keys.VerifyFrom(types.ClientNode(req.Txn.Client), d[:], req.Sig)
+}
+
+// HandleFetch answers a state-transfer request with retained records.
+func (rt *Runtime) HandleFetch(f *Fetch) {
+	recs := rt.Exec.ExecutedSince(f.After)
+	if f.Max > 0 && len(recs) > f.Max {
+		recs = recs[:f.Max]
+	}
+	if len(recs) == 0 {
+		return
+	}
+	rt.SendReplica(f.From, &FetchReply{From: rt.Cfg.ID, Records: recs})
+}
+
+// --- checkpoint sub-protocol (§II-D) ---
+
+// MaybeCheckpoint is called after executing seq; when seq crosses a
+// checkpoint boundary the replica broadcasts a signed Checkpoint message.
+func (rt *Runtime) MaybeCheckpoint(seq types.SeqNum) {
+	if seq == 0 || seq%rt.Cfg.CheckpointInterval != 0 {
+		return
+	}
+	cp := &Checkpoint{
+		From:   rt.Cfg.ID,
+		Seq:    seq,
+		State:  rt.Exec.StateDigest(),
+		Ledger: headHash(rt.Exec.Chain()),
+	}
+	cp.Sig = rt.Keys.Sign(cp.SignedPayload())
+	rt.OnCheckpoint(cp) // count own vote
+	rt.Broadcast(cp)
+}
+
+// OnCheckpoint records a checkpoint vote. When nf distinct replicas vote the
+// same digests for a sequence number at or above the current stable
+// checkpoint, that checkpoint becomes stable. It returns the new stable
+// sequence number and true on the transition.
+func (rt *Runtime) OnCheckpoint(cp *Checkpoint) (types.SeqNum, bool) {
+	if cp.From != rt.Cfg.ID && !rt.Keys.VerifyFrom(types.ReplicaNode(cp.From), cp.SignedPayload(), cp.Sig) {
+		return 0, false
+	}
+	if cp.Seq <= rt.Exec.StableCheckpointSeq() {
+		return 0, false
+	}
+	votes, ok := rt.cpVotes[cp.Seq]
+	if !ok {
+		votes = make(map[types.ReplicaID]types.Digest)
+		rt.cpVotes[cp.Seq] = votes
+	}
+	votes[cp.From] = types.DigestConcat(cp.State[:], cp.Ledger[:])
+	// Count the plurality digest; non-faulty replicas agree, so requiring
+	// nf matching votes tolerates f liars.
+	counts := make(map[types.Digest]int, len(votes))
+	for _, d := range votes {
+		counts[d]++
+	}
+	for _, c := range counts {
+		if c >= rt.Cfg.NF() {
+			rt.Exec.MarkStable(cp.Seq)
+			rt.Metrics.Checkpoints.Add(1)
+			for s := range rt.cpVotes {
+				if s <= cp.Seq {
+					delete(rt.cpVotes, s)
+				}
+			}
+			return cp.Seq, true
+		}
+	}
+	return 0, false
+}
+
+func headHash(c *ledger.Chain) types.Digest {
+	head := c.Head()
+	return head.Hash()
+}

@@ -1,0 +1,804 @@
+// Package sbft implements SBFT (Gueta et al., DSN'19) as evaluated in the
+// paper (§IV-A): a linearized, threshold-signature-based protocol with five
+// linear phases and designated collector and executor roles.
+//
+// Normal case:
+//
+//  1. PRE-PREPARE: the primary proposes a batch.
+//  2. SIGN-SHARE: every replica sends a signature share to the collector.
+//  3. FULL-COMMIT-PROOF: the collector distributes the combined certificate.
+//     The fast path requires shares from ALL n replicas; if any share is
+//     missing when the collector's timer fires, the slow path inserts two
+//     additional linear phases (PREPARE2 / SHARE2) before the proof goes
+//     out — this timer-driven fallback is why a single crashed backup
+//     degrades SBFT in the paper's Fig 9(a).
+//  4. SIGN-STATE: replicas execute the committed batch and send a share over
+//     the resulting ledger position to the executor.
+//  5. EXECUTE-ACK: the executor combines nf shares and sends the aggregated
+//     certificate with the results to the clients and all replicas, sparing
+//     clients the need to collect reply quorums (what PoE's ingredient I4
+//     deliberately avoids paying for).
+//
+// The executor waits for nf (rather than f+1) state shares so that a
+// client-visible execution implies f+1 non-faulty replicas hold the commit
+// certificate, which makes the PoE-style longest-certified-prefix view
+// change safe (see DESIGN.md §3).
+package sbft
+
+import (
+	"context"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/ledger"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// PrePrepare is the primary's proposal.
+type PrePrepare struct {
+	View  types.View
+	Seq   types.SeqNum
+	Batch types.Batch
+	Auth  [][]byte
+}
+
+// SignedPayload returns the bytes covered by the authenticator.
+func (m *PrePrepare) SignedPayload() []byte {
+	bd := m.Batch.Digest()
+	d := types.ProposalDigest(m.Seq, m.View, bd)
+	return d[:]
+}
+
+// SignShare carries a replica's signature share to the collector.
+type SignShare struct {
+	View  types.View
+	Seq   types.SeqNum
+	Share crypto.Share
+}
+
+// Prepare2 opens the slow path: the collector distributes the nf-share
+// certificate it has and asks for second-round shares.
+type Prepare2 struct {
+	View   types.View
+	Seq    types.SeqNum
+	Digest types.Digest
+	Cert   []byte
+}
+
+// Share2 is the second-round share of the slow path.
+type Share2 struct {
+	View  types.View
+	Seq   types.SeqNum
+	Share crypto.Share
+}
+
+// FullCommitProof distributes the commit certificate; replicas execute on
+// receiving it.
+type FullCommitProof struct {
+	View   types.View
+	Seq    types.SeqNum
+	Digest types.Digest // h
+	Cert   []byte
+}
+
+// SignState carries a replica's post-execution share to the executor.
+type SignState struct {
+	View  types.View
+	Seq   types.SeqNum
+	Share crypto.Share
+}
+
+// ExecuteAck is the executor's aggregated acknowledgement, broadcast to
+// replicas; clients receive the same certificate inside their Inform.Cert.
+type ExecuteAck struct {
+	View types.View
+	Seq  types.SeqNum
+	Head types.Digest // ledger block hash at Seq
+	Cert []byte
+}
+
+// ExecPayload is the payload state shares sign: position + ledger block
+// hash, which transitively binds the whole executed prefix. Exported so
+// clients can verify Inform.Cert.
+func ExecPayload(seq types.SeqNum, head types.Digest) []byte {
+	d := types.DigestConcat([]byte("sbft-exec"), u64(uint64(seq)), head[:])
+	return d[:]
+}
+
+// VCRequest and NVPropose mirror PoE's view change; entries carry
+// full-commit certificates.
+type VCRequest struct {
+	From      types.ReplicaID
+	View      types.View
+	StableSeq types.SeqNum
+	Executed  []types.ExecRecord
+	Sig       []byte
+}
+
+// SignedPayload returns the bytes covered by the view-change signature.
+func (m *VCRequest) SignedPayload() []byte {
+	parts := [][]byte{[]byte("sbft-vc"), u64(uint64(m.From)), u64(uint64(m.View)), u64(uint64(m.StableSeq))}
+	for i := range m.Executed {
+		e := &m.Executed[i]
+		parts = append(parts, u64(uint64(e.Seq)), u64(uint64(e.View)), e.Digest[:], e.Proof)
+	}
+	d := types.DigestConcat(parts...)
+	return d[:]
+}
+
+// NVPropose is the new primary's new-view message.
+type NVPropose struct {
+	NewView  types.View
+	Requests []VCRequest
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+func init() {
+	network.Register(&PrePrepare{})
+	network.Register(&SignShare{})
+	network.Register(&Prepare2{})
+	network.Register(&Share2{})
+	network.Register(&FullCommitProof{})
+	network.Register(&SignState{})
+	network.Register(&ExecuteAck{})
+	network.Register(&VCRequest{})
+	network.Register(&NVPropose{})
+}
+
+// Collector returns the collector replica of view v (the primary, per the
+// paper's note that the primary can play both roles).
+func Collector(cfg protocol.Config, v types.View) types.ReplicaID { return cfg.Primary(v) }
+
+// Executor returns the executor replica of view v: the replica after the
+// primary, so the two roles are distinct (as SBFT suggests for the fast
+// path).
+func Executor(cfg protocol.Config, v types.View) types.ReplicaID {
+	return types.ReplicaID((uint64(v) + 1) % uint64(cfg.N))
+}
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+// Options configure an SBFT replica.
+type Options struct {
+	protocol.RuntimeOptions
+	Tick time.Duration
+	// CollectorTimeout is how long the collector waits for all n shares
+	// before falling back to the slow path (the paper's replica-side
+	// timeout, chosen small in §IV-D).
+	CollectorTimeout time.Duration
+}
+
+// Replica is one SBFT replica.
+type Replica struct {
+	rt *protocol.Runtime
+
+	view        types.View
+	status      status
+	nextPropose types.SeqNum
+	slots       map[types.SeqNum]*slot
+
+	pendingReqs  map[types.Digest]pendingReq
+	lastProgress time.Time
+	curTimeout   time.Duration
+
+	vcTarget  types.View
+	vcStarted time.Time
+	vcVotes   map[types.View]map[types.ReplicaID]*VCRequest
+	sentVC    map[types.View]bool
+	lastNV    *NVPropose
+
+	tick        time.Duration
+	collTimeout time.Duration
+}
+
+type slot struct {
+	view       types.View
+	haveBatch  bool
+	batch      types.Batch
+	digest     types.Digest // h
+	shares     map[types.ReplicaID]crypto.Share
+	firstShare time.Time
+	slowPath   bool
+	shares2    map[types.ReplicaID]crypto.Share
+	proofSent  bool
+	committed  bool
+	// executor-side
+	stateShares map[types.ReplicaID]crypto.Share
+	ackSent     bool
+	execHead    types.Digest
+	results     []types.Result
+	rec         *types.ExecRecord
+}
+
+type pendingReq struct {
+	req   types.Request
+	since time.Time
+}
+
+// New creates an SBFT replica.
+func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts Options) (*Replica, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := protocol.NewRuntime(cfg, ring, net, opts.RuntimeOptions)
+	tick := opts.Tick
+	if tick == 0 {
+		// The tick drives both failure detection (needs ≲ ViewTimeout/4)
+		// and batch-linger flushing (needs milliseconds).
+		tick = cfg.ViewTimeout / 4
+		if tick > 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+	}
+	ct := opts.CollectorTimeout
+	if ct == 0 {
+		ct = 50 * time.Millisecond
+	}
+	if tick > ct/2 {
+		tick = ct / 2
+	}
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &Replica{
+		rt:           rt,
+		nextPropose:  1,
+		slots:        make(map[types.SeqNum]*slot),
+		pendingReqs:  make(map[types.Digest]pendingReq),
+		lastProgress: time.Now(),
+		curTimeout:   cfg.ViewTimeout,
+		vcVotes:      make(map[types.View]map[types.ReplicaID]*VCRequest),
+		sentVC:       make(map[types.View]bool),
+		tick:         tick,
+		collTimeout:  ct,
+	}, nil
+}
+
+// Runtime exposes the replica runtime.
+func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
+
+// View returns the current view (racy while running; for tests).
+func (r *Replica) View() types.View { return r.view }
+
+// Run processes messages until ctx is cancelled.
+func (r *Replica) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	inbox := r.rt.Net.Inbox()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.rt.Metrics.MessagesIn.Add(1)
+			r.dispatch(env)
+		case <-ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+func (r *Replica) dispatch(env network.Envelope) {
+	switch m := env.Msg.(type) {
+	case *protocol.ClientRequest:
+		r.onClientRequest(env.From, &m.Req)
+	case *protocol.ForwardRequest:
+		r.onForwardRequest(&m.Req)
+	case *PrePrepare:
+		if env.From.IsReplica() {
+			r.handlePrePrepare(env.From.Replica(), m)
+		}
+	case *SignShare:
+		if env.From.IsReplica() {
+			r.onSignShare(env.From.Replica(), m)
+		}
+	case *Prepare2:
+		if env.From.IsReplica() {
+			r.onPrepare2(env.From.Replica(), m)
+		}
+	case *Share2:
+		if env.From.IsReplica() {
+			r.onShare2(env.From.Replica(), m)
+		}
+	case *FullCommitProof:
+		r.onFullCommitProof(m)
+	case *SignState:
+		if env.From.IsReplica() {
+			r.onSignState(env.From.Replica(), m)
+		}
+	case *ExecuteAck:
+		// Replicas learn the execution is client-visible; nothing further
+		// to do in this implementation (the record is already durable).
+	case *protocol.Checkpoint:
+		r.rt.OnCheckpoint(m)
+	case *protocol.Fetch:
+		r.rt.HandleFetch(m)
+	case *protocol.FetchReply:
+		r.onFetchReply(m)
+	case *VCRequest:
+		r.onVCRequest(m)
+	case *NVPropose:
+		if env.From.IsReplica() {
+			r.onNVPropose(env.From.Replica(), m)
+		}
+	}
+}
+
+func (r *Replica) isPrimary() bool   { return r.rt.Cfg.IsPrimary(r.view) }
+func (r *Replica) isCollector() bool { return Collector(r.rt.Cfg, r.view) == r.rt.Cfg.ID }
+func (r *Replica) isExecutor() bool  { return Executor(r.rt.Cfg, r.view) == r.rt.Cfg.ID }
+
+// --- client requests ---
+
+func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
+	if !from.IsClient() || req.Txn.Client != from.Client() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+		return
+	}
+	if r.status != statusNormal {
+		r.trackPending(req)
+		return
+	}
+	if r.isPrimary() {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	r.trackPending(req)
+	r.rt.SendReplica(r.rt.Cfg.Primary(r.view), &protocol.ForwardRequest{Req: *req})
+}
+
+func (r *Replica) onForwardRequest(req *types.Request) {
+	if r.status != statusNormal || !r.isPrimary() {
+		return
+	}
+	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+		return
+	}
+	r.rt.Batcher.Add(*req)
+	r.proposeReady(false)
+}
+
+func (r *Replica) trackPending(req *types.Request) {
+	d := req.Digest()
+	if _, ok := r.pendingReqs[d]; !ok {
+		r.pendingReqs[d] = pendingReq{req: *req, since: time.Now()}
+	}
+}
+
+// --- normal case ---
+
+func (r *Replica) proposeReady(force bool) {
+	if !r.isPrimary() || r.status != statusNormal {
+		return
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	for r.nextPropose <= lastExec+types.SeqNum(r.rt.Cfg.Window) {
+		batch, ok := r.rt.Batcher.Take(force)
+		if !ok {
+			return
+		}
+		seq := r.nextPropose
+		r.nextPropose++
+		m := &PrePrepare{View: r.view, Seq: seq, Batch: batch}
+		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
+		r.rt.Metrics.ProposedBatches.Add(1)
+		r.rt.Broadcast(m)
+		r.handlePrePrepare(r.rt.Cfg.ID, m)
+	}
+}
+
+func (r *Replica) slot(seq types.SeqNum) *slot {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &slot{
+			shares:      make(map[types.ReplicaID]crypto.Share),
+			shares2:     make(map[types.ReplicaID]crypto.Share),
+			stateShares: make(map[types.ReplicaID]crypto.Share),
+		}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
+	cfg := r.rt.Cfg
+	if r.status != statusNormal || m.View != r.view || from != cfg.Primary(r.view) {
+		return
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	if m.Seq <= lastExec || m.Seq > lastExec+types.SeqNum(8*cfg.Window) {
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.haveBatch {
+		return
+	}
+	if from != cfg.ID {
+		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
+			return
+		}
+		for i := range m.Batch.Requests {
+			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
+				return
+			}
+		}
+	}
+	s.view = m.View
+	s.haveBatch = true
+	s.batch = m.Batch
+	s.digest = types.ProposalDigest(m.Seq, m.View, m.Batch.Digest())
+	share := r.rt.TS.Share(s.digest[:])
+	ss := &SignShare{View: m.View, Seq: m.Seq, Share: share}
+	if r.isCollector() {
+		r.addSignShare(cfg.ID, ss, s)
+	} else {
+		r.rt.SendReplica(Collector(cfg, r.view), ss)
+	}
+}
+
+func (r *Replica) onSignShare(from types.ReplicaID, m *SignShare) {
+	if r.status != statusNormal || m.View != r.view || !r.isCollector() || m.Share.Signer != from {
+		return
+	}
+	s, ok := r.slots[m.Seq]
+	if !ok || !s.haveBatch || s.proofSent {
+		return
+	}
+	r.addSignShare(from, m, s)
+}
+
+func (r *Replica) addSignShare(from types.ReplicaID, m *SignShare, s *slot) {
+	if s.proofSent || s.slowPath {
+		return
+	}
+	if _, dup := s.shares[from]; dup {
+		return
+	}
+	if !r.rt.TS.VerifyShare(s.digest[:], m.Share) {
+		return
+	}
+	if len(s.shares) == 0 {
+		s.firstShare = time.Now()
+	}
+	s.shares[from] = m.Share
+	// Fast path: all n replicas answered.
+	if len(s.shares) == r.rt.Cfg.N {
+		r.sendProof(m.Seq, s)
+	}
+}
+
+// sendProof combines the collected shares and distributes the full commit
+// proof.
+func (r *Replica) sendProof(seq types.SeqNum, s *slot) {
+	shares := make([]crypto.Share, 0, len(s.shares))
+	for _, sh := range s.shares {
+		shares = append(shares, sh)
+	}
+	cert, err := r.rt.TS.Combine(s.digest[:], shares)
+	if err != nil {
+		return
+	}
+	s.proofSent = true
+	proof := &FullCommitProof{View: s.view, Seq: seq, Digest: s.digest, Cert: cert}
+	r.rt.Broadcast(proof)
+	r.commit(seq, s, cert)
+}
+
+// startSlowPath runs the two extra linear phases after the collector's
+// timer fires with at least nf (but not all n) shares.
+func (r *Replica) startSlowPath(seq types.SeqNum, s *slot) {
+	shares := make([]crypto.Share, 0, len(s.shares))
+	for _, sh := range s.shares {
+		shares = append(shares, sh)
+	}
+	cert, err := r.rt.TS.Combine(s.digest[:], shares)
+	if err != nil {
+		return
+	}
+	s.slowPath = true
+	p2 := &Prepare2{View: s.view, Seq: seq, Digest: s.digest, Cert: cert}
+	r.rt.Broadcast(p2)
+	r.onPrepare2(r.rt.Cfg.ID, p2)
+}
+
+func share2Digest(h types.Digest) types.Digest {
+	return types.DigestConcat([]byte("sbft-share2"), h[:])
+}
+
+func (r *Replica) onPrepare2(from types.ReplicaID, m *Prepare2) {
+	if r.status != statusNormal || m.View != r.view || from != Collector(r.rt.Cfg, r.view) {
+		return
+	}
+	s := r.slot(m.Seq)
+	if !s.haveBatch || s.digest != m.Digest || !r.rt.TS.Verify(m.Digest[:], m.Cert) {
+		return
+	}
+	d2 := share2Digest(s.digest)
+	sh := &Share2{View: m.View, Seq: m.Seq, Share: r.rt.TS.Share(d2[:])}
+	if r.isCollector() {
+		r.addShare2(r.rt.Cfg.ID, sh, s)
+	} else {
+		r.rt.SendReplica(Collector(r.rt.Cfg, r.view), sh)
+	}
+}
+
+func (r *Replica) onShare2(from types.ReplicaID, m *Share2) {
+	if r.status != statusNormal || m.View != r.view || !r.isCollector() || m.Share.Signer != from {
+		return
+	}
+	s, ok := r.slots[m.Seq]
+	if !ok || !s.haveBatch || s.proofSent {
+		return
+	}
+	r.addShare2(from, m, s)
+}
+
+func (r *Replica) addShare2(from types.ReplicaID, m *Share2, s *slot) {
+	if s.proofSent {
+		return
+	}
+	if _, dup := s.shares2[from]; dup {
+		return
+	}
+	d2 := share2Digest(s.digest)
+	if !r.rt.TS.VerifyShare(d2[:], m.Share) {
+		return
+	}
+	s.shares2[from] = m.Share
+	if len(s.shares2) < r.rt.Cfg.NF() {
+		return
+	}
+	// The slow path completed; the proof carries the first-round cert (the
+	// second round's cert proves liveness of the fallback quorum, and both
+	// commit the same digest).
+	shares := make([]crypto.Share, 0, len(s.shares))
+	for _, sh := range s.shares {
+		shares = append(shares, sh)
+	}
+	cert, err := r.rt.TS.Combine(s.digest[:], shares)
+	if err != nil {
+		return
+	}
+	s.proofSent = true
+	proof := &FullCommitProof{View: s.view, Seq: m.Seq, Digest: s.digest, Cert: cert}
+	r.rt.Broadcast(proof)
+	r.commit(m.Seq, s, cert)
+}
+
+func (r *Replica) onFullCommitProof(m *FullCommitProof) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.committed || !s.haveBatch {
+		return
+	}
+	if s.digest != m.Digest || !r.rt.TS.Verify(m.Digest[:], m.Cert) {
+		return
+	}
+	r.commit(m.Seq, s, m.Cert)
+}
+
+// commit schedules execution; after executing, replicas send SIGN-STATE to
+// the executor (phase 4).
+func (r *Replica) commit(seq types.SeqNum, s *slot, cert []byte) {
+	if s.committed {
+		return
+	}
+	s.committed = true
+	r.lastProgress = time.Now()
+	events := r.rt.Exec.Commit(seq, s.view, s.batch, cert)
+	r.afterExecution(events)
+}
+
+func (r *Replica) afterExecution(events []protocol.Executed) {
+	if len(events) == 0 {
+		return
+	}
+	exec := Executor(r.rt.Cfg, r.view)
+	for _, ev := range events {
+		r.lastProgress = time.Now()
+		r.rt.Metrics.ExecutedBatches.Add(1)
+		r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
+		for i := range ev.Rec.Batch.Requests {
+			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
+		}
+		head, _ := r.rt.Exec.Chain().Get(ev.Rec.Seq)
+		headHash := blockHash(head)
+		share := r.rt.TS.Share(ExecPayload(ev.Rec.Seq, headHash))
+		ss := &SignState{View: r.view, Seq: ev.Rec.Seq, Share: share}
+		if exec == r.rt.Cfg.ID {
+			r.noteExecution(ev, headHash)
+			r.addSignState(r.rt.Cfg.ID, ss)
+		} else {
+			r.noteExecution(ev, headHash)
+			r.rt.SendReplica(exec, ss)
+		}
+		r.rt.MaybeCheckpoint(ev.Rec.Seq)
+	}
+	r.proposeReady(false)
+}
+
+// noteExecution retains the executor-side context needed to answer clients
+// once the state certificate forms.
+func (r *Replica) noteExecution(ev protocol.Executed, headHash types.Digest) {
+	s := r.slot(ev.Rec.Seq)
+	s.execHead = headHash
+	s.results = ev.Results
+	s.rec = ev.Rec
+}
+
+func (r *Replica) onSignState(from types.ReplicaID, m *SignState) {
+	if r.status != statusNormal || m.View != r.view || !r.isExecutor() || m.Share.Signer != from {
+		return
+	}
+	r.addSignState(from, m)
+}
+
+func (r *Replica) addSignState(from types.ReplicaID, m *SignState) {
+	s := r.slot(m.Seq)
+	if s.ackSent {
+		return
+	}
+	if _, dup := s.stateShares[from]; dup {
+		return
+	}
+	s.stateShares[from] = m.Share
+	r.tryAck(m.Seq, s)
+}
+
+// tryAck fires once the executor has executed seq itself and holds nf state
+// shares: phase 5, EXECUTE-ACK to replicas and the aggregated reply to
+// clients.
+func (r *Replica) tryAck(seq types.SeqNum, s *slot) {
+	if s.ackSent || s.rec == nil || len(s.stateShares) < r.rt.Cfg.NF() {
+		return
+	}
+	payload := ExecPayload(seq, s.execHead)
+	shares := make([]crypto.Share, 0, len(s.stateShares))
+	for id, sh := range s.stateShares {
+		if r.rt.TS.VerifyShare(payload, sh) {
+			shares = append(shares, sh)
+		} else {
+			delete(s.stateShares, id)
+		}
+	}
+	if len(shares) < r.rt.Cfg.NF() {
+		return
+	}
+	cert, err := r.rt.TS.Combine(payload, shares)
+	if err != nil {
+		return
+	}
+	s.ackSent = true
+	r.rt.Broadcast(&ExecuteAck{View: r.view, Seq: seq, Head: s.execHead, Cert: cert})
+	// Aggregated replies to the clients: one message each, carrying the
+	// certificate (the paper's executor role).
+	r.informClients(s, cert)
+	delete(r.slots, seq)
+}
+
+func (r *Replica) informClients(s *slot, cert []byte) {
+	byKey := make(map[types.ClientID]map[uint64]types.Result, len(s.results))
+	for _, res := range s.results {
+		inner, ok := byKey[res.Client]
+		if !ok {
+			inner = make(map[uint64]types.Result)
+			byKey[res.Client] = inner
+		}
+		inner[res.Seq] = res
+	}
+	for i := range s.rec.Batch.Requests {
+		req := &s.rec.Batch.Requests[i]
+		res, ok := byKey[req.Txn.Client][req.Txn.Seq]
+		if !ok {
+			r.rt.ReplayReply(req)
+			continue
+		}
+		msg := &protocol.Inform{
+			From:       r.rt.Cfg.ID,
+			Digest:     req.Digest(),
+			View:       s.rec.View,
+			Seq:        s.rec.Seq,
+			ClientSeq:  req.Txn.Seq,
+			Values:     res.Values,
+			OrderProof: s.execHead,
+			Cert:       cert,
+		}
+		key := msg.Key()
+		msg.Tag = r.rt.Keys.MAC(types.ClientNode(req.Txn.Client), key.Digest[:])
+		r.rt.Net.Send(types.ClientNode(req.Txn.Client), msg)
+	}
+}
+
+// --- housekeeping ---
+
+func (r *Replica) onTick() {
+	now := time.Now()
+	switch r.status {
+	case statusNormal:
+		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
+			r.proposeReady(true)
+		}
+		if r.isCollector() {
+			r.checkCollectorTimeouts(now)
+		}
+		if r.suspect(now) {
+			r.startViewChange(r.view + 1)
+		}
+	case statusViewChange:
+		if now.Sub(r.vcStarted) > r.curTimeout {
+			r.startViewChange(r.vcTarget + 1)
+		}
+	}
+}
+
+// checkCollectorTimeouts moves stalled fast-path slots to the slow path.
+func (r *Replica) checkCollectorTimeouts(now time.Time) {
+	for seq, s := range r.slots {
+		if s.proofSent || s.slowPath || len(s.shares) == 0 {
+			continue
+		}
+		if len(s.shares) >= r.rt.Cfg.NF() && now.Sub(s.firstShare) > r.collTimeout {
+			r.startSlowPath(seq, s)
+		}
+	}
+}
+
+func (r *Replica) suspect(now time.Time) bool {
+	if now.Sub(r.lastProgress) <= r.curTimeout {
+		return false
+	}
+	if len(r.pendingReqs) > 0 {
+		return true
+	}
+	lastExec := r.rt.Exec.LastExecuted()
+	for seq, s := range r.slots {
+		if seq > lastExec && !s.committed {
+			return true
+		}
+	}
+	if _, _, gapped := r.rt.Exec.Gap(); gapped {
+		return true
+	}
+	return false
+}
+
+func (r *Replica) onFetchReply(m *protocol.FetchReply) {
+	for i := range m.Records {
+		rec := &m.Records[i]
+		if rec.Digest != rec.Batch.Digest() {
+			continue
+		}
+		h := types.ProposalDigest(rec.Seq, rec.View, rec.Digest)
+		if !r.rt.TS.Verify(h[:], rec.Proof) {
+			continue
+		}
+		events := r.rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
+		r.afterExecution(events)
+	}
+}
+
+func blockHash(b ledger.Block) types.Digest { return b.Hash() }

@@ -1,0 +1,246 @@
+package sbft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/types"
+)
+
+// SBFT's view change follows the PoE-style longest-certified-prefix scheme:
+// every executed batch carries its full-commit certificate, so view-change
+// requests are third-party verifiable (see the package comment for why the
+// executor's nf-share rule makes this safe).
+
+func (r *Replica) startViewChange(target types.View) {
+	if target <= r.view {
+		return
+	}
+	if r.status == statusViewChange && target <= r.vcTarget {
+		return
+	}
+	r.status = statusViewChange
+	r.vcTarget = target
+	r.vcStarted = time.Now()
+	r.curTimeout *= 2
+	r.rt.Metrics.ViewChanges.Add(1)
+	if r.sentVC[target] {
+		return
+	}
+	r.sentVC[target] = true
+	stable := r.rt.Exec.StableCheckpointSeq()
+	req := &VCRequest{
+		From:      r.rt.Cfg.ID,
+		View:      target - 1,
+		StableSeq: stable,
+		Executed:  r.rt.Exec.ExecutedSince(stable),
+	}
+	req.Sig = r.rt.Keys.Sign(req.SignedPayload())
+	r.recordVCVote(req)
+	r.rt.Broadcast(req)
+	r.maybeProposeNewView(target)
+}
+
+func (r *Replica) recordVCVote(m *VCRequest) {
+	target := m.View + 1
+	votes, ok := r.vcVotes[target]
+	if !ok {
+		votes = make(map[types.ReplicaID]*VCRequest)
+		r.vcVotes[target] = votes
+	}
+	if _, dup := votes[m.From]; !dup {
+		votes[m.From] = m
+	}
+}
+
+func (r *Replica) validateVCRequest(m *VCRequest) bool {
+	if m.From < 0 || int(m.From) >= r.rt.Cfg.N {
+		return false
+	}
+	if !r.rt.Keys.VerifyFrom(types.ReplicaNode(m.From), m.SignedPayload(), m.Sig) {
+		return false
+	}
+	next := m.StableSeq + 1
+	for i := range m.Executed {
+		e := &m.Executed[i]
+		if e.Seq != next || e.Digest != e.Batch.Digest() {
+			return false
+		}
+		next++
+		h := types.ProposalDigest(e.Seq, e.View, e.Digest)
+		if !r.rt.TS.Verify(h[:], e.Proof) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replica) onVCRequest(m *VCRequest) {
+	target := m.View + 1
+	if target <= r.view {
+		if r.lastNV != nil && r.lastNV.NewView >= target && r.rt.Cfg.IsPrimary(r.lastNV.NewView) {
+			r.rt.SendReplica(m.From, r.lastNV)
+		}
+		return
+	}
+	if !r.validateVCRequest(m) {
+		return
+	}
+	r.recordVCVote(m)
+	if len(r.vcVotes[target]) >= r.rt.Cfg.FPlus1() {
+		if r.status == statusNormal || r.vcTarget < target {
+			r.startViewChange(target)
+		}
+	}
+	r.maybeProposeNewView(target)
+}
+
+func (r *Replica) maybeProposeNewView(target types.View) {
+	cfg := r.rt.Cfg
+	if !cfg.IsPrimary(target) || r.status != statusViewChange || r.vcTarget != target {
+		return
+	}
+	if r.lastNV != nil && r.lastNV.NewView >= target {
+		return
+	}
+	votes := r.vcVotes[target]
+	if len(votes) < cfg.NF() {
+		return
+	}
+	ids := make([]types.ReplicaID, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nv := &NVPropose{NewView: target}
+	for _, id := range ids[:cfg.NF()] {
+		nv.Requests = append(nv.Requests, *votes[id])
+	}
+	r.lastNV = nv
+	r.rt.Broadcast(nv)
+	r.applyNVPropose(nv)
+}
+
+func (r *Replica) onNVPropose(from types.ReplicaID, m *NVPropose) {
+	if from != r.rt.Cfg.Primary(m.NewView) {
+		return
+	}
+	if m.NewView < r.view || (m.NewView == r.view && r.status == statusNormal) {
+		return
+	}
+	if !r.validateNVPropose(m) {
+		r.startViewChange(m.NewView + 1)
+		return
+	}
+	r.applyNVPropose(m)
+}
+
+func (r *Replica) validateNVPropose(m *NVPropose) bool {
+	if len(m.Requests) < r.rt.Cfg.NF() {
+		return false
+	}
+	seen := make(map[types.ReplicaID]bool, len(m.Requests))
+	for i := range m.Requests {
+		req := &m.Requests[i]
+		if req.View != m.NewView-1 || seen[req.From] {
+			return false
+		}
+		seen[req.From] = true
+		if !r.validateVCRequest(req) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replica) applyNVPropose(m *NVPropose) {
+	best := &m.Requests[0]
+	bestEnd := best.StableSeq + types.SeqNum(len(best.Executed))
+	for i := 1; i < len(m.Requests); i++ {
+		req := &m.Requests[i]
+		end := req.StableSeq + types.SeqNum(len(req.Executed))
+		switch {
+		case end > bestEnd:
+			best, bestEnd = req, end
+		case end == bestEnd && req.StableSeq > best.StableSeq:
+			best = req
+		case end == bestEnd && req.StableSeq == best.StableSeq && req.From < best.From:
+			best = req
+		}
+	}
+	kmax := bestEnd
+
+	myLast := r.rt.Exec.LastExecuted()
+	rollbackTo := myLast
+	if kmax < rollbackTo {
+		rollbackTo = kmax
+	}
+	for i := range best.Executed {
+		e := &best.Executed[i]
+		if e.Seq > rollbackTo {
+			break
+		}
+		if rec, ok := r.rt.Exec.Record(e.Seq); ok && rec.Digest != e.Digest {
+			rollbackTo = e.Seq - 1
+			break
+		}
+	}
+	if rollbackTo < myLast {
+		if err := r.rt.Exec.Rollback(rollbackTo); err != nil {
+			panic(fmt.Sprintf("sbft: view change rollback to %d: %v", rollbackTo, err))
+		}
+		r.rt.Metrics.Rollbacks.Add(1)
+	}
+
+	var events [][]protocol.Executed
+	for i := range best.Executed {
+		e := &best.Executed[i]
+		if e.Seq <= r.rt.Exec.LastExecuted() {
+			continue
+		}
+		evs := r.rt.Exec.Commit(e.Seq, e.View, e.Batch, e.Proof)
+		if len(evs) > 0 {
+			events = append(events, evs)
+		}
+	}
+
+	r.enterView(m.NewView, kmax)
+	for _, evs := range events {
+		r.afterExecution(evs)
+	}
+}
+
+func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
+	r.view = v
+	r.status = statusNormal
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.lastProgress = time.Now()
+	r.slots = make(map[types.SeqNum]*slot)
+	for target := range r.vcVotes {
+		if target <= v {
+			delete(r.vcVotes, target)
+		}
+	}
+	for target := range r.sentVC {
+		if target <= v {
+			delete(r.sentVC, target)
+		}
+	}
+	if r.rt.Cfg.IsPrimary(v) {
+		if kmax < r.rt.Exec.LastExecuted() {
+			kmax = r.rt.Exec.LastExecuted()
+		}
+		r.nextPropose = kmax + 1
+		r.rt.Batcher.ResetProposed()
+		for _, p := range r.pendingReqs {
+			r.rt.Batcher.Add(p.req)
+		}
+		r.proposeReady(true)
+	} else {
+		for _, p := range r.pendingReqs {
+			r.rt.SendReplica(r.rt.Cfg.Primary(v), &protocol.ForwardRequest{Req: p.req})
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package harness runs in-process clusters of any of the five protocols and
+// drives them with YCSB-style client load, reproducing the paper's
+// evaluation setups (§IV): warmup + measurement windows, batching, zero
+// payload, backup crashes (Fig 9 a/e/i), primary crashes with throughput
+// timelines (Fig 10), pipelined or closed-loop clients (Fig 9 k/l), and the
+// no-consensus upper-bound runs (Fig 7).
+//
+// The harness substitutes the paper's Google-Cloud deployment (91 c2
+// machines, 320k clients) with goroutines over the in-process channel
+// network; see DESIGN.md §3 for why the protocol-relative comparisons
+// survive the substitution.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/poexec/poe/internal/client"
+	"github.com/poexec/poe/internal/consensus/hotstuff"
+	"github.com/poexec/poe/internal/consensus/pbft"
+	"github.com/poexec/poe/internal/consensus/poe"
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/consensus/sbft"
+	"github.com/poexec/poe/internal/consensus/zyzzyva"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/workload"
+)
+
+// Protocol names a consensus protocol under test.
+type Protocol string
+
+// The five protocols of the paper's evaluation.
+const (
+	PoE      Protocol = "poe"
+	PBFT     Protocol = "pbft"
+	Zyzzyva  Protocol = "zyzzyva"
+	SBFT     Protocol = "sbft"
+	HotStuff Protocol = "hotstuff"
+)
+
+// AllProtocols lists the evaluation order used in the paper's figures.
+var AllProtocols = []Protocol{PoE, PBFT, SBFT, HotStuff, Zyzzyva}
+
+// Options configure one experiment run.
+type Options struct {
+	Protocol Protocol
+	N, F     int
+	Scheme   crypto.Scheme
+
+	BatchSize          int
+	Window             int
+	CheckpointInterval int
+
+	// Clients is the number of concurrent client identities; Outstanding is
+	// how many requests each keeps in flight (1 = closed loop, the Fig 9k/l
+	// configuration).
+	Clients     int
+	Outstanding int
+
+	ZeroPayload bool
+	Records     int // YCSB table size (0 = default small table)
+
+	Warmup  time.Duration
+	Measure time.Duration
+
+	// CrashBackup crashes the last replica before the run (Fig 9 failures).
+	CrashBackup bool
+	// CrashPrimaryAfter crashes the view-0 primary this long into the run
+	// (Fig 10). Zero means never.
+	CrashPrimaryAfter time.Duration
+
+	ViewTimeout      time.Duration
+	ClientTimeout    time.Duration
+	CollectorTimeout time.Duration // SBFT only
+
+	// SampleEvery enables a throughput timeline with the given resolution
+	// (Fig 10). Zero disables sampling.
+	SampleEvery time.Duration
+
+	// SendCost is the per-message CPU cost charged to senders, standing in
+	// for the serialization/syscall cost of a real network stack (the cost
+	// that penalizes quadratic protocols). Negative disables it.
+	SendCost time.Duration
+
+	// NetDelay adds a one-way link delay to every message, turning the
+	// in-process network into a WAN-ish one. The out-of-order experiments
+	// (Fig 9k/l, window ablation) need it: with microsecond links the
+	// window never binds.
+	NetDelay time.Duration
+
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 4
+	}
+	if o.F == 0 {
+		o.F = (o.N - 1) / 3
+	}
+	if o.Scheme == 0 && o.Protocol != "" {
+		o.Scheme = DefaultScheme(o.Protocol)
+		// Ingredient I3: PoE switches from MACs to threshold signatures for
+		// larger clusters (the paper's guidance is around 16 replicas).
+		if o.Protocol == PoE && o.N >= 16 {
+			o.Scheme = crypto.SchemeTS
+		}
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 100
+	}
+	if o.Window == 0 {
+		o.Window = 128
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 256
+	}
+	if o.Clients == 0 {
+		o.Clients = 16
+	}
+	if o.Outstanding == 0 {
+		o.Outstanding = 8
+	}
+	if o.Records == 0 {
+		o.Records = 4096
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 300 * time.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = time.Second
+	}
+	if o.ViewTimeout == 0 {
+		// Keep failure detection comfortably above saturated client
+		// latencies; the paper makes the same point about timeout
+		// calibration in §IV-D.
+		o.ViewTimeout = 2 * time.Second
+	}
+	if o.ClientTimeout == 0 {
+		o.ClientTimeout = time.Second
+	}
+	if o.CollectorTimeout == 0 {
+		o.CollectorTimeout = 40 * time.Millisecond
+	}
+	if o.SendCost == 0 {
+		o.SendCost = 10 * time.Microsecond
+	}
+	if o.SendCost < 0 {
+		o.SendCost = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// DefaultScheme returns the paper's authentication configuration for each
+// protocol (§IV-A): PBFT and Zyzzyva use MACs between replicas, PoE adapts
+// (MAC below 16 replicas, TS above — ingredient I3), SBFT and HotStuff are
+// threshold-signature protocols.
+func DefaultScheme(p Protocol) crypto.Scheme {
+	switch p {
+	case PBFT, Zyzzyva:
+		return crypto.SchemeMAC
+	case SBFT, HotStuff:
+		return crypto.SchemeTS
+	case PoE:
+		return crypto.SchemeMAC
+	default:
+		return crypto.SchemeMAC
+	}
+}
+
+// TimelinePoint is one sample of a throughput timeline (Fig 10).
+type TimelinePoint struct {
+	Offset     time.Duration
+	Throughput float64 // txn/s over the sampling interval
+}
+
+// Result reports one experiment run.
+type Result struct {
+	Protocol    Protocol
+	N           int
+	BatchSize   int
+	Throughput  float64       // client-visible transactions per second
+	AvgLatency  time.Duration // request send → quorum reply
+	Completed   int64
+	ViewChanges int64
+	Rollbacks   int64
+	Timeline    []TimelinePoint
+}
+
+// String formats the result as the paper's table rows do.
+func (r Result) String() string {
+	return fmt.Sprintf("%-9s n=%-3d batch=%-4d %10.0f txn/s  %8.1fms  vc=%d",
+		r.Protocol, r.N, r.BatchSize, r.Throughput,
+		float64(r.AvgLatency.Microseconds())/1000, r.ViewChanges)
+}
+
+// replicaHandle abstracts the per-protocol replica for the harness.
+type replicaHandle interface {
+	Run(ctx context.Context)
+	Runtime() *protocol.Runtime
+}
+
+// submitter abstracts the two client implementations.
+type submitter interface {
+	SubmitTxn(ctx context.Context, txn types.Transaction) (types.Result, error)
+	NextSeq() uint64
+	Start(ctx context.Context)
+}
+
+// Run executes one experiment and reports its result.
+func Run(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	net := network.NewChanNet(
+		network.WithSeed(opts.Seed),
+		network.WithSendCost(opts.SendCost),
+		network.WithDelay(opts.NetDelay, 0),
+	)
+	defer net.Close()
+	ring := crypto.NewKeyRing(opts.N, []byte(fmt.Sprintf("harness-%d", opts.Seed)))
+
+	wcfg := workload.DefaultConfig(opts.Records)
+	wcfg.Seed = opts.Seed
+	var table map[string][]byte
+	if !opts.ZeroPayload {
+		table = workload.InitialTable(wcfg)
+	}
+
+	replicas := make([]replicaHandle, opts.N)
+	for i := 0; i < opts.N; i++ {
+		cfg := protocol.Config{
+			ID: types.ReplicaID(i), N: opts.N, F: opts.F, Scheme: opts.Scheme,
+			BatchSize: opts.BatchSize, Window: opts.Window,
+			CheckpointInterval: types.SeqNum(opts.CheckpointInterval),
+			ViewTimeout:        opts.ViewTimeout,
+		}
+		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table}
+		tr := net.Join(types.ReplicaNode(cfg.ID))
+		h, err := buildReplica(opts, cfg, ring, tr, ropts)
+		if err != nil {
+			return Result{}, err
+		}
+		replicas[i] = h
+		go h.Run(ctx)
+	}
+
+	if opts.CrashBackup {
+		net.Crash(types.ReplicaNode(types.ReplicaID(opts.N - 1)))
+	}
+	if opts.CrashPrimaryAfter > 0 {
+		time.AfterFunc(opts.CrashPrimaryAfter, func() {
+			net.Crash(types.ReplicaNode(0))
+		})
+	}
+
+	// Client pool.
+	var completed atomic.Int64
+	var latencySum atomic.Int64 // nanoseconds
+	var measuring atomic.Bool
+
+	clients := make([]submitter, opts.Clients)
+	for i := 0; i < opts.Clients; i++ {
+		s, err := buildClient(opts, i, ring, net)
+		if err != nil {
+			return Result{}, err
+		}
+		s.Start(ctx)
+		clients[i] = s
+	}
+
+	var wg sync.WaitGroup
+	for i, s := range clients {
+		gen := workload.NewGenerator(wcfg, types.ClientID(types.ClientIDBase)+types.ClientID(i))
+		genMu := &sync.Mutex{}
+		for j := 0; j < opts.Outstanding; j++ {
+			wg.Add(1)
+			go func(s submitter) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					genMu.Lock()
+					txn := gen.Next()
+					genMu.Unlock()
+					txn.Seq = s.NextSeq()
+					if opts.ZeroPayload {
+						txn.Ops = nil
+					}
+					start := time.Now()
+					txn.TimeNanos = start.UnixNano()
+					if _, err := s.SubmitTxn(ctx, txn); err != nil {
+						return
+					}
+					if measuring.Load() {
+						completed.Add(1)
+						latencySum.Add(int64(time.Since(start)))
+					}
+				}
+			}(s)
+		}
+	}
+
+	// Warmup, then measure (the paper uses 60 s + 120 s; scaled here).
+	select {
+	case <-time.After(opts.Warmup):
+	case <-ctx.Done():
+	}
+	measuring.Store(true)
+	start := time.Now()
+
+	var timeline []TimelinePoint
+	if opts.SampleEvery > 0 {
+		ticker := time.NewTicker(opts.SampleEvery)
+		defer ticker.Stop()
+		var prev int64
+		for elapsed := time.Duration(0); elapsed < opts.Measure; {
+			<-ticker.C
+			elapsed = time.Since(start)
+			cur := completed.Load()
+			rate := float64(cur-prev) / opts.SampleEvery.Seconds()
+			prev = cur
+			timeline = append(timeline, TimelinePoint{Offset: elapsed, Throughput: rate})
+		}
+	} else {
+		select {
+		case <-time.After(opts.Measure):
+		case <-ctx.Done():
+		}
+	}
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	cancel()
+	net.Close()
+	wg.Wait()
+
+	total := completed.Load()
+	res := Result{
+		Protocol:   opts.Protocol,
+		N:          opts.N,
+		BatchSize:  opts.BatchSize,
+		Completed:  total,
+		Throughput: float64(total) / elapsed.Seconds(),
+		Timeline:   timeline,
+	}
+	if total > 0 {
+		res.AvgLatency = time.Duration(latencySum.Load() / total)
+	}
+	for _, h := range replicas {
+		res.ViewChanges += h.Runtime().Metrics.ViewChanges.Load()
+		res.Rollbacks += h.Runtime().Metrics.Rollbacks.Load()
+	}
+	return res, nil
+}
+
+func buildReplica(opts Options, cfg protocol.Config, ring *crypto.KeyRing, tr network.Transport, ropts protocol.RuntimeOptions) (replicaHandle, error) {
+	switch opts.Protocol {
+	case PoE:
+		return poe.New(cfg, ring, tr, poe.Options{RuntimeOptions: ropts})
+	case PBFT:
+		return pbft.New(cfg, ring, tr, pbft.Options{RuntimeOptions: ropts})
+	case Zyzzyva:
+		return zyzzyva.New(cfg, ring, tr, zyzzyva.Options{RuntimeOptions: ropts})
+	case SBFT:
+		return sbft.New(cfg, ring, tr, sbft.Options{RuntimeOptions: ropts, CollectorTimeout: opts.CollectorTimeout})
+	case HotStuff:
+		return hotstuff.New(cfg, ring, tr, hotstuff.Options{RuntimeOptions: ropts})
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", opts.Protocol)
+	}
+}
+
+func buildClient(opts Options, i int, ring *crypto.KeyRing, net *network.ChanNet) (submitter, error) {
+	id := types.ClientID(types.ClientIDBase) + types.ClientID(i)
+	tr := net.Join(types.ClientNode(id))
+	switch opts.Protocol {
+	case Zyzzyva:
+		return zyzzyva.NewClient(zyzzyva.ClientConfig{
+			ID: id, N: opts.N, F: opts.F, Scheme: opts.Scheme,
+			SpecTimeout: opts.ClientTimeout,
+		}, ring, tr)
+	case SBFT:
+		verifier := crypto.NewVerifier(ring, opts.N-opts.F,
+			opts.Scheme == crypto.SchemeTS || opts.Scheme == crypto.SchemeED)
+		return client.New(client.Config{
+			ID: id, N: opts.N, F: opts.F, Scheme: opts.Scheme,
+			Quorum:  1,
+			Timeout: opts.ClientTimeout,
+			CertAccept: func(m *protocol.Inform) bool {
+				return len(m.Cert) > 0 && verifier.Verify(sbft.ExecPayload(m.Seq, m.OrderProof), m.Cert)
+			},
+		}, ring, tr)
+	case PBFT:
+		return client.New(client.Config{
+			ID: id, N: opts.N, F: opts.F, Scheme: opts.Scheme,
+			Quorum: opts.F + 1, Timeout: opts.ClientTimeout,
+		}, ring, tr)
+	case HotStuff:
+		return client.New(client.Config{
+			ID: id, N: opts.N, F: opts.F, Scheme: opts.Scheme,
+			Quorum: opts.F + 1, Timeout: opts.ClientTimeout,
+			BroadcastRequests: true,
+		}, ring, tr)
+	default: // PoE: nf identical replies — the proof of execution
+		return client.New(client.Config{
+			ID: id, N: opts.N, F: opts.F, Scheme: opts.Scheme,
+			Quorum: opts.N - opts.F, Timeout: opts.ClientTimeout,
+		}, ring, tr)
+	}
+}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/poexec/poe/internal/client"
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/workload"
+)
+
+// UpperBoundOptions configure the Fig 7 system-characterization run: no
+// consensus, no replication — clients talk to a single primary that either
+// just echoes (no execution) or executes each query before replying, with
+// two parallel worker threads (the paper bounds the fabric at two workers).
+type UpperBoundOptions struct {
+	Execute     bool
+	Workers     int
+	Clients     int
+	Outstanding int
+	Records     int
+	Warmup      time.Duration
+	Measure     time.Duration
+	Seed        int64
+}
+
+// RunUpperBound measures the fabric's no-consensus ceiling (Fig 7).
+func RunUpperBound(opts UpperBoundOptions) (Result, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.Clients == 0 {
+		opts.Clients = 16
+	}
+	if opts.Outstanding == 0 {
+		opts.Outstanding = 16
+	}
+	if opts.Records == 0 {
+		opts.Records = 4096
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = 200 * time.Millisecond
+	}
+	if opts.Measure == 0 {
+		opts.Measure = time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := network.NewChanNet()
+	defer net.Close()
+	ring := crypto.NewKeyRing(1, []byte("upper-bound"))
+
+	wcfg := workload.DefaultConfig(opts.Records)
+	wcfg.Seed = opts.Seed
+	kv := store.New()
+	kv.Load(workload.InitialTable(wcfg))
+	keys := ring.NodeKeys(types.ReplicaNode(0))
+
+	// The "primary": workers drain the inbox and reply directly.
+	tr := net.Join(types.ReplicaNode(0))
+	var kvMu sync.Mutex
+	var seq atomic.Uint64
+	for w := 0; w < opts.Workers; w++ {
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case env, ok := <-tr.Inbox():
+					if !ok {
+						return
+					}
+					cr, ok := env.Msg.(*protocol.ClientRequest)
+					if !ok {
+						continue
+					}
+					txn := &cr.Req.Txn
+					var values [][]byte
+					if opts.Execute {
+						kvMu.Lock()
+						for _, op := range txn.Ops {
+							switch op.Kind {
+							case types.OpRead:
+								v, _ := kv.Get(op.Key)
+								values = append(values, v)
+							case types.OpWrite:
+								// Direct write, bypassing ordered Apply: no
+								// ordering is maintained in this experiment
+								// (per the paper's description of Fig 7).
+								kv.Load(map[string][]byte{op.Key: op.Value})
+								values = append(values, nil)
+							}
+						}
+						kvMu.Unlock()
+					}
+					msg := &protocol.Inform{
+						From:      0,
+						Digest:    cr.Req.Digest(),
+						Seq:       types.SeqNum(seq.Add(1)),
+						ClientSeq: txn.Seq,
+						Values:    values,
+					}
+					key := msg.Key()
+					msg.Tag = keys.MAC(types.ClientNode(txn.Client), key.Digest[:])
+					tr.Send(types.ClientNode(txn.Client), msg)
+				}
+			}
+		}()
+	}
+
+	var completed atomic.Int64
+	var latencySum atomic.Int64
+	var measuring atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		id := types.ClientID(types.ClientIDBase) + types.ClientID(i)
+		cl, err := client.New(client.Config{
+			ID: id, N: 1, F: 0, Scheme: crypto.SchemeNone,
+			Quorum: 1, Timeout: time.Second,
+		}, ring, net.Join(types.ClientNode(id)))
+		if err != nil {
+			return Result{}, err
+		}
+		cl.Start(ctx)
+		gen := workload.NewGenerator(wcfg, id)
+		genMu := &sync.Mutex{}
+		for j := 0; j < opts.Outstanding; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					genMu.Lock()
+					txn := gen.Next()
+					genMu.Unlock()
+					txn.Seq = cl.NextSeq()
+					start := time.Now()
+					if _, err := cl.SubmitTxn(ctx, txn); err != nil {
+						return
+					}
+					if measuring.Load() {
+						completed.Add(1)
+						latencySum.Add(int64(time.Since(start)))
+					}
+				}
+			}()
+		}
+	}
+
+	time.Sleep(opts.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(opts.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	cancel()
+	net.Close()
+	wg.Wait()
+
+	total := completed.Load()
+	res := Result{
+		Protocol:   "none",
+		N:          1,
+		Completed:  total,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}
+	if total > 0 {
+		res.AvgLatency = time.Duration(latencySum.Load() / total)
+	}
+	return res, nil
+}

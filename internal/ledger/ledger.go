@@ -1,0 +1,155 @@
+// Package ledger implements the blockchain ledger of §III-A of the PoE
+// paper: an immutable hash-chained list of blocks, one block per executed
+// batch, rooted in a genesis block derived from the initial primary's
+// identity (no communication needed to agree on it).
+//
+// As the paper notes, hashing the previous block can be expensive; blocks
+// therefore also carry the consensus certificate (the threshold signature
+// from the CERTIFY message) as an alternative proof-of-acceptance.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// Block is one entry in the chain: Bi = {k, d, v, H(B(i-1))} plus the
+// consensus certificate for the k-th batch.
+type Block struct {
+	Seq      types.SeqNum // sequence number k of the batch
+	Digest   types.Digest // digest d of the batch
+	View     types.View   // view v in which the batch was certified
+	PrevHash types.Digest // H(B(i-1))
+	Proof    []byte       // certificate: proof-of-accepting the k-th request
+}
+
+// Hash returns the block's hash, the value chained into the next block.
+// The certificate is deliberately excluded: under the MAC instantiation each
+// replica assembles its own certificate from whichever nf shares arrived
+// first, so certificates are replica-local while the chain itself must be
+// identical on all non-faulty replicas.
+func (b *Block) Hash() types.Digest {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(b.Seq))
+	h.Write(buf[:])
+	h.Write(b.Digest[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(b.View))
+	h.Write(buf[:])
+	h.Write(b.PrevHash[:])
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Chain is an append-only hash-chained ledger. It is safe for concurrent
+// use. Because PoE executes speculatively, blocks appended after the latest
+// checkpoint may be truncated again during a view change (TruncateAfter);
+// blocks below a checkpoint are immutable.
+type Chain struct {
+	mu     sync.RWMutex
+	blocks []Block
+	stable int // number of leading blocks frozen by checkpoints
+}
+
+// NewChain creates a ledger whose genesis block is derived from the identity
+// of the initial primary, information available to every replica without
+// communication (§III-A).
+func NewChain(initialPrimary types.ReplicaID) *Chain {
+	genesis := Block{
+		Seq:    0,
+		Digest: types.DigestBytes([]byte(fmt.Sprintf("poe-genesis-primary-%d", initialPrimary))),
+		View:   0,
+	}
+	return &Chain{blocks: []Block{genesis}, stable: 1}
+}
+
+// Genesis returns the genesis block.
+func (c *Chain) Genesis() Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[0]
+}
+
+// Height returns the number of blocks excluding genesis.
+func (c *Chain) Height() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.blocks) - 1
+}
+
+// Head returns the most recent block.
+func (c *Chain) Head() Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Append creates and appends the block for the batch executed at seq. The
+// block's PrevHash links to the current head. Blocks must be appended in
+// sequence order.
+func (c *Chain) Append(seq types.SeqNum, digest types.Digest, view types.View, proof []byte) (Block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.blocks[len(c.blocks)-1]
+	if seq != head.Seq+1 {
+		return Block{}, fmt.Errorf("ledger: append out of order: head seq %d, got %d", head.Seq, seq)
+	}
+	b := Block{Seq: seq, Digest: digest, View: view, PrevHash: head.Hash(), Proof: proof}
+	c.blocks = append(c.blocks, b)
+	return b, nil
+}
+
+// Get returns the block at sequence number seq.
+func (c *Chain) Get(seq types.SeqNum) (Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if int(seq) >= len(c.blocks) {
+		return Block{}, false
+	}
+	return c.blocks[seq], true
+}
+
+// TruncateAfter removes all blocks with sequence number greater than seq,
+// mirroring a speculative-execution rollback. Truncating below a checkpoint
+// fails: those blocks are immutable.
+func (c *Chain) TruncateAfter(seq types.SeqNum) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(seq)+1 < c.stable {
+		return fmt.Errorf("ledger: cannot truncate to seq %d below stable prefix %d", seq, c.stable-1)
+	}
+	if int(seq)+1 < len(c.blocks) {
+		c.blocks = c.blocks[:seq+1]
+	}
+	return nil
+}
+
+// MarkStable freezes the prefix up to and including seq (checkpoint).
+func (c *Chain) MarkStable(seq types.SeqNum) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(seq)+1 > c.stable && int(seq) < len(c.blocks) {
+		c.stable = int(seq) + 1
+	}
+}
+
+// Verify walks the chain and checks every hash link. It returns the first
+// broken link's sequence number, or 0 and true if the chain is intact.
+func (c *Chain) Verify() (types.SeqNum, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := 1; i < len(c.blocks); i++ {
+		if c.blocks[i].PrevHash != c.blocks[i-1].Hash() {
+			return c.blocks[i].Seq, false
+		}
+		if c.blocks[i].Seq != c.blocks[i-1].Seq+1 {
+			return c.blocks[i].Seq, false
+		}
+	}
+	return 0, true
+}

@@ -1,0 +1,94 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+func TestGenesisFromPrimaryIdentity(t *testing.T) {
+	a := NewChain(0)
+	b := NewChain(0)
+	ga, gb := a.Genesis(), b.Genesis()
+	if ga.Digest != gb.Digest {
+		t.Fatal("genesis must be deterministic for the same initial primary")
+	}
+	c := NewChain(1)
+	if gc := c.Genesis(); gc.Digest == ga.Digest {
+		t.Fatal("different initial primaries must give different genesis blocks")
+	}
+}
+
+func TestAppendVerifyTruncate(t *testing.T) {
+	c := NewChain(0)
+	for s := types.SeqNum(1); s <= 5; s++ {
+		if _, err := c.Append(s, types.DigestBytes([]byte{byte(s)}), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Verify(); !ok {
+		t.Fatal("freshly built chain must verify")
+	}
+	if c.Height() != 5 {
+		t.Fatalf("height %d", c.Height())
+	}
+	if _, err := c.Append(7, types.ZeroDigest, 0, nil); err == nil {
+		t.Fatal("out-of-order append should fail")
+	}
+	if err := c.TruncateAfter(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 3 {
+		t.Fatalf("height after truncate %d", c.Height())
+	}
+	// Appending a different block at seq 4 re-links the chain.
+	if _, err := c.Append(4, types.DigestBytes([]byte("new4")), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Verify(); !ok {
+		t.Fatal("chain must verify after truncate + re-append")
+	}
+}
+
+func TestStablePrefixImmutable(t *testing.T) {
+	c := NewChain(0)
+	for s := types.SeqNum(1); s <= 4; s++ {
+		if _, err := c.Append(s, types.DigestBytes([]byte{byte(s)}), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MarkStable(3)
+	if err := c.TruncateAfter(2); err == nil {
+		t.Fatal("truncating below the stable prefix must fail")
+	}
+	if err := c.TruncateAfter(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChainsWithSameBlocksAgree: two chains fed identical appends have
+// identical head hashes — the replicated-ledger agreement invariant.
+func TestQuickChainsWithSameBlocksAgree(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		if len(payloads) > 32 {
+			payloads = payloads[:32]
+		}
+		a, b := NewChain(0), NewChain(0)
+		for i, p := range payloads {
+			d := types.DigestBytes(p)
+			if _, err := a.Append(types.SeqNum(i+1), d, 0, nil); err != nil {
+				return false
+			}
+			if _, err := b.Append(types.SeqNum(i+1), d, 0, []byte("different-proof")); err != nil {
+				return false
+			}
+		}
+		ha, hb := a.Head(), b.Head()
+		// Proofs are replica-local (MAC mode) and excluded from hashes.
+		return ha.Hash() == hb.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

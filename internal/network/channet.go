@@ -1,0 +1,259 @@
+package network
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// ChanNet is an in-process network: every joined node owns a buffered inbox
+// channel and sends are direct channel writes. It supports the fault
+// injection the paper's experiments need — crashed replicas (Fig 9 single
+// backup failure, Fig 10 primary failure), link delays (Fig 11's
+// message-delay regime), probabilistic drops, and partitions.
+//
+// ChanNet is safe for concurrent use.
+type ChanNet struct {
+	mu        sync.RWMutex
+	inboxes   map[types.NodeID]chan Envelope
+	crashed   map[types.NodeID]bool
+	cut       map[linkKey]bool
+	delay     time.Duration
+	jitter    time.Duration
+	sendCost  time.Duration
+	dropProb  float64
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	buf       int
+	closed    bool
+	sent      atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+type linkKey struct{ from, to types.NodeID }
+
+// ChanNetOption configures a ChanNet.
+type ChanNetOption func(*ChanNet)
+
+// WithBuffer sets the per-node inbox capacity (default 65536).
+func WithBuffer(n int) ChanNetOption { return func(c *ChanNet) { c.buf = n } }
+
+// WithDelay sets a uniform one-way link delay applied to every message, with
+// optional ±jitter.
+func WithDelay(d, jitter time.Duration) ChanNetOption {
+	return func(c *ChanNet) { c.delay, c.jitter = d, jitter }
+}
+
+// WithDropProb sets an i.i.d. probability of dropping each message.
+func WithDropProb(p float64) ChanNetOption { return func(c *ChanNet) { c.dropProb = p } }
+
+// WithSeed seeds the network's randomness (drops, jitter) for reproducibility.
+func WithSeed(seed int64) ChanNetOption {
+	return func(c *ChanNet) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithSendCost charges the sender this much CPU time per message (busy
+// wait). The in-process transport otherwise passes pointers, which makes
+// broadcasts free and hides the per-message serialization and syscall cost
+// every real deployment pays — the cost that makes quadratic-communication
+// protocols lose at scale (see DESIGN.md §3). A few microseconds per message
+// restores that cost structure.
+func WithSendCost(d time.Duration) ChanNetOption {
+	return func(c *ChanNet) { c.sendCost = d }
+}
+
+// NewChanNet creates an empty in-process network.
+func NewChanNet(opts ...ChanNetOption) *ChanNet {
+	c := &ChanNet{
+		inboxes: make(map[types.NodeID]chan Envelope),
+		crashed: make(map[types.NodeID]bool),
+		cut:     make(map[linkKey]bool),
+		buf:     65536,
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Join attaches a node and returns its transport. Joining an address twice
+// replaces the previous inbox (the old transport keeps draining but receives
+// nothing new).
+func (c *ChanNet) Join(node types.NodeID) Transport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan Envelope, c.buf)
+	c.inboxes[node] = ch
+	return &chanTransport{net: c, node: node, inbox: ch}
+}
+
+// Crash marks a node as crashed: all traffic to and from it is dropped. This
+// models the paper's crash failures without stopping the node's goroutines.
+func (c *ChanNet) Crash(node types.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed[node] = true
+}
+
+// Recover clears a crash mark.
+func (c *ChanNet) Recover(node types.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.crashed, node)
+}
+
+// CutLink drops all messages from → to (one direction).
+func (c *ChanNet) CutLink(from, to types.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut[linkKey{from, to}] = true
+}
+
+// HealLink restores a cut link.
+func (c *ChanNet) HealLink(from, to types.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cut, linkKey{from, to})
+}
+
+// Partition cuts every link between group a and group b, both directions.
+func (c *ChanNet) Partition(a, b []types.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			c.cut[linkKey{x, y}] = true
+			c.cut[linkKey{y, x}] = true
+		}
+	}
+}
+
+// Heal removes all cut links.
+func (c *ChanNet) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut = make(map[linkKey]bool)
+}
+
+// Stats returns cumulative (sent, delivered, dropped) message counts.
+func (c *ChanNet) Stats() (sent, delivered, dropped int64) {
+	return c.sent.Load(), c.delivered.Load(), c.dropped.Load()
+}
+
+// Close shuts the network down; all inboxes are closed.
+func (c *ChanNet) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, ch := range c.inboxes {
+		close(ch)
+	}
+	c.inboxes = make(map[types.NodeID]chan Envelope)
+}
+
+func (c *ChanNet) randFloat() float64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Float64()
+}
+
+func (c *ChanNet) send(from, to types.NodeID, msg any) {
+	c.sent.Add(1)
+	if c.sendCost > 0 {
+		// Busy-wait on the sender's goroutine: outgoing messages consume
+		// the sender's CPU the way marshalling + write(2) would.
+		deadline := time.Now().Add(c.sendCost)
+		for time.Now().Before(deadline) {
+		}
+	}
+	c.mu.RLock()
+	if c.closed || c.crashed[from] || c.crashed[to] || c.cut[linkKey{from, to}] {
+		c.mu.RUnlock()
+		c.dropped.Add(1)
+		return
+	}
+	ch, ok := c.inboxes[to]
+	delay, jitter, dropProb := c.delay, c.jitter, c.dropProb
+	c.mu.RUnlock()
+	if !ok {
+		c.dropped.Add(1)
+		return
+	}
+	if dropProb > 0 && c.randFloat() < dropProb {
+		c.dropped.Add(1)
+		return
+	}
+	env := Envelope{From: from, To: to, Msg: msg}
+	if delay == 0 && jitter == 0 {
+		c.deliver(ch, env)
+		return
+	}
+	d := delay
+	if jitter > 0 {
+		d += time.Duration((c.randFloat()*2 - 1) * float64(jitter))
+		if d < 0 {
+			d = 0
+		}
+	}
+	time.AfterFunc(d, func() {
+		// Re-check liveness at delivery time: crashes and cuts that happen
+		// while the message is "in flight" drop it, like a real network.
+		c.mu.RLock()
+		dead := c.closed || c.crashed[to] || c.cut[linkKey{from, to}]
+		cur, ok := c.inboxes[to]
+		c.mu.RUnlock()
+		if dead || !ok || cur != ch {
+			c.dropped.Add(1)
+			return
+		}
+		c.deliver(ch, env)
+	})
+}
+
+func (c *ChanNet) deliver(ch chan Envelope, env Envelope) {
+	defer func() {
+		// The inbox may have been closed concurrently by Close; treat the
+		// resulting panic as a drop.
+		if recover() != nil {
+			c.dropped.Add(1)
+		}
+	}()
+	select {
+	case ch <- env:
+		c.delivered.Add(1)
+	default:
+		// Inbox full: shed load like a congested switch. Protocols already
+		// tolerate loss via timeouts and retransmission.
+		c.dropped.Add(1)
+	}
+}
+
+type chanTransport struct {
+	net   *ChanNet
+	node  types.NodeID
+	inbox chan Envelope
+}
+
+func (t *chanTransport) Node() types.NodeID { return t.node }
+
+func (t *chanTransport) Send(to types.NodeID, msg any) { t.net.send(t.node, to, msg) }
+
+func (t *chanTransport) Inbox() <-chan Envelope { return t.inbox }
+
+func (t *chanTransport) Close() error {
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	if ch, ok := t.net.inboxes[t.node]; ok && ch == t.inbox {
+		delete(t.net.inboxes, t.node)
+		close(ch)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+type ping struct{ N int }
+
+func TestChanNetDelivery(t *testing.T) {
+	net := NewChanNet()
+	defer net.Close()
+	a := net.Join(types.ReplicaNode(0))
+	b := net.Join(types.ReplicaNode(1))
+	a.Send(types.ReplicaNode(1), &ping{N: 7})
+	select {
+	case env := <-b.Inbox():
+		if env.From != types.ReplicaNode(0) || env.Msg.(*ping).N != 7 {
+			t.Fatalf("bad envelope %+v", env)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestChanNetCrashDropsTraffic(t *testing.T) {
+	net := NewChanNet()
+	defer net.Close()
+	a := net.Join(types.ReplicaNode(0))
+	b := net.Join(types.ReplicaNode(1))
+	net.Crash(types.ReplicaNode(1))
+	a.Send(types.ReplicaNode(1), &ping{})
+	select {
+	case <-b.Inbox():
+		t.Fatal("crashed node received a message")
+	case <-time.After(50 * time.Millisecond):
+	}
+	net.Recover(types.ReplicaNode(1))
+	a.Send(types.ReplicaNode(1), &ping{})
+	select {
+	case <-b.Inbox():
+	case <-time.After(time.Second):
+		t.Fatal("recovered node did not receive")
+	}
+}
+
+func TestChanNetCutAndHeal(t *testing.T) {
+	net := NewChanNet()
+	defer net.Close()
+	a := net.Join(types.ReplicaNode(0))
+	b := net.Join(types.ReplicaNode(1))
+	net.CutLink(types.ReplicaNode(0), types.ReplicaNode(1))
+	a.Send(types.ReplicaNode(1), &ping{})
+	// The reverse direction still works.
+	b.Send(types.ReplicaNode(0), &ping{})
+	select {
+	case <-a.Inbox():
+	case <-time.After(time.Second):
+		t.Fatal("reverse direction should be intact")
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("cut link delivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+	net.HealLink(types.ReplicaNode(0), types.ReplicaNode(1))
+	a.Send(types.ReplicaNode(1), &ping{})
+	select {
+	case <-b.Inbox():
+	case <-time.After(time.Second):
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestChanNetDelay(t *testing.T) {
+	net := NewChanNet(WithDelay(50*time.Millisecond, 0))
+	defer net.Close()
+	a := net.Join(types.ReplicaNode(0))
+	b := net.Join(types.ReplicaNode(1))
+	start := time.Now()
+	a.Send(types.ReplicaNode(1), &ping{})
+	<-b.Inbox()
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥50ms", elapsed)
+	}
+}
+
+func TestChanNetDrops(t *testing.T) {
+	net := NewChanNet(WithDropProb(1.0), WithSeed(7))
+	defer net.Close()
+	a := net.Join(types.ReplicaNode(0))
+	b := net.Join(types.ReplicaNode(1))
+	for i := 0; i < 10; i++ {
+		a.Send(types.ReplicaNode(1), &ping{})
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("p=1 drop delivered a message")
+	case <-time.After(50 * time.Millisecond):
+	}
+	_, _, dropped := net.Stats()
+	if dropped != 10 {
+		t.Fatalf("dropped %d, want 10", dropped)
+	}
+}
+
+func TestTCPNetRoundTrip(t *testing.T) {
+	Register(&ping{})
+	// Bootstrap two nodes on ephemeral ports: bind node 0 first, then node
+	// 1 with knowledge of 0's address, then reconstruct 0's peer table.
+	n0 := types.ReplicaNode(0)
+	n1 := types.ReplicaNode(1)
+	t0, err := NewTCPNet(n0, map[types.NodeID]string{n0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := NewTCPNet(n1, map[types.NodeID]string{n1: "127.0.0.1:0", n0: t0.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	t1.Send(n0, &ping{N: 42})
+	select {
+	case env := <-t0.Inbox():
+		if env.Msg.(*ping).N != 42 {
+			t.Fatalf("bad payload %+v", env.Msg)
+		}
+		if env.From != n1 {
+			t.Fatalf("from %v", env.From)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tcp message not delivered")
+	}
+	// Self-send loops back without touching the wire.
+	t0.Send(n0, &ping{N: 1})
+	select {
+	case env := <-t0.Inbox():
+		if env.Msg.(*ping).N != 1 {
+			t.Fatal("bad self-send")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("self-send not delivered")
+	}
+}

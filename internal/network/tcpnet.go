@@ -1,0 +1,204 @@
+package network
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// TCPNet is a transport backed by real TCP connections, used by the cmd/
+// binaries to run a cluster across processes or machines. Each node listens
+// on one address; outgoing connections are dialed lazily and kept open.
+// Messages are gob-encoded wireEnvelopes; concrete message types must be
+// registered with Register.
+type TCPNet struct {
+	node     types.NodeID
+	peers    map[types.NodeID]string
+	listener net.Listener
+
+	mu    sync.Mutex
+	conns map[types.NodeID]*tcpPeer
+
+	inMu    sync.Mutex
+	inbound map[net.Conn]struct{}
+
+	inbox    chan Envelope
+	closedMu sync.Mutex
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type wireEnvelope struct {
+	From types.NodeID
+	To   types.NodeID
+	Msg  any
+}
+
+// NewTCPNet starts a TCP transport for node, listening on peers[node] and
+// dialing the other entries on demand.
+func NewTCPNet(node types.NodeID, peers map[types.NodeID]string) (*TCPNet, error) {
+	addr, ok := peers[node]
+	if !ok {
+		return nil, fmt.Errorf("network: no listen address for node %v", node)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
+	}
+	t := &TCPNet{
+		node:     node,
+		peers:    peers,
+		listener: ln,
+		conns:    make(map[types.NodeID]*tcpPeer),
+		inbound:  make(map[net.Conn]struct{}),
+		inbox:    make(chan Envelope, 65536),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful with ":0").
+func (t *TCPNet) Addr() string { return t.listener.Addr().String() }
+
+// Node implements Transport.
+func (t *TCPNet) Node() types.NodeID { return t.node }
+
+// Inbox implements Transport.
+func (t *TCPNet) Inbox() <-chan Envelope { return t.inbox }
+
+func (t *TCPNet) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.inMu.Lock()
+		t.inbound[conn] = struct{}{}
+		t.inMu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPNet) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.inMu.Lock()
+		delete(t.inbound, conn)
+		t.inMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var we wireEnvelope
+		if err := dec.Decode(&we); err != nil {
+			return
+		}
+		t.closedMu.Lock()
+		closed := t.closed
+		t.closedMu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- Envelope(we):
+		default:
+			// Shed load rather than stall the connection; protocols
+			// retransmit.
+		}
+	}
+}
+
+func (t *TCPNet) peerConn(to types.NodeID) (*tcpPeer, error) {
+	t.mu.Lock()
+	p, ok := t.conns[to]
+	if !ok {
+		p = &tcpPeer{}
+		t.conns[to] = p
+	}
+	t.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p, nil
+	}
+	addr, ok := t.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("network: unknown peer %v", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.conn = conn
+	p.enc = gob.NewEncoder(conn)
+	return p, nil
+}
+
+// Send implements Transport. Failures (unreachable peer, encoding error)
+// drop the message; protocols tolerate loss.
+func (t *TCPNet) Send(to types.NodeID, msg any) {
+	if to == t.node {
+		select {
+		case t.inbox <- Envelope{From: t.node, To: to, Msg: msg}:
+		default:
+		}
+		return
+	}
+	p, err := t.peerConn(to)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.enc == nil {
+		return
+	}
+	if err := p.enc.Encode(wireEnvelope{From: t.node, To: to, Msg: msg}); err != nil {
+		// Reset the connection so the next Send re-dials.
+		p.conn.Close()
+		p.conn, p.enc = nil, nil
+	}
+}
+
+// Close implements Transport.
+func (t *TCPNet) Close() error {
+	t.closedMu.Lock()
+	if t.closed {
+		t.closedMu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.closedMu.Unlock()
+
+	t.listener.Close()
+	t.mu.Lock()
+	for _, p := range t.conns {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
+	t.mu.Unlock()
+	t.inMu.Lock()
+	for conn := range t.inbound {
+		conn.Close()
+	}
+	t.inMu.Unlock()
+	t.wg.Wait()
+	close(t.inbox)
+	return nil
+}

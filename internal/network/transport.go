@@ -1,0 +1,54 @@
+// Package network provides the message transports the consensus protocols
+// run over: an in-process channel network with fault injection (delays,
+// drops, partitions, crashes) used by tests and benchmarks, and a TCP
+// transport used by the cmd/ binaries to run a cluster across processes.
+//
+// Protocols only see the Transport interface; authenticated communication is
+// layered above it by the protocols themselves (crypto package), matching the
+// paper's model where the network is unreliable and unauthenticated.
+package network
+
+import (
+	"encoding/gob"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// Envelope is one routed message.
+type Envelope struct {
+	From types.NodeID
+	To   types.NodeID
+	Msg  any
+}
+
+// Transport is one node's connection to the network.
+type Transport interface {
+	// Node returns the address this transport was joined as.
+	Node() types.NodeID
+	// Send delivers msg to the given node. Send never blocks the caller
+	// indefinitely; delivery is best-effort (messages may be dropped or
+	// delayed by fault injection or by the wire).
+	Send(to types.NodeID, msg any)
+	// Inbox is the stream of messages addressed to this node. It is closed
+	// when the transport is closed.
+	Inbox() <-chan Envelope
+	// Close detaches the node from the network.
+	Close() error
+}
+
+// Broadcast sends msg to the replicas [0, n) via t, excluding self if
+// skipSelf is set. It mirrors the paper's "broadcast to all replicas".
+func Broadcast(t Transport, n int, msg any, skipSelf bool) {
+	self := t.Node()
+	for i := 0; i < n; i++ {
+		to := types.ReplicaNode(types.ReplicaID(i))
+		if skipSelf && to == self {
+			continue
+		}
+		t.Send(to, msg)
+	}
+}
+
+// Register makes a message type encodable on the TCP transport. In-process
+// transports pass values directly and do not need registration.
+func Register(v any) { gob.Register(v) }

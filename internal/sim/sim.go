@@ -1,0 +1,276 @@
+// Package sim is the discrete-event simulator of §IV-I of the paper: it
+// processes every message send and receive step of a protocol but replaces
+// real computation and real networking with a fixed per-hop message delay.
+// The simulated performance is therefore determined entirely by the number
+// of communication rounds and the message delay — which is precisely the
+// point of Fig 11: for protocols that do not process requests out-of-order,
+// round count × delay bounds throughput regardless of replica count or
+// bandwidth.
+//
+// Three protocols are modelled, matching the paper:
+//
+//   - PoE: PROPOSE → SUPPORT → CERTIFY, 3 one-way hops per decision.
+//   - PBFT: PRE-PREPARE → PREPARE (all-to-all) → COMMIT (all-to-all),
+//     3 hops per decision but O(n²) messages.
+//   - HotStuff: chained rounds of PROPOSE → VOTE, 2 hops per (amortized)
+//     decision.
+//
+// A Window of 1 reproduces the paper's sequential plots; larger windows
+// reproduce the out-of-order plot (the paper uses 250 in-flight decisions).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Protocol selects the simulated protocol.
+type Protocol int
+
+const (
+	// PoE is the paper's protocol: three linear hops.
+	PoE Protocol = iota
+	// PBFT: three hops, two of them all-to-all.
+	PBFT
+	// HotStuff: two hops per chained round.
+	HotStuff
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case PoE:
+		return "PoE"
+	case PBFT:
+		return "PBFT"
+	case HotStuff:
+		return "HotStuff"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Protocol  Protocol
+	N         int           // replicas
+	Delay     time.Duration // one-way message delay
+	Decisions int           // how many consensus decisions to simulate (paper: 500)
+	// Window is the number of decisions the primary keeps in flight.
+	// 1 = no out-of-order processing (Fig 11 plots 1–3); the paper's
+	// out-of-order plot uses 250.
+	Window int
+}
+
+// Result reports a simulation run.
+type Result struct {
+	Config
+	SimTime     time.Duration // simulated wall-clock to finish all decisions
+	Messages    int           // total protocol messages exchanged
+	DecisionsPS float64       // decisions per simulated second
+}
+
+// message kinds
+type kind int
+
+const (
+	kPropose kind = iota
+	kSupport
+	kCertify
+	kPrepare
+	kCommit
+	kVote
+)
+
+type event struct {
+	at   time.Duration
+	to   int
+	from int
+	kind kind
+	seq  int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Run executes the simulation and returns its result.
+func Run(cfg Config) Result {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.Decisions < 1 {
+		cfg.Decisions = 1
+	}
+	s := &sim{cfg: cfg, nf: cfg.N - (cfg.N-1)/3}
+	s.run()
+	rate := 0.0
+	if s.now > 0 {
+		rate = float64(cfg.Decisions) / s.now.Seconds()
+	}
+	return Result{Config: cfg, SimTime: s.now, Messages: s.messages, DecisionsPS: rate}
+}
+
+type sim struct {
+	cfg      cfg
+	nf       int
+	q        eventQueue
+	now      time.Duration
+	messages int
+
+	// per-decision tallies (keyed by seq)
+	supports map[int]int
+	prepares map[int]map[int]int // seq → replica → count (PBFT phases at each replica)
+	commits  map[int]map[int]int
+	votes    map[int]int
+	decided  map[int]bool
+
+	started   int // decisions initiated
+	completed int
+}
+
+type cfg = Config
+
+func (s *sim) send(at time.Duration, from, to int, k kind, seq int) {
+	s.messages++
+	heap.Push(&s.q, event{at: at + s.cfg.Delay, to: to, from: from, kind: k, seq: seq})
+}
+
+// broadcast sends to every replica except from (self-handling is immediate
+// and free, matching the paper's zero-computation model).
+func (s *sim) broadcast(at time.Duration, from int, k kind, seq int) {
+	for i := 0; i < s.cfg.N; i++ {
+		if i == from {
+			continue
+		}
+		s.send(at, from, i, k, seq)
+	}
+}
+
+func (s *sim) run() {
+	s.supports = make(map[int]int)
+	s.prepares = make(map[int]map[int]int)
+	s.commits = make(map[int]map[int]int)
+	s.votes = make(map[int]int)
+	s.decided = make(map[int]bool)
+	heap.Init(&s.q)
+
+	// Kick off the first window of decisions.
+	for s.started < s.cfg.Window && s.started < s.cfg.Decisions {
+		s.initiate(0)
+	}
+	for s.completed < s.cfg.Decisions && s.q.Len() > 0 {
+		e := heap.Pop(&s.q).(event)
+		s.now = e.at
+		s.handle(e)
+	}
+}
+
+// initiate launches the next decision at the given simulated time.
+func (s *sim) initiate(at time.Duration) {
+	seq := s.started
+	s.started++
+	switch s.cfg.Protocol {
+	case PoE, PBFT:
+		// The primary (replica 0) proposes.
+		s.broadcast(at, 0, kPropose, seq)
+	case HotStuff:
+		// The round leader rotates; the proposal pattern is identical from
+		// the simulator's point of view.
+		leader := seq % s.cfg.N
+		s.broadcast(at, leader, kPropose, seq)
+	}
+}
+
+func (s *sim) complete(seq int, at time.Duration) {
+	if s.decided[seq] {
+		return
+	}
+	s.decided[seq] = true
+	s.completed++
+	// A finished decision frees a window slot.
+	if s.started < s.cfg.Decisions {
+		s.initiate(at)
+	}
+}
+
+func (s *sim) handle(e event) {
+	switch s.cfg.Protocol {
+	case PoE:
+		s.handlePoE(e)
+	case PBFT:
+		s.handlePBFT(e)
+	case HotStuff:
+		s.handleHotStuff(e)
+	}
+}
+
+// handlePoE: replicas SUPPORT to the primary; at nf supports the primary
+// CERTIFYs; replicas decide on receipt.
+func (s *sim) handlePoE(e event) {
+	switch e.kind {
+	case kPropose:
+		s.send(e.at, e.to, 0, kSupport, e.seq)
+	case kSupport:
+		s.supports[e.seq]++
+		// The primary contributes its own share (§II-E), so nf−1 external
+		// supports suffice.
+		if s.supports[e.seq] == s.nf-1 {
+			s.broadcast(e.at, 0, kCertify, e.seq)
+		}
+	case kCertify:
+		// First certify arrival marks the decision (all arrive together in
+		// the uniform-delay model).
+		s.complete(e.seq, e.at)
+	}
+}
+
+// handlePBFT: PREPARE and COMMIT are all-to-all; a replica commits at nf
+// commit messages.
+func (s *sim) handlePBFT(e event) {
+	switch e.kind {
+	case kPropose:
+		s.broadcast(e.at, e.to, kPrepare, e.seq)
+	case kPrepare:
+		m, ok := s.prepares[e.seq]
+		if !ok {
+			m = make(map[int]int)
+			s.prepares[e.seq] = m
+		}
+		m[e.to]++
+		if m[e.to] == s.nf-1 { // own prepare is free
+			s.broadcast(e.at, e.to, kCommit, e.seq)
+		}
+	case kCommit:
+		m, ok := s.commits[e.seq]
+		if !ok {
+			m = make(map[int]int)
+			s.commits[e.seq] = m
+		}
+		m[e.to]++
+		if m[e.to] == s.nf-1 {
+			s.complete(e.seq, e.at)
+		}
+	}
+}
+
+// handleHotStuff: votes go to the next leader; at nf votes the next round's
+// proposal goes out, and (chained) the previous decision is counted.
+func (s *sim) handleHotStuff(e event) {
+	switch e.kind {
+	case kPropose:
+		next := (e.seq + 1) % s.cfg.N
+		s.send(e.at, e.to, next, kVote, e.seq)
+	case kVote:
+		s.votes[e.seq]++
+		if s.votes[e.seq] == s.nf-1 {
+			// QC formed: the chained pipeline amortizes one decision per
+			// round.
+			s.complete(e.seq, e.at)
+		}
+	}
+}

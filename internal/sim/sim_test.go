@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSequentialRatesMatchRoundModel(t *testing.T) {
+	// With zero computation and uniform delay d, sequential throughput is
+	// 1/(rounds × d): 3 rounds for PoE and PBFT, 2 for HotStuff (§IV-I).
+	for _, tc := range []struct {
+		p      Protocol
+		rounds float64
+	}{{PoE, 3}, {PBFT, 3}, {HotStuff, 2}} {
+		for _, n := range []int{4, 16, 128} {
+			res := Run(Config{Protocol: tc.p, N: n, Delay: 10 * time.Millisecond, Decisions: 100, Window: 1})
+			want := 1.0 / (tc.rounds * 0.010)
+			if math.Abs(res.DecisionsPS-want)/want > 0.05 {
+				t.Errorf("%v n=%d: got %.1f dec/s, want ≈%.1f", tc.p, n, res.DecisionsPS, want)
+			}
+		}
+	}
+}
+
+func TestDoublingDelayHalvesThroughput(t *testing.T) {
+	r10 := Run(Config{Protocol: PoE, N: 16, Delay: 10 * time.Millisecond, Decisions: 100, Window: 1})
+	r20 := Run(Config{Protocol: PoE, N: 16, Delay: 20 * time.Millisecond, Decisions: 100, Window: 1})
+	ratio := r10.DecisionsPS / r20.DecisionsPS
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("expected 2x, got %.2fx", ratio)
+	}
+}
+
+func TestThroughputIndependentOfN(t *testing.T) {
+	// Fig 11: without out-of-order processing, replica count does not
+	// matter (bandwidth is not modelled).
+	r4 := Run(Config{Protocol: PBFT, N: 4, Delay: 10 * time.Millisecond, Decisions: 100, Window: 1})
+	r128 := Run(Config{Protocol: PBFT, N: 128, Delay: 10 * time.Millisecond, Decisions: 100, Window: 1})
+	if math.Abs(r4.DecisionsPS-r128.DecisionsPS)/r4.DecisionsPS > 0.05 {
+		t.Errorf("n=4: %.1f vs n=128: %.1f", r4.DecisionsPS, r128.DecisionsPS)
+	}
+}
+
+func TestOutOfOrderMultiplier(t *testing.T) {
+	// Fig 11's last plot: a 250-deep window raises throughput by roughly
+	// the window factor even with 128 replicas.
+	seq := Run(Config{Protocol: PoE, N: 128, Delay: 10 * time.Millisecond, Decisions: 500, Window: 1})
+	ooo := Run(Config{Protocol: PoE, N: 128, Delay: 10 * time.Millisecond, Decisions: 500, Window: 250})
+	factor := ooo.DecisionsPS / seq.DecisionsPS
+	if factor < 100 || factor > 300 {
+		t.Errorf("out-of-order factor %.0f outside the paper's ~200x regime", factor)
+	}
+}
+
+func TestMessageComplexity(t *testing.T) {
+	// PBFT exchanges O(n²) messages per decision, PoE O(n).
+	poe := Run(Config{Protocol: PoE, N: 16, Delay: time.Millisecond, Decisions: 10, Window: 1})
+	pbft := Run(Config{Protocol: PBFT, N: 16, Delay: time.Millisecond, Decisions: 10, Window: 1})
+	if pbft.Messages < 5*poe.Messages {
+		t.Errorf("PBFT messages (%d) not quadratically above PoE (%d)", pbft.Messages, poe.Messages)
+	}
+	perDecision := poe.Messages / 10
+	if perDecision > 3*16 {
+		t.Errorf("PoE per-decision messages %d exceed 3n", perDecision)
+	}
+}

@@ -1,0 +1,290 @@
+// Package store implements the deterministic execution substrate the
+// protocols order transactions for: a key-value table (the paper's YCSB
+// table, §IV) with an undo log that supports the safe rollbacks PoE's
+// speculative execution requires (ingredient I2).
+//
+// All mutating operations are deterministic: on identical inputs applied in
+// identical order, every replica produces identical results and identical
+// state digests (the paper's non-faulty replica determinism assumption,
+// §II-A).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// KV is a deterministic key-value store with sequence-number-granular undo.
+//
+// Apply executes a batch at a sequence number and records undo information;
+// Rollback reverts every batch applied after a given sequence number;
+// Checkpoint discards undo information up to a stable sequence number.
+//
+// KV is safe for concurrent use. The state digest is maintained
+// incrementally as an XOR of per-entry hashes (a set-homomorphic hash), so
+// checkpoint digests are O(1) regardless of table size; this substitutes for
+// hashing a full state snapshot and preserves the property that equal states
+// have equal digests.
+type KV struct {
+	mu    sync.RWMutex
+	data  map[string][]byte
+	marks []seqMark
+	undo  []undoEntry
+	last  types.SeqNum // highest applied sequence number; 0 = none (seq starts at 1)
+	state [32]byte     // incremental state digest
+
+	// zeroWork is the per-operation dummy work for zero-payload execution.
+	zeroWork int
+}
+
+type undoEntry struct {
+	key     string
+	prev    []byte
+	existed bool
+}
+
+type seqMark struct {
+	seq   types.SeqNum
+	start int // index into undo of this batch's first entry
+}
+
+// New creates an empty store.
+func New() *KV {
+	return &KV{data: make(map[string][]byte), zeroWork: 64}
+}
+
+// Load bulk-loads initial records without recording undo information or
+// advancing the applied sequence number. Used to pre-populate the YCSB table
+// identically on every replica before the experiment starts.
+func (kv *KV) Load(records map[string][]byte) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	for k, v := range records {
+		old, existed := kv.data[k]
+		kv.state = xorDigest(kv.state, entryHash(k, old, existed))
+		val := append([]byte(nil), v...)
+		kv.data[k] = val
+		kv.state = xorDigest(kv.state, entryHash(k, val, true))
+	}
+}
+
+// Len returns the number of keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// Get reads a key outside any transaction (for tests and tooling).
+func (kv *KV) Get(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// LastApplied returns the highest applied sequence number (0 if none).
+func (kv *KV) LastApplied() types.SeqNum {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.last
+}
+
+// ErrOutOfOrder is returned when a batch is applied at a sequence number that
+// is not exactly LastApplied()+1.
+type ErrOutOfOrder struct {
+	Want, Got types.SeqNum
+}
+
+func (e *ErrOutOfOrder) Error() string {
+	return fmt.Sprintf("store: apply out of order: want seq %d, got %d", e.Want, e.Got)
+}
+
+// Apply executes batch as the seq-th batch. Sequence numbers start at 1 and
+// must be applied consecutively; replicas enforce ordered execution before
+// calling Apply (Fig 3, Line 20 of the paper).
+func (kv *KV) Apply(seq types.SeqNum, batch *types.Batch) ([]types.Result, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if seq != kv.last+1 {
+		return nil, &ErrOutOfOrder{Want: kv.last + 1, Got: seq}
+	}
+	kv.marks = append(kv.marks, seqMark{seq: seq, start: len(kv.undo)})
+	kv.last = seq
+
+	if batch.ZeroPayload {
+		// The paper's zero-payload mode: execute dummy instructions, touch
+		// no state. Results are still produced so clients receive INFORMs.
+		var scratch [8]byte
+		for i := 0; i < batch.ZeroCount; i++ {
+			for j := 0; j < kv.zeroWork; j++ {
+				binary.BigEndian.PutUint64(scratch[:], uint64(i)^uint64(j))
+			}
+		}
+		_ = scratch
+		results := make([]types.Result, len(batch.Requests))
+		for i := range batch.Requests {
+			results[i] = types.Result{Client: batch.Requests[i].Txn.Client, Seq: batch.Requests[i].Txn.Seq}
+		}
+		return results, nil
+	}
+
+	results := make([]types.Result, len(batch.Requests))
+	for i := range batch.Requests {
+		txn := &batch.Requests[i].Txn
+		res := types.Result{Client: txn.Client, Seq: txn.Seq}
+		for _, op := range txn.Ops {
+			switch op.Kind {
+			case types.OpRead:
+				v, ok := kv.data[op.Key]
+				if ok {
+					res.Values = append(res.Values, append([]byte(nil), v...))
+				} else {
+					res.Values = append(res.Values, nil)
+				}
+			case types.OpWrite:
+				old, existed := kv.data[op.Key]
+				kv.undo = append(kv.undo, undoEntry{key: op.Key, prev: old, existed: existed})
+				kv.state = xorDigest(kv.state, entryHash(op.Key, old, existed))
+				val := append([]byte(nil), op.Value...)
+				kv.data[op.Key] = val
+				kv.state = xorDigest(kv.state, entryHash(op.Key, val, true))
+				res.Values = append(res.Values, nil)
+			case types.OpNoop:
+				var scratch [8]byte
+				for j := 0; j < kv.zeroWork; j++ {
+					binary.BigEndian.PutUint64(scratch[:], uint64(j))
+				}
+				res.Values = append(res.Values, nil)
+			}
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// Rollback reverts every batch applied with sequence number greater than
+// toSeq. It is the paper's "rollback any executed transactions not in
+// NV-PROPOSE" (Fig 5, Line 14). Rolling back below the last checkpoint is an
+// error: undo information before a checkpoint has been discarded.
+func (kv *KV) Rollback(toSeq types.SeqNum) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if toSeq >= kv.last {
+		return nil
+	}
+	// Find the first mark with seq > toSeq.
+	idx := len(kv.marks)
+	for i, m := range kv.marks {
+		if m.seq > toSeq {
+			idx = i
+			break
+		}
+	}
+	if idx == len(kv.marks) {
+		// kv.last > toSeq but no retained mark exceeds toSeq: the undo
+		// information was discarded by a checkpoint.
+		return fmt.Errorf("store: cannot rollback to seq %d: undo log truncated by checkpoint", toSeq)
+	}
+	if kv.marks[idx].seq != toSeq+1 {
+		// A checkpoint discarded the batches immediately above toSeq; the
+		// retained suffix is not contiguous with toSeq.
+		return fmt.Errorf("store: cannot rollback to seq %d: oldest undo mark is seq %d", toSeq, kv.marks[idx].seq)
+	}
+	cut := len(kv.undo)
+	if idx < len(kv.marks) {
+		cut = kv.marks[idx].start
+	}
+	for i := len(kv.undo) - 1; i >= cut; i-- {
+		e := kv.undo[i]
+		cur, curExisted := kv.data[e.key]
+		kv.state = xorDigest(kv.state, entryHash(e.key, cur, curExisted))
+		if e.existed {
+			kv.data[e.key] = e.prev
+			kv.state = xorDigest(kv.state, entryHash(e.key, e.prev, true))
+		} else {
+			delete(kv.data, e.key)
+		}
+	}
+	kv.undo = kv.undo[:cut]
+	kv.marks = kv.marks[:idx]
+	kv.last = toSeq
+	return nil
+}
+
+// Checkpoint declares every batch up to and including seq stable and
+// discards their undo information (the paper's periodic checkpoint protocol,
+// §II-D). After Checkpoint(seq), Rollback below seq fails.
+func (kv *KV) Checkpoint(seq types.SeqNum) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	idx := len(kv.marks)
+	for i, m := range kv.marks {
+		if m.seq > seq {
+			idx = i
+			break
+		}
+	}
+	if idx == 0 {
+		return
+	}
+	cut := len(kv.undo)
+	if idx < len(kv.marks) {
+		cut = kv.marks[idx].start
+	}
+	kv.undo = append([]undoEntry(nil), kv.undo[cut:]...)
+	kv.marks = append([]seqMark(nil), kv.marks[idx:]...)
+	for i := range kv.marks {
+		kv.marks[i].start -= cut
+	}
+}
+
+// UndoLen returns the number of pending undo entries (for the checkpoint
+// ablation benchmark).
+func (kv *KV) UndoLen() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.undo)
+}
+
+// StateDigest returns the incremental digest of the current table state
+// combined with the last applied sequence number. Two replicas with equal
+// digests have applied the same writes.
+func (kv *KV) StateDigest() types.Digest {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var buf [40]byte
+	copy(buf[:32], kv.state[:])
+	binary.BigEndian.PutUint64(buf[32:], uint64(kv.last))
+	return sha256.Sum256(buf[:])
+}
+
+func entryHash(key string, val []byte, existed bool) [32]byte {
+	if !existed {
+		return [32]byte{} // absent entries contribute nothing
+	}
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(key)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(key))
+	h.Write(val)
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
+func xorDigest(a, b [32]byte) [32]byte {
+	var out [32]byte
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}

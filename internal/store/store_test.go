@@ -1,0 +1,207 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+func writeBatch(kvs ...string) *types.Batch {
+	b := &types.Batch{}
+	for i := 0; i+1 < len(kvs); i += 2 {
+		b.Requests = append(b.Requests, types.Request{Txn: types.Transaction{
+			Client: types.ClientIDBase, Seq: uint64(i + 1),
+			Ops: []types.Op{{Kind: types.OpWrite, Key: kvs[i], Value: []byte(kvs[i+1])}},
+		}})
+	}
+	return b
+}
+
+func TestApplyOrdering(t *testing.T) {
+	kv := New()
+	if _, err := kv.Apply(2, writeBatch("a", "1")); err == nil {
+		t.Fatal("applying seq 2 first should fail")
+	}
+	if _, err := kv.Apply(1, writeBatch("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Apply(1, writeBatch("a", "2")); err == nil {
+		t.Fatal("re-applying seq 1 should fail")
+	}
+	if v, _ := kv.Get("a"); string(v) != "1" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestReadResults(t *testing.T) {
+	kv := New()
+	kv.Load(map[string][]byte{"x": []byte("init")})
+	b := &types.Batch{Requests: []types.Request{{Txn: types.Transaction{
+		Client: types.ClientIDBase, Seq: 1,
+		Ops: []types.Op{{Kind: types.OpRead, Key: "x"}, {Kind: types.OpRead, Key: "missing"}},
+	}}}}
+	res, err := kv.Apply(1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res[0].Values[0]) != "init" || res[0].Values[1] != nil {
+		t.Fatalf("unexpected read results: %v", res[0].Values)
+	}
+}
+
+func TestRollbackRestoresStateAndDigest(t *testing.T) {
+	kv := New()
+	kv.Load(map[string][]byte{"a": []byte("base")})
+	d0 := kv.StateDigest()
+	if _, err := kv.Apply(1, writeBatch("a", "1", "b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Apply(2, writeBatch("a", "3", "c", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Rollback(0); err != nil {
+		t.Fatal(err)
+	}
+	if kv.StateDigest() != d0 {
+		t.Fatal("digest not restored by rollback")
+	}
+	if v, _ := kv.Get("a"); string(v) != "base" {
+		t.Fatalf("a = %q after rollback", v)
+	}
+	if _, ok := kv.Get("b"); ok {
+		t.Fatal("b should not exist after rollback")
+	}
+	if kv.LastApplied() != 0 {
+		t.Fatalf("last applied %d", kv.LastApplied())
+	}
+}
+
+func TestCheckpointBlocksDeepRollback(t *testing.T) {
+	kv := New()
+	for s := types.SeqNum(1); s <= 4; s++ {
+		if _, err := kv.Apply(s, writeBatch("k", fmt.Sprint(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv.Checkpoint(2)
+	if err := kv.Rollback(1); err == nil {
+		t.Fatal("rollback below checkpoint must fail")
+	}
+	if err := kv.Rollback(2); err != nil {
+		t.Fatalf("rollback to checkpoint: %v", err)
+	}
+	if v, _ := kv.Get("k"); string(v) != "2" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestZeroPayloadApply(t *testing.T) {
+	kv := New()
+	d0 := kv.StateDigest()
+	b := &types.Batch{ZeroPayload: true, ZeroCount: 100, Requests: []types.Request{
+		{Txn: types.Transaction{Client: types.ClientIDBase, Seq: 1}},
+	}}
+	res, err := kv.Apply(1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("want 1 result, got %d", len(res))
+	}
+	// Zero-payload execution touches no state, but the applied sequence
+	// number advances (it participates in the digest).
+	if kv.LastApplied() != 1 {
+		t.Fatal("seq did not advance")
+	}
+	if kv.StateDigest() == d0 {
+		t.Fatal("digest should incorporate the applied seq")
+	}
+}
+
+// TestQuickRollbackIsInverse: applying any random batch sequence and rolling
+// it back restores the exact state digest — the invariant PoE's safe
+// rollbacks (ingredient I2) rest on.
+func TestQuickRollbackIsInverse(t *testing.T) {
+	f := func(seed int64, nBatches uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kv := New()
+		base := map[string][]byte{}
+		for i := 0; i < 16; i++ {
+			base[fmt.Sprintf("k%d", i)] = []byte{byte(rng.Intn(256))}
+		}
+		kv.Load(base)
+		d0 := kv.StateDigest()
+		n := int(nBatches%8) + 1
+		for s := 1; s <= n; s++ {
+			b := &types.Batch{}
+			ops := rng.Intn(4) + 1
+			txn := types.Transaction{Client: types.ClientIDBase, Seq: uint64(s)}
+			for o := 0; o < ops; o++ {
+				key := fmt.Sprintf("k%d", rng.Intn(24)) // may create new keys
+				if rng.Intn(3) == 0 {
+					txn.Ops = append(txn.Ops, types.Op{Kind: types.OpRead, Key: key})
+				} else {
+					txn.Ops = append(txn.Ops, types.Op{Kind: types.OpWrite, Key: key, Value: []byte{byte(rng.Intn(256))}})
+				}
+			}
+			b.Requests = append(b.Requests, types.Request{Txn: txn})
+			if _, err := kv.Apply(types.SeqNum(s), b); err != nil {
+				return false
+			}
+		}
+		if err := kv.Rollback(0); err != nil {
+			return false
+		}
+		return kv.StateDigest() == d0 && kv.UndoLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPartialRollback: rolling back to an intermediate point equals
+// never having applied the suffix.
+func TestQuickPartialRollback(t *testing.T) {
+	f := func(seed int64, cut uint8) bool {
+		total := 6
+		k := int(cut%uint8(total)) + 1
+
+		mk := func(r *rand.Rand, s int) *types.Batch {
+			txn := types.Transaction{Client: types.ClientIDBase, Seq: uint64(s)}
+			for o := 0; o < 3; o++ {
+				txn.Ops = append(txn.Ops, types.Op{
+					Kind: types.OpWrite, Key: fmt.Sprintf("k%d", r.Intn(8)),
+					Value: []byte{byte(r.Intn(256))},
+				})
+			}
+			return &types.Batch{Requests: []types.Request{{Txn: txn}}}
+		}
+
+		// World A: apply all, roll back to k.
+		rngA := rand.New(rand.NewSource(seed))
+		a := New()
+		for s := 1; s <= total; s++ {
+			if _, err := a.Apply(types.SeqNum(s), mk(rngA, s)); err != nil {
+				return false
+			}
+		}
+		if err := a.Rollback(types.SeqNum(k)); err != nil {
+			return false
+		}
+		// World B: apply only the prefix.
+		rngB := rand.New(rand.NewSource(seed))
+		bst := New()
+		for s := 1; s <= k; s++ {
+			if _, err := bst.Apply(types.SeqNum(s), mk(rngB, s)); err != nil {
+				return false
+			}
+		}
+		return a.StateDigest() == bst.StateDigest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package types
+
+import "fmt"
+
+// NodeID addresses any participant — replica or client — in one address
+// space, so a single transport can route both. Replica nodes are their
+// replica ID; client nodes are offset by ClientIDBase.
+type NodeID int32
+
+// ReplicaNode converts a replica ID to a node address.
+func ReplicaNode(id ReplicaID) NodeID { return NodeID(id) }
+
+// ClientNode converts a client ID to a node address.
+func ClientNode(id ClientID) NodeID { return NodeID(id) }
+
+// IsReplica reports whether the node is a replica.
+func (n NodeID) IsReplica() bool { return n < NodeID(ClientIDBase) }
+
+// IsClient reports whether the node is a client.
+func (n NodeID) IsClient() bool { return n >= NodeID(ClientIDBase) }
+
+// Replica returns the replica ID of a replica node.
+func (n NodeID) Replica() ReplicaID { return ReplicaID(n) }
+
+// Client returns the client ID of a client node.
+func (n NodeID) Client() ClientID { return ClientID(n) }
+
+func (n NodeID) String() string {
+	if n.IsClient() {
+		return fmt.Sprintf("c%d", int32(n.Client()-ClientIDBase))
+	}
+	return fmt.Sprintf("r%d", int32(n))
+}
+
+// NthClient returns the node address of the i-th client (0-based).
+func NthClient(i int) NodeID { return NodeID(ClientIDBase) + NodeID(i) }

@@ -1,0 +1,208 @@
+// Package types defines the identifiers, transactions, requests, and batches
+// shared by every consensus protocol in this repository.
+//
+// The types mirror the system model of the PoE paper (§II-A): a system is a
+// tuple (R, C) of replicas and clients; replicas have dense integer
+// identifiers 0 ≤ id < n; protocols operate in views v = 0, 1, ... and order
+// transactions by sequence number k.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// ReplicaID identifies a replica. IDs are dense: 0 ≤ id < n.
+type ReplicaID int32
+
+// ClientID identifies a client. Client IDs are disjoint from replica IDs; by
+// convention they start at ClientIDBase.
+type ClientID int32
+
+// ClientIDBase is the first client identifier. Replica IDs are always below
+// it, which lets a transport route both kinds of node through one address
+// space.
+const ClientIDBase ClientID = 1 << 20
+
+// View numbers a configuration with a fixed primary. In view v the replica
+// with id(R) = v mod n is the primary.
+type View uint64
+
+// SeqNum is the position of a transaction (or batch) in the global order.
+type SeqNum uint64
+
+// Primary returns the primary replica of view v in a system of n replicas.
+func (v View) Primary(n int) ReplicaID {
+	return ReplicaID(uint64(v) % uint64(n))
+}
+
+// Digest is a SHA-256 hash value used to identify transactions, batches, and
+// blocks.
+type Digest [32]byte
+
+// ZeroDigest is the zero value of Digest, used for genesis links.
+var ZeroDigest Digest
+
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+// IsZero reports whether the digest is all zeroes.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// DigestBytes hashes an arbitrary byte string.
+func DigestBytes(b []byte) Digest { return sha256.Sum256(b) }
+
+// DigestConcat hashes the concatenation of the given byte strings with
+// unambiguous length framing, so DigestConcat(a, b) != DigestConcat(a||b).
+func DigestConcat(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// ProposalDigest computes h = D(k || v || payload-digest), the value signed in
+// SUPPORT messages (Fig 3, Line 13 of the paper).
+func ProposalDigest(k SeqNum, v View, payload Digest) Digest {
+	var buf [16 + 32]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(k))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(v))
+	copy(buf[16:], payload[:])
+	return sha256.Sum256(buf[:])
+}
+
+// OpKind is the kind of a key-value operation inside a transaction.
+type OpKind uint8
+
+const (
+	// OpRead reads a key.
+	OpRead OpKind = iota
+	// OpWrite writes a key.
+	OpWrite
+	// OpNoop executes a fixed amount of dummy work and touches no state.
+	// Used by the paper's zero-payload experiments.
+	OpNoop
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is a single key-value operation.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+}
+
+// Transaction is a client-issued unit of work: an ordered list of operations
+// executed atomically and deterministically by every replica.
+type Transaction struct {
+	Client    ClientID
+	Seq       uint64 // client-local sequence number, for deduplication
+	Ops       []Op
+	TimeNanos int64 // client send time; carried through for latency accounting
+}
+
+// Digest returns a collision-resistant identifier of the transaction.
+func (t *Transaction) Digest() Digest {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(t.Client))
+	h.Write(buf[:4])
+	binary.BigEndian.PutUint64(buf[:], t.Seq)
+	h.Write(buf[:])
+	for _, op := range t.Ops {
+		h.Write([]byte{byte(op.Kind)})
+		binary.BigEndian.PutUint64(buf[:], uint64(len(op.Key)))
+		h.Write(buf[:])
+		h.Write([]byte(op.Key))
+		binary.BigEndian.PutUint64(buf[:], uint64(len(op.Value)))
+		h.Write(buf[:])
+		h.Write(op.Value)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Request is a signed transaction 〈T〉c: the transaction plus the client's
+// signature over its digest. Signatures assure that malicious primaries
+// cannot forge transactions (§II-B).
+type Request struct {
+	Txn Transaction
+	Sig []byte // client signature over Txn.Digest()
+}
+
+// Digest returns the digest of the wrapped transaction.
+func (r *Request) Digest() Digest { return r.Txn.Digest() }
+
+// Batch aggregates client requests proposed under one sequence number
+// (§III "Batching"). A batch with an empty request list and ZeroPayload set
+// models the paper's zero-payload experiments: replicas execute dummy
+// instructions but no request bytes travel in PROPOSE messages.
+type Batch struct {
+	Requests    []Request
+	ZeroPayload bool
+	// ZeroCount is the number of dummy executions a zero-payload batch
+	// stands for (the paper uses 100).
+	ZeroCount int
+}
+
+// Size returns the number of logical transactions the batch carries.
+func (b *Batch) Size() int {
+	if b.ZeroPayload {
+		return b.ZeroCount
+	}
+	return len(b.Requests)
+}
+
+// Digest identifies the batch contents.
+func (b *Batch) Digest() Digest {
+	h := sha256.New()
+	if b.ZeroPayload {
+		var buf [9]byte
+		buf[0] = 1
+		binary.BigEndian.PutUint64(buf[1:], uint64(b.ZeroCount))
+		h.Write(buf[:])
+	}
+	for i := range b.Requests {
+		d := b.Requests[i].Digest()
+		h.Write(d[:])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Result is the outcome of executing one transaction.
+type Result struct {
+	Client ClientID
+	Seq    uint64 // client-local sequence number of the executed transaction
+	Values [][]byte
+}
+
+// ExecRecord logs ExecuteR(〈T〉c, k, v): the fact that a batch was executed
+// at sequence k in view v, together with the certificate that justified it.
+type ExecRecord struct {
+	Seq    SeqNum
+	View   View
+	Digest Digest // batch digest
+	Proof  []byte // certificate (threshold signature / support proof)
+	Batch  Batch
+}

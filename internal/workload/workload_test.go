@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	a := NewGenerator(cfg, types.ClientIDBase)
+	b := NewGenerator(cfg, types.ClientIDBase)
+	for i := 0; i < 100; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Digest() != tb.Digest() {
+			t.Fatalf("generators diverged at txn %d", i)
+		}
+	}
+	c := NewGenerator(cfg, types.ClientIDBase+1)
+	ta, tc := a.Next(), c.Next()
+	if ta.Digest() == tc.Digest() {
+		t.Fatal("different clients produced identical transactions")
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	g := NewGenerator(cfg, types.ClientIDBase)
+	writes, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		txn := g.Next()
+		for _, op := range txn.Ops {
+			total++
+			if op.Kind == types.OpWrite {
+				writes++
+			}
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("write fraction %.3f, want ≈0.9 (paper's 90%% writes)", frac)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// With skew 0.9 the head of the distribution must be dramatically
+	// hotter than a uniform draw: the top 1% of records should absorb well
+	// over 10% of accesses (uniform would give 1%).
+	cfg := DefaultConfig(10000)
+	g := NewGenerator(cfg, types.ClientIDBase)
+	counts := make(map[string]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		txn := g.Next()
+		counts[txn.Ops[0].Key]++
+	}
+	hot := 0
+	for i := 0; i < 100; i++ { // the Gray et al. method maps low ranks to hot keys
+		hot += counts[Key(i)]
+	}
+	if float64(hot)/draws < 0.10 {
+		t.Fatalf("top-100 keys got %.1f%% of accesses; distribution not skewed", 100*float64(hot)/draws)
+	}
+}
+
+func TestInitialTableShape(t *testing.T) {
+	cfg := DefaultConfig(500)
+	table := InitialTable(cfg)
+	if len(table) != 500 {
+		t.Fatalf("got %d records", len(table))
+	}
+	for k, v := range table {
+		if len(v) != cfg.ValueSize {
+			t.Fatalf("record %s has %d bytes, want %d", k, len(v), cfg.ValueSize)
+		}
+	}
+}
+
+// TestQuickKeysInRange: every generated operation touches a key inside the
+// table, for any table size.
+func TestQuickKeysInRange(t *testing.T) {
+	f := func(recs uint16, seed int64) bool {
+		n := int(recs%5000) + 2
+		cfg := DefaultConfig(n)
+		cfg.Seed = seed
+		g := NewGenerator(cfg, types.ClientIDBase)
+		valid := make(map[string]bool, n)
+		for i := 0; i < n; i++ {
+			valid[Key(i)] = true
+		}
+		for i := 0; i < 50; i++ {
+			for _, op := range g.Next().Ops {
+				if !valid[op.Key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/poexec/poe
+
+go 1.21

@@ -184,11 +184,13 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 // Round returns the current round (racy while running; for tests).
 func (r *Replica) Round() types.View { return r.curRound }
 
-// Run processes messages until ctx is cancelled.
+// Run processes messages until ctx is cancelled. Inbound messages pass
+// through the parallel authentication pipeline (verify.go), so the loop
+// below performs no asymmetric crypto of its own on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
-	inbox := r.rt.Net.Inbox()
+	inbox := r.rt.StartPipeline(ctx, r.verifyInbound)
 	for {
 		select {
 		case <-ctx.Done():
@@ -210,7 +212,8 @@ func (r *Replica) dispatch(env network.Envelope) {
 	case *protocol.ClientRequest:
 		r.onClientRequest(env.From, &m.Req)
 	case *protocol.ForwardRequest:
-		if r.rt.VerifyClientRequest(&m.Req) && !r.rt.ReplayReply(&m.Req) {
+		// The request signature was checked by the authentication pipeline.
+		if !r.rt.ReplayReply(&m.Req) {
 			r.enqueue(m.Req)
 		}
 	case *Proposal:
@@ -238,7 +241,8 @@ func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
 	if !from.IsClient() || req.Txn.Client != from.Client() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	// The request signature was checked by the authentication pipeline.
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	r.enqueue(*req)
@@ -349,16 +353,9 @@ func (r *Replica) onProposal(from types.ReplicaID, m *Proposal) {
 	if node.Round < r.curRound || Leader(cfg.N, node.Round) != from {
 		return
 	}
-	if from != cfg.ID {
-		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
-			return
-		}
-		for i := range node.Batch.Requests {
-			if !r.rt.VerifyClientRequest(&node.Batch.Requests[i]) {
-				return
-			}
-		}
-	}
+	// Authenticator and client signatures were verified by the
+	// authentication pipeline before dispatch; the QC re-check below is a
+	// certificate-memo hit.
 	if !r.verifyQC(node.Justify) || node.Justify.Node != node.ParentHash {
 		return
 	}

@@ -1,0 +1,61 @@
+package hotstuff
+
+import (
+	"github.com/poexec/poe/internal/network"
+)
+
+// HotStuff's hook into the parallel authentication pipeline: proposal
+// authenticators, per-request client signatures, vote shares (which sign the
+// node hash carried in the vote itself), and quorum certificates are
+// verified on worker goroutines before dispatch. See the poe package's
+// verify.go for the pipeline's ownership and concurrency rules.
+
+func (r *Replica) verifyInbound(env *network.Envelope) bool {
+	rt := r.rt
+	if keep, handled := rt.VerifyCommonInbound(env); handled {
+		return keep
+	}
+	switch m := env.Msg.(type) {
+	case *Proposal:
+		// A replica's own messages reach its handlers by direct call, never
+		// over the network: an inbound envelope claiming our identity is a
+		// spoof, not a loopback.
+		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
+			return false
+		}
+		cp := *m
+		cp.Node.Batch = m.Node.Batch.Clone()
+		env.Msg = &cp
+		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+			return false
+		}
+		if !rt.VerifyBatch(&cp.Node.Batch) {
+			return false
+		}
+		// Prove the justifying QC here; the handler's verifyQC re-check is a
+		// certificate-memo hit.
+		return r.verifyQC(cp.Node.Justify)
+	case *Vote:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		// Vote shares sign the node hash the vote itself carries, so they
+		// are verifiable without any replica state.
+		return rt.TS.VerifyShare(m.Node[:], m.Share)
+	case *NewView:
+		return r.verifyQC(m.High)
+	case *NodeBundle:
+		cp := *m
+		cp.Nodes = append([]Node(nil), m.Nodes...)
+		for i := range cp.Nodes {
+			cp.Nodes[i].Batch = cp.Nodes[i].Batch.Clone()
+			cp.Nodes[i].Batch.MemoizeDigests()
+			// Warm the certificate memo; the handler skips nodes whose QC
+			// fails, so an invalid entry doesn't condemn the bundle.
+			r.verifyQC(cp.Nodes[i].Justify)
+		}
+		env.Msg = &cp
+		return true
+	}
+	return true
+}

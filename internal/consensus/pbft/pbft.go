@@ -205,11 +205,13 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 // View returns the current view (racy while running; for tests).
 func (r *Replica) View() types.View { return r.view }
 
-// Run processes messages until ctx is cancelled.
+// Run processes messages until ctx is cancelled. Inbound messages pass
+// through the parallel authentication pipeline (verify.go), so the loop
+// below performs no asymmetric crypto of its own on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
-	inbox := r.rt.Net.Inbox()
+	inbox := r.rt.StartPipeline(ctx, r.verifyInbound)
 	for {
 		select {
 		case <-ctx.Done():
@@ -267,7 +269,8 @@ func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
 	if !from.IsClient() || req.Txn.Client != from.Client() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	// The request signature was checked by the authentication pipeline.
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	if r.status != statusNormal {
@@ -287,7 +290,7 @@ func (r *Replica) onForwardRequest(req *types.Request) {
 	if r.status != statusNormal || !r.isPrimary() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	r.rt.Batcher.Add(*req)
@@ -348,20 +351,17 @@ func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
 	if s.haveBatch {
 		return
 	}
-	if from != cfg.ID {
-		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
-			return
-		}
-		for i := range m.Batch.Requests {
-			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
-				return
-			}
-		}
-	}
+	// Broadcast authenticator and client signatures were verified by the
+	// authentication pipeline before dispatch.
 	s.view = m.View
 	s.haveBatch = true
 	s.batch = m.Batch
 	s.digest = types.ProposalDigest(m.Seq, m.View, m.Batch.Digest())
+	// Register both phase payloads so the pipeline verifies prepare and
+	// commit shares for this slot off the event loop.
+	cd := commitDigest(s.digest)
+	r.rt.Pipeline.NoteDigest(kindPrepare, m.View, m.Seq, s.digest[:])
+	r.rt.Pipeline.NoteDigest(kindCommit, m.View, m.Seq, cd[:])
 	// Broadcast PREPARE and count our own.
 	p := &Prepare{View: m.View, Seq: m.Seq, Share: r.rt.TS.Share(s.digest[:])}
 	r.rt.Broadcast(p)
@@ -394,15 +394,9 @@ func (r *Replica) tryPrepared(seq types.SeqNum, s *slot) {
 		return
 	}
 	// Shares may have arrived before the pre-prepare fixed the digest;
-	// validate them now and drop mismatches.
-	shares := make([]crypto.Share, 0, len(s.prepares))
-	for id, sh := range s.prepares {
-		if r.rt.TS.VerifyShare(s.digest[:], sh) {
-			shares = append(shares, sh)
-		} else {
-			delete(s.prepares, id)
-		}
-	}
+	// validate them now (in parallel; pipeline-verified shares are memo
+	// hits) and drop mismatches.
+	shares := crypto.FilterValidShares(r.rt.TS, s.digest[:], s.prepares)
 	if len(shares) < r.rt.Cfg.NF() {
 		return
 	}
@@ -444,14 +438,7 @@ func (r *Replica) tryCommitted(seq types.SeqNum, s *slot) {
 		return
 	}
 	cd := commitDigest(s.digest)
-	shares := make([]crypto.Share, 0, len(s.commits))
-	for id, sh := range s.commits {
-		if r.rt.TS.VerifyShare(cd[:], sh) {
-			shares = append(shares, sh)
-		} else {
-			delete(s.commits, id)
-		}
-	}
+	shares := crypto.FilterValidShares(r.rt.TS, cd[:], s.commits)
 	if len(shares) < r.rt.Cfg.NF() {
 		return
 	}
@@ -481,6 +468,7 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
 		}
 		delete(r.slots, ev.Rec.Seq)
+		r.rt.Pipeline.ForgetDigests(ev.Rec.View, ev.Rec.Seq)
 		r.rt.MaybeCheckpoint(ev.Rec.Seq)
 	}
 	r.proposeReady(false)
@@ -832,6 +820,9 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
 	r.slots = make(map[types.SeqNum]*slot)
+	// Every share payload in the pipeline's digest table belongs to the old
+	// view's slots; drop them with the slots.
+	r.rt.Pipeline.Reset()
 	for target := range r.vcVotes {
 		if target <= v {
 			delete(r.vcVotes, target)

@@ -1,0 +1,75 @@
+package pbft
+
+import (
+	"github.com/poexec/poe/internal/network"
+)
+
+// PBFT's hook into the parallel authentication pipeline: broadcast
+// authenticators, per-request client signatures, and (once the pre-prepare
+// has registered the slot digest) prepare/commit shares are verified on
+// worker goroutines before dispatch. See the poe package's verify.go for the
+// pipeline's ownership and concurrency rules.
+
+// Share-payload kinds in the pipeline's digest table.
+const (
+	kindPrepare uint8 = 0 // h = D(k||v||D(batch))
+	kindCommit  uint8 = 1 // D("pbft-commit" || h)
+)
+
+func (r *Replica) verifyInbound(env *network.Envelope) bool {
+	rt := r.rt
+	if keep, handled := rt.VerifyCommonInbound(env); handled {
+		return keep
+	}
+	switch m := env.Msg.(type) {
+	case *PrePrepare:
+		// A replica's own messages reach its handlers by direct call, never
+		// over the network: an inbound envelope claiming our identity is a
+		// spoof, not a loopback.
+		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
+			return false
+		}
+		cp := *m
+		cp.Batch = m.Batch.Clone()
+		env.Msg = &cp
+		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+			return false
+		}
+		return rt.VerifyBatch(&cp.Batch)
+	case *Prepare:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		return rt.Pipeline.VerifyShareFor(rt.TS, kindPrepare, m.View, m.Seq, m.Share)
+	case *Commit:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		return rt.Pipeline.VerifyShareFor(rt.TS, kindCommit, m.View, m.Seq, m.Share)
+	case *VCRequest:
+		env.Msg = cloneVCRequest(m)
+		return true
+	case *NVPropose:
+		cp := *m
+		cp.Requests = make([]VCRequest, len(m.Requests))
+		for i := range m.Requests {
+			cp.Requests[i] = *cloneVCRequest(&m.Requests[i])
+		}
+		env.Msg = &cp
+		return true
+	}
+	return true
+}
+
+// cloneVCRequest gives the replica its own copy of the prepared entries so
+// digest memoization stays local; signatures and certificates are validated
+// by the view-change path on the event loop (rare, off the normal case).
+func cloneVCRequest(m *VCRequest) *VCRequest {
+	cp := *m
+	cp.Prepared = append([]PreparedEntry(nil), m.Prepared...)
+	for i := range cp.Prepared {
+		cp.Prepared[i].Batch = cp.Prepared[i].Batch.Clone()
+		cp.Prepared[i].Batch.MemoizeDigests()
+	}
+	return &cp
+}

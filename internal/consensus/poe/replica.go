@@ -122,11 +122,15 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 // View returns the replica's current view (for tests; racy while running).
 func (r *Replica) View() types.View { return r.view }
 
-// Run processes messages until the context is cancelled.
+// Run processes messages until the context is cancelled. Inbound messages
+// pass through the parallel authentication pipeline: their authenticators
+// are verified on worker goroutines and invalid messages are dropped, so
+// the loop below — the replica state machine — performs no asymmetric
+// crypto of its own on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
-	inbox := r.rt.Net.Inbox()
+	inbox := r.rt.StartPipeline(ctx, r.verifyInbound)
 	for {
 		select {
 		case <-ctx.Done():
@@ -177,10 +181,8 @@ func (r *Replica) primaryNode() types.NodeID {
 // --- client requests ---
 
 func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
+	// Origin and signature were checked by the authentication pipeline.
 	if !from.IsClient() || req.Txn.Client != from.Client() {
-		return
-	}
-	if !r.rt.VerifyClientRequest(req) {
 		return
 	}
 	if r.rt.ReplayReply(req) {
@@ -205,9 +207,6 @@ func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
 
 func (r *Replica) onForwardRequest(req *types.Request) {
 	if r.status != statusNormal || !r.isPrimary() {
-		return
-	}
-	if !r.rt.VerifyClientRequest(req) {
 		return
 	}
 	if r.rt.ReplayReply(req) {
@@ -296,20 +295,16 @@ func (r *Replica) handlePropose(from types.ReplicaID, m *Propose) {
 	if s.haveBatch {
 		return // only the first k-th proposal in a view is supported (Fig 3, Line 12)
 	}
-	if from != cfg.ID {
-		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
-			return
-		}
-		for i := range m.Batch.Requests {
-			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
-				return
-			}
-		}
-	}
+	// Broadcast authenticator and per-request client signatures were already
+	// verified by the authentication pipeline (verify.go); an invalid
+	// proposal never reaches this point.
 	s.view = m.View
 	s.haveBatch = true
 	s.batch = m.Batch
 	s.digest = types.ProposalDigest(m.Seq, m.View, m.Batch.Digest())
+	// Register the SUPPORT payload so the pipeline verifies incoming shares
+	// for this slot off the event loop.
+	r.rt.Pipeline.NoteDigest(kindSupport, m.View, m.Seq, s.digest[:])
 	s.supported = true
 	share := r.rt.TS.Share(s.digest[:])
 	sup := &Support{View: m.View, Seq: m.Seq, Share: share}
@@ -368,9 +363,15 @@ func (r *Replica) addSupport(from types.ReplicaID, m *Support, s *slot) {
 	if _, dup := s.shares[from]; dup {
 		return
 	}
-	// Shares are validated once, inside Combine (which skips invalid ones);
-	// verifying here too would double the asymmetric-crypto cost on the
-	// primary, the protocol's hot path.
+	// Each share is validated at most once per slot, at insertion. The
+	// pipeline usually proved it already (the check below is then a memo
+	// hit), an invalid share is rejected before it can occupy the slot, and
+	// a Byzantine retry can never force the honest shares through another
+	// round of verification — the failure mode that used to make a bad
+	// combine O(n²) in signature checks. Our own share needs no check.
+	if from != r.rt.Cfg.ID && !r.rt.TS.VerifyShare(s.digest[:], m.Share) {
+		return
+	}
 	s.shares[from] = m.Share
 	if len(s.shares) < r.rt.Cfg.NF() {
 		return
@@ -379,15 +380,10 @@ func (r *Replica) addSupport(from types.ReplicaID, m *Support, s *slot) {
 	for _, sh := range s.shares {
 		shares = append(shares, sh)
 	}
+	// Every collected share is pre-validated, so Combine (re-checking via
+	// the share memo) succeeds whenever the threshold count is met.
 	cert, err := r.rt.TS.Combine(s.digest[:], shares)
 	if err != nil {
-		// Some collected shares were invalid (byzantine); drop them so
-		// further supports can push the count back over the threshold.
-		for id, sh := range s.shares {
-			if !r.rt.TS.VerifyShare(s.digest[:], sh) {
-				delete(s.shares, id)
-			}
-		}
 		return
 	}
 	switch r.rt.Cfg.Scheme {
@@ -465,6 +461,7 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
 		}
 		delete(r.slots, ev.Rec.Seq)
+		r.rt.Pipeline.ForgetDigests(ev.Rec.View, ev.Rec.Seq)
 		r.rt.MaybeCheckpoint(ev.Rec.Seq)
 	}
 	r.proposeReady(false)

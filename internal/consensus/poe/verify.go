@@ -1,0 +1,82 @@
+package poe
+
+import (
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// This file is PoE's hook into the parallel authentication pipeline
+// (protocol.Verifier): every inbound message's asymmetric crypto is checked
+// here, on pipeline worker goroutines, before dispatch reaches the replica's
+// event loop. Handlers in replica.go therefore never verify broadcast
+// authenticators or client signatures themselves — delivery implies they
+// were valid — and share/certificate checks they do issue resolve through
+// the crypto layer's memo, warmed here.
+//
+// verifyInbound must not touch replica state (it runs concurrently with the
+// event loop); it reads only the immutable runtime pieces and the pipeline's
+// digest table.
+
+// kindSupport keys the SUPPORT-phase share payload h = D(k||v||D(batch)) in
+// the pipeline's digest table.
+const kindSupport uint8 = 0
+
+func (r *Replica) verifyInbound(env *network.Envelope) bool {
+	rt := r.rt
+	if keep, handled := rt.VerifyCommonInbound(env); handled {
+		return keep
+	}
+	switch m := env.Msg.(type) {
+	case *Propose:
+		// A replica's own messages reach its handlers by direct call, never
+		// over the network: an inbound envelope claiming our identity is a
+		// spoof, not a loopback.
+		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
+			return false
+		}
+		cp := *m
+		cp.Batch = m.Batch.Clone()
+		env.Msg = &cp
+		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+			return false
+		}
+		return rt.VerifyBatch(&cp.Batch)
+	case *Support:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		// If the slot digest is already registered the share is proven (or
+		// dropped) here; otherwise it passes through and the event loop
+		// verifies it at insertion via the share memo.
+		return rt.Pipeline.VerifyShareFor(rt.TS, kindSupport, m.View, m.Seq, m.Share)
+	case *Certify:
+		// Certificates authenticate themselves (§II-E): prove it here so the
+		// handler's re-check is a memo hit.
+		return env.From.IsReplica() && rt.TS.Verify(m.Digest[:], m.Cert)
+	case *VCRequest:
+		// Signature and per-entry certificates are validated by the view-
+		// change path on the event loop (rare, off the normal case); clone so
+		// digest memoization stays replica-local.
+		cp := *m
+		cp.Executed = types.CloneRecords(m.Executed)
+		memoizeRecords(cp.Executed)
+		env.Msg = &cp
+		return true
+	case *NVPropose:
+		cp := *m
+		cp.Requests = append([]VCRequest(nil), m.Requests...)
+		for i := range cp.Requests {
+			cp.Requests[i].Executed = types.CloneRecords(cp.Requests[i].Executed)
+			memoizeRecords(cp.Requests[i].Executed)
+		}
+		env.Msg = &cp
+		return true
+	}
+	return true
+}
+
+func memoizeRecords(recs []types.ExecRecord) {
+	for i := range recs {
+		recs[i].Batch.MemoizeDigests()
+	}
+}

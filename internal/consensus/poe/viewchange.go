@@ -263,6 +263,9 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
 	r.slots = make(map[types.SeqNum]*slot)
+	// Every share payload in the pipeline's digest table belongs to the old
+	// view's slots; drop them with the slots.
+	r.rt.Pipeline.Reset()
 	for target := range r.vcVotes {
 		if target <= v {
 			delete(r.vcVotes, target)

@@ -1,6 +1,9 @@
 package protocol
 
 import (
+	"context"
+	"sync"
+
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/network"
@@ -9,9 +12,10 @@ import (
 )
 
 // Runtime bundles the pieces every protocol replica needs: configuration,
-// keys, transport, the ordered executor, the primary-side batcher, metrics,
-// the reply cache, and the shared checkpoint sub-protocol. It corresponds to
-// the per-replica fabric of §III that all five protocols are implemented on.
+// keys, transport, the parallel authentication pipeline, the ordered
+// executor, the primary-side batcher, metrics, the reply cache, and the
+// shared checkpoint sub-protocol. It corresponds to the per-replica fabric
+// of §III that all five protocols are implemented on.
 type Runtime struct {
 	Cfg     Config
 	Ring    *crypto.KeyRing
@@ -22,12 +26,25 @@ type Runtime struct {
 	Batcher *Batcher
 	Metrics *Metrics
 
+	// Pipeline is the replica's authentication pipeline, set by
+	// StartPipeline when the replica's Run loop starts.
+	Pipeline *Verifier
+
+	// reqSeen remembers digests of client requests whose signature this
+	// replica has already verified, so retransmissions and re-proposals
+	// (view changes, rotating leaders) don't pay Ed25519 twice. Guarded by
+	// reqMu: the pipeline verifies from worker goroutines.
+	reqMu   sync.Mutex
+	reqSeen map[types.Digest]struct{}
+
 	// lastReply caches the most recent Inform per client so duplicates can
 	// be answered without re-execution.
 	lastReply map[types.ClientID]*Inform
 
 	// checkpoint vote bookkeeping
 	cpVotes map[types.SeqNum]map[types.ReplicaID]types.Digest
+
+	verifyWorkers int
 }
 
 // RuntimeOptions tune runtime construction.
@@ -36,6 +53,9 @@ type RuntimeOptions struct {
 	ZeroPayload bool
 	// InitialTable pre-loads the store (identical on every replica).
 	InitialTable map[string][]byte
+	// VerifyWorkers overrides the authentication pipeline's pool size
+	// (default GOMAXPROCS).
+	VerifyWorkers int
 }
 
 // NewRuntime builds a runtime for one replica.
@@ -60,9 +80,15 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		Exec:      NewExecutor(kv, chain),
 		Batcher:   NewBatcher(cfg.BatchSize, cfg.BatchLinger, opts.ZeroPayload),
 		Metrics:   &Metrics{},
+		reqSeen:   make(map[types.Digest]struct{}),
 		lastReply: make(map[types.ClientID]*Inform),
 		cpVotes:   make(map[types.SeqNum]map[types.ReplicaID]types.Digest),
 	}
+	rt.verifyWorkers = opts.VerifyWorkers
+	// The pipeline object exists from construction so handlers may register
+	// share payloads (NoteDigest) unconditionally; StartPipeline arms it
+	// with the protocol's verify function when the Run loop starts.
+	rt.Pipeline = NewVerifier(nil, rt.verifyWorkers)
 	// Keep enough history beyond the stable checkpoint to serve state
 	// transfer to replicas a malicious primary kept in the dark.
 	rt.Exec.RetainSlack = 2 * cfg.CheckpointInterval
@@ -136,14 +162,100 @@ func (rt *Runtime) InformBatch(rec *types.ExecRecord, results []types.Result, sp
 	}
 }
 
+// StartPipeline starts the replica's authentication pipeline over the
+// transport inbox and returns the channel of pre-verified envelopes the Run
+// loop consumes. The protocol-specific verify function runs on worker
+// goroutines; see VerifyFunc for its constraints.
+func (rt *Runtime) StartPipeline(ctx context.Context, verify VerifyFunc) <-chan network.Envelope {
+	rt.Pipeline.verify = verify
+	return rt.Pipeline.Pipe(ctx, rt.Net.Inbox())
+}
+
 // VerifyClientRequest checks the client's signature on a request. With
-// SchemeNone all authentication is disabled (Fig 8's "None" column).
+// SchemeNone all authentication is disabled (Fig 8's "None" column). The
+// caller must own the request (see types.Request): its digest is memoized
+// as a side effect. A signature is Ed25519-verified at most once per
+// replica; repeats (retransmissions, re-proposals after a view change,
+// rotating-leader rebroadcasts) are memo lookups.
 func (rt *Runtime) VerifyClientRequest(req *types.Request) bool {
 	if rt.Cfg.Scheme == crypto.SchemeNone {
 		return true
 	}
 	d := req.Digest()
-	return rt.Keys.VerifyFrom(types.ClientNode(req.Txn.Client), d[:], req.Sig)
+	rt.reqMu.Lock()
+	_, hit := rt.reqSeen[d]
+	rt.reqMu.Unlock()
+	if hit {
+		return true
+	}
+	if !rt.Keys.VerifyFrom(types.ClientNode(req.Txn.Client), d[:], req.Sig) {
+		return false
+	}
+	rt.reqMu.Lock()
+	if len(rt.reqSeen) >= 1<<15 {
+		rt.reqSeen = make(map[types.Digest]struct{})
+	}
+	rt.reqSeen[d] = struct{}{}
+	rt.reqMu.Unlock()
+	return true
+}
+
+// VerifyBatch checks every client signature in an owned batch, fanning the
+// Ed25519 work out across the verification pool, and memoizes all digests.
+// It is the pipeline-side replacement for the per-request loop replicas used
+// to run on their event loop when handling a proposal.
+func (rt *Runtime) VerifyBatch(b *types.Batch) bool {
+	b.MemoizeDigests()
+	if rt.Cfg.Scheme == crypto.SchemeNone {
+		return true
+	}
+	return crypto.ParallelAll(len(b.Requests), func(i int) bool {
+		return rt.VerifyClientRequest(&b.Requests[i])
+	})
+}
+
+// VerifyCommonInbound handles the message types shared by every protocol:
+// client requests (signature checked, envelope rewritten to an owned clone),
+// forwarded requests, and fetch replies (cloned so digest memoization stays
+// replica-local; certificates are still validated by the handler through the
+// memoized threshold scheme). It reports (keep, handled); handled false
+// means the message is protocol-specific and the caller must classify it.
+func (rt *Runtime) VerifyCommonInbound(env *network.Envelope) (keep, handled bool) {
+	switch m := env.Msg.(type) {
+	case *ClientRequest:
+		cp := &ClientRequest{Req: types.CloneRequest(m.Req)}
+		if !env.From.IsClient() || cp.Req.Txn.Client != env.From.Client() {
+			return false, true
+		}
+		if !rt.VerifyClientRequest(&cp.Req) {
+			return false, true
+		}
+		env.Msg = cp
+		return true, true
+	case *ForwardRequest:
+		cp := &ForwardRequest{Req: types.CloneRequest(m.Req)}
+		if !rt.VerifyClientRequest(&cp.Req) {
+			return false, true
+		}
+		env.Msg = cp
+		return true, true
+	case *FetchReply:
+		cp := &FetchReply{From: m.From, Records: types.CloneRecords(m.Records)}
+		for i := range cp.Records {
+			cp.Records[i].Batch.MemoizeDigests()
+		}
+		env.Msg = cp
+		return true, true
+	case *Checkpoint:
+		// Signatures are verified by OnCheckpoint (rare path), which skips
+		// the check for our own vote — so a network message claiming our
+		// identity is a spoof and must not reach it.
+		return m.From != rt.Cfg.ID, true
+	case *Fetch:
+		// Unauthenticated by design.
+		return true, true
+	}
+	return true, false
 }
 
 // HandleFetch answers a state-transfer request with retained records.

@@ -276,11 +276,13 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 // View returns the current view (racy while running; for tests).
 func (r *Replica) View() types.View { return r.view }
 
-// Run processes messages until ctx is cancelled.
+// Run processes messages until ctx is cancelled. Inbound messages pass
+// through the parallel authentication pipeline (verify.go), so the loop
+// below performs no asymmetric crypto of its own on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
-	inbox := r.rt.Net.Inbox()
+	inbox := r.rt.StartPipeline(ctx, r.verifyInbound)
 	for {
 		select {
 		case <-ctx.Done():
@@ -353,7 +355,8 @@ func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
 	if !from.IsClient() || req.Txn.Client != from.Client() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	// The request signature was checked by the authentication pipeline.
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	if r.status != statusNormal {
@@ -373,7 +376,7 @@ func (r *Replica) onForwardRequest(req *types.Request) {
 	if r.status != statusNormal || !r.isPrimary() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	r.rt.Batcher.Add(*req)
@@ -435,20 +438,17 @@ func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
 	if s.haveBatch {
 		return
 	}
-	if from != cfg.ID {
-		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
-			return
-		}
-		for i := range m.Batch.Requests {
-			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
-				return
-			}
-		}
-	}
+	// Broadcast authenticator and client signatures were verified by the
+	// authentication pipeline before dispatch.
 	s.view = m.View
 	s.haveBatch = true
 	s.batch = m.Batch
 	s.digest = types.ProposalDigest(m.Seq, m.View, m.Batch.Digest())
+	// Register the share payloads (first round and the slow path's second
+	// round) so the pipeline verifies arriving shares off the event loop.
+	d2 := share2Digest(s.digest)
+	r.rt.Pipeline.NoteDigest(kindSign, m.View, m.Seq, s.digest[:])
+	r.rt.Pipeline.NoteDigest(kindShare2, m.View, m.Seq, d2[:])
 	share := r.rt.TS.Share(s.digest[:])
 	ss := &SignShare{View: m.View, Seq: m.Seq, Share: share}
 	if r.isCollector() {
@@ -642,12 +642,14 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 }
 
 // noteExecution retains the executor-side context needed to answer clients
-// once the state certificate forms.
+// once the state certificate forms, and registers the state-share payload so
+// the pipeline verifies arriving SIGN-STATE shares off the event loop.
 func (r *Replica) noteExecution(ev protocol.Executed, headHash types.Digest) {
 	s := r.slot(ev.Rec.Seq)
 	s.execHead = headHash
 	s.results = ev.Results
 	s.rec = ev.Rec
+	r.rt.Pipeline.NoteDigest(kindState, r.view, ev.Rec.Seq, ExecPayload(ev.Rec.Seq, headHash))
 }
 
 func (r *Replica) onSignState(from types.ReplicaID, m *SignState) {
@@ -677,14 +679,7 @@ func (r *Replica) tryAck(seq types.SeqNum, s *slot) {
 		return
 	}
 	payload := ExecPayload(seq, s.execHead)
-	shares := make([]crypto.Share, 0, len(s.stateShares))
-	for id, sh := range s.stateShares {
-		if r.rt.TS.VerifyShare(payload, sh) {
-			shares = append(shares, sh)
-		} else {
-			delete(s.stateShares, id)
-		}
-	}
+	shares := crypto.FilterValidShares(r.rt.TS, payload, s.stateShares)
 	if len(shares) < r.rt.Cfg.NF() {
 		return
 	}
@@ -698,6 +693,8 @@ func (r *Replica) tryAck(seq types.SeqNum, s *slot) {
 	// certificate (the paper's executor role).
 	r.informClients(s, cert)
 	delete(r.slots, seq)
+	r.rt.Pipeline.ForgetDigests(s.view, seq)
+	r.rt.Pipeline.ForgetDigests(r.view, seq)
 }
 
 func (r *Replica) informClients(s *slot, cert []byte) {

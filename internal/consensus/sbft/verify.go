@@ -1,0 +1,88 @@
+package sbft
+
+import (
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// SBFT's hook into the parallel authentication pipeline: broadcast
+// authenticators, client signatures, self-certifying certificates, and —
+// once the pre-prepare (or execution) has registered the phase payload —
+// sign-shares, second-round shares, and state shares are verified on worker
+// goroutines before dispatch. See the poe package's verify.go for the
+// pipeline's ownership and concurrency rules.
+
+// Share-payload kinds in the pipeline's digest table.
+const (
+	kindSign   uint8 = 0 // h = D(k||v||D(batch))
+	kindShare2 uint8 = 1 // D("sbft-share2" || h)
+	kindState  uint8 = 2 // ExecPayload(seq, ledger head hash)
+)
+
+func (r *Replica) verifyInbound(env *network.Envelope) bool {
+	rt := r.rt
+	if keep, handled := rt.VerifyCommonInbound(env); handled {
+		return keep
+	}
+	switch m := env.Msg.(type) {
+	case *PrePrepare:
+		// A replica's own messages reach its handlers by direct call, never
+		// over the network: an inbound envelope claiming our identity is a
+		// spoof, not a loopback.
+		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
+			return false
+		}
+		cp := *m
+		cp.Batch = m.Batch.Clone()
+		env.Msg = &cp
+		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+			return false
+		}
+		return rt.VerifyBatch(&cp.Batch)
+	case *SignShare:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		return rt.Pipeline.VerifyShareFor(rt.TS, kindSign, m.View, m.Seq, m.Share)
+	case *Share2:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		return rt.Pipeline.VerifyShareFor(rt.TS, kindShare2, m.View, m.Seq, m.Share)
+	case *SignState:
+		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
+			return false
+		}
+		return rt.Pipeline.VerifyShareFor(rt.TS, kindState, m.View, m.Seq, m.Share)
+	case *Prepare2:
+		// The certificate authenticates itself; prove it here so the
+		// handler's re-check is a memo hit.
+		return env.From.IsReplica() && rt.TS.Verify(m.Digest[:], m.Cert)
+	case *FullCommitProof:
+		return rt.TS.Verify(m.Digest[:], m.Cert)
+	case *VCRequest:
+		env.Msg = cloneVCRequest(m)
+		return true
+	case *NVPropose:
+		cp := *m
+		cp.Requests = make([]VCRequest, len(m.Requests))
+		for i := range m.Requests {
+			cp.Requests[i] = *cloneVCRequest(&m.Requests[i])
+		}
+		env.Msg = &cp
+		return true
+	}
+	return true
+}
+
+// cloneVCRequest gives the replica its own copy of the execution records so
+// digest memoization stays local; signatures and certificates are validated
+// by the view-change path on the event loop (rare, off the normal case).
+func cloneVCRequest(m *VCRequest) *VCRequest {
+	cp := *m
+	cp.Executed = types.CloneRecords(m.Executed)
+	for i := range cp.Executed {
+		cp.Executed[i].Batch.MemoizeDigests()
+	}
+	return &cp
+}

@@ -1,0 +1,78 @@
+package zyzzyva
+
+import (
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// Zyzzyva's hook into the parallel authentication pipeline: order-request
+// authenticators, per-request client signatures, and the share bundles of
+// client commit certificates are verified on worker goroutines before
+// dispatch. See the poe package's verify.go for the pipeline's ownership and
+// concurrency rules.
+
+func (r *Replica) verifyInbound(env *network.Envelope) bool {
+	rt := r.rt
+	if keep, handled := rt.VerifyCommonInbound(env); handled {
+		return keep
+	}
+	switch m := env.Msg.(type) {
+	case *OrderReq:
+		// A replica's own messages reach its handlers by direct call, never
+		// over the network: an inbound envelope claiming our identity is a
+		// spoof, not a loopback.
+		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
+			return false
+		}
+		cp := *m
+		cp.Batch = m.Batch.Clone()
+		env.Msg = &cp
+		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+			return false
+		}
+		return rt.VerifyBatch(&cp.Batch)
+	case *CommitReq:
+		if !env.From.IsClient() {
+			return false
+		}
+		// The commit certificate's shares sign specPayload(seq, history) —
+		// both taken from the message itself — so the whole certificate is
+		// verifiable here. Drop requests that cannot reach the nf quorum;
+		// the handler re-counts through the share memo.
+		payload := specPayload(m.Seq, m.History)
+		seen := make(map[types.ReplicaID]bool, len(m.Shares))
+		valid := 0
+		for _, sh := range m.Shares {
+			if seen[sh.Signer] || !rt.TS.VerifyShare(payload, sh) {
+				continue
+			}
+			seen[sh.Signer] = true
+			valid++
+		}
+		return valid >= rt.Cfg.NF()
+	case *VCRequest:
+		env.Msg = cloneVCRequest(m)
+		return true
+	case *NVPropose:
+		cp := *m
+		cp.Requests = make([]VCRequest, len(m.Requests))
+		for i := range m.Requests {
+			cp.Requests[i] = *cloneVCRequest(&m.Requests[i])
+		}
+		env.Msg = &cp
+		return true
+	}
+	return true
+}
+
+// cloneVCRequest gives the replica its own copy of the (uncertified)
+// execution records so digest memoization stays local; the signature is
+// validated by the view-change path on the event loop.
+func cloneVCRequest(m *VCRequest) *VCRequest {
+	cp := *m
+	cp.Executed = types.CloneRecords(m.Executed)
+	for i := range cp.Executed {
+		cp.Executed[i].Batch.MemoizeDigests()
+	}
+	return &cp
+}

@@ -207,11 +207,13 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 // View returns the current view (racy while running; for tests).
 func (r *Replica) View() types.View { return r.view }
 
-// Run processes messages until ctx is cancelled.
+// Run processes messages until ctx is cancelled. Inbound messages pass
+// through the parallel authentication pipeline (verify.go), so the loop
+// below performs no asymmetric crypto of its own on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
-	inbox := r.rt.Net.Inbox()
+	inbox := r.rt.StartPipeline(ctx, r.verifyInbound)
 	for {
 		select {
 		case <-ctx.Done():
@@ -263,7 +265,8 @@ func (r *Replica) onClientRequest(from types.NodeID, req *types.Request) {
 	if !from.IsClient() || req.Txn.Client != from.Client() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	// The request signature was checked by the authentication pipeline.
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	if r.status != statusNormal {
@@ -283,7 +286,7 @@ func (r *Replica) onForwardRequest(req *types.Request) {
 	if r.status != statusNormal || !r.isPrimary() {
 		return
 	}
-	if !r.rt.VerifyClientRequest(req) || r.rt.ReplayReply(req) {
+	if r.rt.ReplayReply(req) {
 		return
 	}
 	r.rt.Batcher.Add(*req)
@@ -353,16 +356,8 @@ func (r *Replica) handleOrderReq(from types.ReplicaID, m *OrderReq) {
 	if _, dup := r.orders[m.Seq]; dup {
 		return
 	}
-	if from != cfg.ID {
-		if !r.rt.VerifyBroadcast(from, m.SignedPayload(), m.Auth) {
-			return
-		}
-		for i := range m.Batch.Requests {
-			if !r.rt.VerifyClientRequest(&m.Batch.Requests[i]) {
-				return
-			}
-		}
-	}
+	// Authenticator and client signatures were verified by the
+	// authentication pipeline before dispatch.
 	r.orders[m.Seq] = m
 	r.drainOrders()
 }

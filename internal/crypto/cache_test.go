@@ -1,0 +1,108 @@
+package crypto
+
+import (
+	"testing"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// These tests pin the verified-share/certificate memo semantics the parallel
+// authentication pipeline relies on: an honest share is Ed25519-verified at
+// most once per scheme instance, no matter how many times a Byzantine peer
+// forces the surrounding material to be re-checked. EdVerifyCount observes
+// raw verifications (memo misses).
+
+func thresholdSetup(t *testing.T, n, thresh int) (*KeyRing, []ThresholdScheme) {
+	t.Helper()
+	ring := NewKeyRing(n, []byte("cache-test"))
+	schemes := make([]ThresholdScheme, n)
+	for i := 0; i < n; i++ {
+		schemes[i] = NewThresholdScheme(ring, types.ReplicaID(i), thresh, true)
+	}
+	return ring, schemes
+}
+
+func TestByzantineShareDoesNotReverifyHonestShares(t *testing.T) {
+	ring, schemes := thresholdSetup(t, 4, 3)
+	collector := schemes[0].(*EdThreshold)
+	msg := []byte("proposal-digest")
+
+	honest0 := schemes[0].Share(msg)
+	honest2 := schemes[2].Share(msg)
+	honest3 := schemes[3].Share(msg)
+	// A Byzantine replica sends a well-formed share over the wrong message.
+	byz := schemes[1].Share([]byte("some-other-digest"))
+
+	// First combine attempt: two honest shares plus the Byzantine one —
+	// below threshold, the combine fails, and all three cost one raw
+	// verification each.
+	base := EdVerifyCount()
+	if _, err := collector.Combine(msg, []Share{honest0, byz, honest2}); err == nil {
+		t.Fatal("combine should fail below threshold")
+	}
+	if d := EdVerifyCount() - base; d != 3 {
+		t.Fatalf("first combine: %d raw verifications, want 3", d)
+	}
+
+	// Retry with one more honest share: the previously verified honest
+	// shares are memo hits; only the new share (and the uncached Byzantine
+	// failure) pay Ed25519 again. Without the memo this retry would re-pay
+	// for every retained share — the O(n²) pattern under Byzantine retries.
+	base = EdVerifyCount()
+	cert, err := collector.Combine(msg, []Share{honest0, byz, honest2, honest3})
+	if err != nil {
+		t.Fatalf("combine: %v", err)
+	}
+	if d := EdVerifyCount() - base; d != 2 {
+		t.Fatalf("retry combine: %d raw verifications, want 2 (new share + uncached Byzantine failure)", d)
+	}
+
+	// The combiner proved the certificate while building it.
+	base = EdVerifyCount()
+	if !collector.Verify(msg, cert) {
+		t.Fatal("certificate invalid")
+	}
+	if d := EdVerifyCount() - base; d != 0 {
+		t.Fatalf("combiner cert verify: %d raw verifications, want 0", d)
+	}
+
+	// A third party (fresh scheme instance, empty memo) pays once for the
+	// certificate, then never again.
+	verifier := NewVerifier(ring, 3, true)
+	base = EdVerifyCount()
+	if !verifier.Verify(msg, cert) {
+		t.Fatal("third-party verify failed")
+	}
+	first := EdVerifyCount() - base
+	if first != 3 {
+		t.Fatalf("third-party verify: %d raw verifications, want 3", first)
+	}
+	base = EdVerifyCount()
+	if !verifier.Verify(msg, cert) {
+		t.Fatal("repeat verify failed")
+	}
+	if d := EdVerifyCount() - base; d != 0 {
+		t.Fatalf("repeat verify: %d raw verifications, want 0", d)
+	}
+}
+
+func TestVerifyShareMemoHitsAcrossCalls(t *testing.T) {
+	_, schemes := thresholdSetup(t, 4, 3)
+	e := schemes[0].(*EdThreshold)
+	msg := []byte("m")
+	sh := schemes[2].Share(msg)
+
+	base := EdVerifyCount()
+	for i := 0; i < 5; i++ {
+		if !e.VerifyShare(msg, sh) {
+			t.Fatal("share invalid")
+		}
+	}
+	if d := EdVerifyCount() - base; d != 1 {
+		t.Fatalf("%d raw verifications for 5 checks, want 1", d)
+	}
+	// The same bytes under a different message must not hit the memo.
+	if e.VerifyShare([]byte("other"), sh) {
+		t.Fatal("share accepted for wrong message")
+	}
+}

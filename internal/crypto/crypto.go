@@ -25,9 +25,20 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/poexec/poe/internal/types"
 )
+
+// edVerifies counts actual ed25519.Verify invocations (cache misses). Tests
+// and benchmarks use it to assert that shares and certificates are verified
+// at most once; it is not a correctness mechanism.
+var edVerifies atomic.Int64
+
+// EdVerifyCount returns the cumulative number of raw Ed25519 signature
+// verifications performed by this package.
+func EdVerifyCount() int64 { return edVerifies.Load() }
 
 // Scheme selects how replicas authenticate protocol messages (ingredient I3
 // of the paper: PoE is signature-scheme agnostic).
@@ -70,6 +81,13 @@ type KeyRing struct {
 	seed    []byte
 	n       int
 	pubKeys map[types.NodeID]ed25519.PublicKey
+
+	// cliKeys caches lazily derived client public keys. Deriving an Ed25519
+	// public key is a scalar-base multiplication — comparable in cost to a
+	// verification — so re-deriving it per signature check would double the
+	// price of every client-request verification.
+	cliMu   sync.RWMutex
+	cliKeys map[types.NodeID]ed25519.PublicKey
 }
 
 // NewKeyRing creates a dealer for a system of n replicas using the given
@@ -78,7 +96,12 @@ func NewKeyRing(n int, seed []byte) *KeyRing {
 	if len(seed) == 0 {
 		seed = []byte("poe-deterministic-master-seed")
 	}
-	r := &KeyRing{seed: append([]byte(nil), seed...), n: n, pubKeys: make(map[types.NodeID]ed25519.PublicKey)}
+	r := &KeyRing{
+		seed:    append([]byte(nil), seed...),
+		n:       n,
+		pubKeys: make(map[types.NodeID]ed25519.PublicKey),
+		cliKeys: make(map[types.NodeID]ed25519.PublicKey),
+	}
 	for i := 0; i < n; i++ {
 		node := types.ReplicaNode(types.ReplicaID(i))
 		r.pubKeys[node] = r.privKey(node).Public().(ed25519.PublicKey)
@@ -105,15 +128,27 @@ func (r *KeyRing) privKey(node types.NodeID) ed25519.PrivateKey {
 	return ed25519.NewKeyFromSeed(r.derive("ed25519", uint64(uint32(node))))
 }
 
-// PublicKey returns the Ed25519 public key of a node.
+// PublicKey returns the Ed25519 public key of a node. Replica keys are
+// precomputed; client keys are derived on first use and cached. PublicKey is
+// safe for concurrent use.
 func (r *KeyRing) PublicKey(node types.NodeID) ed25519.PublicKey {
 	if pk, ok := r.pubKeys[node]; ok {
 		return pk
 	}
-	// Clients are derived lazily; the map only caches replicas, which keeps
-	// the ring usable concurrently (replica keys are precomputed, client
-	// keys are recomputed per call).
-	return r.privKey(node).Public().(ed25519.PublicKey)
+	r.cliMu.RLock()
+	pk, ok := r.cliKeys[node]
+	r.cliMu.RUnlock()
+	if ok {
+		return pk
+	}
+	pk = r.privKey(node).Public().(ed25519.PublicKey)
+	r.cliMu.Lock()
+	if r.cliKeys == nil || len(r.cliKeys) >= 1<<17 {
+		r.cliKeys = make(map[types.NodeID]ed25519.PublicKey)
+	}
+	r.cliKeys[node] = pk
+	r.cliMu.Unlock()
+	return pk
 }
 
 // pairKey returns the symmetric key shared between nodes a and b.
@@ -132,15 +167,45 @@ func (r *KeyRing) thresholdKey(i types.ReplicaID) []byte {
 
 // NodeKeys returns the key material visible to one node.
 func (r *KeyRing) NodeKeys(node types.NodeID) *NodeKeys {
-	return &NodeKeys{ring: r, self: node, priv: r.privKey(node)}
+	return &NodeKeys{
+		ring:     r,
+		self:     node,
+		priv:     r.privKey(node),
+		pairKeys: make(map[types.NodeID][]byte),
+	}
 }
 
 // NodeKeys is one node's view of the key ring: its own private keys plus
-// everyone's public keys.
+// everyone's public keys. NodeKeys is safe for concurrent use (the parallel
+// authentication pipeline verifies with it from worker goroutines).
 type NodeKeys struct {
 	ring *KeyRing
 	self types.NodeID
 	priv ed25519.PrivateKey
+
+	// pairKeys caches the derived pairwise MAC keys: deriving one costs a
+	// full HMAC pass, which would otherwise be paid twice per MAC operation.
+	pairMu   sync.RWMutex
+	pairKeys map[types.NodeID][]byte
+}
+
+// pairKeyCached returns the symmetric key shared with peer, deriving and
+// caching it on first use.
+func (k *NodeKeys) pairKeyCached(peer types.NodeID) []byte {
+	k.pairMu.RLock()
+	key, ok := k.pairKeys[peer]
+	k.pairMu.RUnlock()
+	if ok {
+		return key
+	}
+	key = k.ring.pairKey(k.self, peer)
+	k.pairMu.Lock()
+	if k.pairKeys == nil || len(k.pairKeys) >= 1<<17 {
+		k.pairKeys = make(map[types.NodeID][]byte)
+	}
+	k.pairKeys[peer] = key
+	k.pairMu.Unlock()
+	return key
 }
 
 // Self returns the owning node.
@@ -156,19 +221,20 @@ func (k *NodeKeys) VerifyFrom(from types.NodeID, msg, sig []byte) bool {
 	if len(sig) != ed25519.SignatureSize {
 		return false
 	}
+	edVerifies.Add(1)
 	return ed25519.Verify(k.ring.PublicKey(from), msg, sig)
 }
 
 // MAC computes the HMAC tag for a message destined to peer.
 func (k *NodeKeys) MAC(peer types.NodeID, msg []byte) []byte {
-	mac := hmac.New(sha256.New, k.ring.pairKey(k.self, peer))
+	mac := hmac.New(sha256.New, k.pairKeyCached(peer))
 	mac.Write(msg)
 	return mac.Sum(nil)
 }
 
 // CheckMAC verifies the HMAC tag on a message received from peer.
 func (k *NodeKeys) CheckMAC(peer types.NodeID, msg, tag []byte) bool {
-	mac := hmac.New(sha256.New, k.ring.pairKey(k.self, peer))
+	mac := hmac.New(sha256.New, k.pairKeyCached(peer))
 	mac.Write(msg)
 	return hmac.Equal(mac.Sum(nil), tag)
 }
@@ -222,12 +288,27 @@ func NewVerifier(ring *KeyRing, threshold int, unforgeable bool) ThresholdScheme
 // EdThreshold implements ThresholdScheme as an Ed25519 multi-signature: the
 // certificate is a signer bitmap followed by the constituent signatures.
 // Stand-in for the paper's BLS signatures (DESIGN.md §3).
+//
+// EdThreshold is safe for concurrent use and remembers which shares and
+// certificates it has already verified: the authentication pipeline verifies
+// shares on worker goroutines as they arrive, and the replica event loop's
+// later VerifyShare/Combine/Verify calls become cache hits instead of
+// repeated Ed25519 operations. A Byzantine replica that forces a retry can
+// therefore never make honest shares pay the verification cost twice.
 type EdThreshold struct {
 	ring *KeyRing
 	self types.ReplicaID
 	keys *NodeKeys
 	t    int
+
+	mu      sync.Mutex
+	shareOK map[[32]byte]struct{} // shares proven valid
+	certOK  map[[32]byte]struct{} // certificates proven valid
 }
+
+// cacheCap bounds the verified-share/certificate memo; exceeding it clears
+// the map (a burst of re-verification, amortized away).
+const cacheCap = 8192
 
 // Threshold implements ThresholdScheme.
 func (e *EdThreshold) Threshold() int { return e.t }
@@ -237,25 +318,97 @@ func (e *EdThreshold) Share(msg []byte) Share {
 	return Share{Signer: e.self, Data: e.keys.Sign(msg)}
 }
 
-// VerifyShare implements ThresholdScheme.
+// shareCacheKey binds a share to the message it signs.
+func shareCacheKey(msg []byte, s Share) [32]byte {
+	h := sha256.New()
+	var id [4]byte
+	binary.BigEndian.PutUint32(id[:], uint32(s.Signer))
+	h.Write([]byte("share"))
+	h.Write(id[:])
+	h.Write(s.Data)
+	h.Write(msg)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// certCacheKey binds a certificate to the message it certifies.
+func certCacheKey(msg, cert []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("cert"))
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], uint64(len(msg)))
+	h.Write(l[:])
+	h.Write(msg)
+	h.Write(cert)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+func (e *EdThreshold) rememberShare(k [32]byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shareOK == nil || len(e.shareOK) >= cacheCap {
+		e.shareOK = make(map[[32]byte]struct{})
+	}
+	e.shareOK[k] = struct{}{}
+}
+
+func (e *EdThreshold) rememberCert(k [32]byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.certOK == nil || len(e.certOK) >= cacheCap {
+		e.certOK = make(map[[32]byte]struct{})
+	}
+	e.certOK[k] = struct{}{}
+}
+
+// VerifyShare implements ThresholdScheme. A share is Ed25519-verified at
+// most once; subsequent checks of the same (message, share) pair are memo
+// lookups.
 func (e *EdThreshold) VerifyShare(msg []byte, s Share) bool {
-	if s.Signer < 0 || int(s.Signer) >= e.ring.n {
+	if s.Signer < 0 || int(s.Signer) >= e.ring.n || len(s.Data) != ed25519.SignatureSize {
 		return false
 	}
-	return ed25519.Verify(e.ring.PublicKey(types.ReplicaNode(s.Signer)), msg, s.Data)
+	k := shareCacheKey(msg, s)
+	e.mu.Lock()
+	_, hit := e.shareOK[k]
+	e.mu.Unlock()
+	if hit {
+		return true
+	}
+	edVerifies.Add(1)
+	if !ed25519.Verify(e.ring.PublicKey(types.ReplicaNode(s.Signer)), msg, s.Data) {
+		return false
+	}
+	e.rememberShare(k)
+	return true
 }
 
 // Combine implements ThresholdScheme. The certificate layout is:
 //
 //	uint16 count | count × (uint32 signer | 64-byte signature)
+//
+// Share validity checks are independent, so they fan out across the
+// verification pool; shares the pipeline already verified cost a memo
+// lookup.
 func (e *EdThreshold) Combine(msg []byte, shares []Share) ([]byte, error) {
+	uniq := make([]Share, 0, len(shares))
 	seen := make(map[types.ReplicaID]bool, len(shares))
-	var valid []Share
 	for _, s := range shares {
-		if seen[s.Signer] || !e.VerifyShare(msg, s) {
+		if s.Signer < 0 || int(s.Signer) >= e.ring.n || seen[s.Signer] {
 			continue
 		}
 		seen[s.Signer] = true
+		uniq = append(uniq, s)
+	}
+	ok := VerifySharesParallel(e, msg, uniq)
+	var valid []Share
+	for i, s := range uniq {
+		if !ok[i] {
+			continue
+		}
 		valid = append(valid, s)
 		if len(valid) == e.t {
 			break
@@ -272,10 +425,15 @@ func (e *EdThreshold) Combine(msg []byte, shares []Share) ([]byte, error) {
 		cert = append(cert, id[:]...)
 		cert = append(cert, s.Data...)
 	}
+	// The combiner proved every constituent share, so the certificate itself
+	// is known-valid: remember it so a later Verify is a memo lookup.
+	e.rememberCert(certCacheKey(msg, cert))
 	return cert, nil
 }
 
-// Verify implements ThresholdScheme.
+// Verify implements ThresholdScheme. Constituent signatures are checked
+// concurrently on the verification pool; a certificate (or share) this
+// scheme has already proven costs a memo lookup.
 func (e *EdThreshold) Verify(msg []byte, cert []byte) bool {
 	if len(cert) < 2 {
 		return false
@@ -284,6 +442,14 @@ func (e *EdThreshold) Verify(msg []byte, cert []byte) bool {
 	if count < e.t || len(cert) != 2+count*(4+ed25519.SignatureSize) {
 		return false
 	}
+	ck := certCacheKey(msg, cert)
+	e.mu.Lock()
+	_, hit := e.certOK[ck]
+	e.mu.Unlock()
+	if hit {
+		return true
+	}
+	entries := make([]Share, 0, count)
 	seen := make(map[types.ReplicaID]bool, count)
 	off := 2
 	for i := 0; i < count; i++ {
@@ -294,10 +460,15 @@ func (e *EdThreshold) Verify(msg []byte, cert []byte) bool {
 			return false
 		}
 		seen[signer] = true
-		if !ed25519.Verify(e.ring.PublicKey(types.ReplicaNode(signer)), msg, sig) {
-			return false
-		}
+		entries = append(entries, Share{Signer: signer, Data: sig})
 	}
+	// Certificate entries are exactly shares over msg, so the share memo is
+	// shared between the two paths: a collector that verified the shares
+	// gets the certificate check for free, and vice versa.
+	if !ParallelAll(len(entries), func(i int) bool { return e.VerifyShare(msg, entries[i]) }) {
+		return false
+	}
+	e.rememberCert(ck)
 	return true
 }
 

@@ -193,7 +193,7 @@ func (c *ChanNet) send(from, to types.NodeID, msg any) {
 	}
 	env := Envelope{From: from, To: to, Msg: msg}
 	if delay == 0 && jitter == 0 {
-		c.deliver(ch, env)
+		c.deliver(to, ch, env)
 		return
 	}
 	d := delay
@@ -207,25 +207,28 @@ func (c *ChanNet) send(from, to types.NodeID, msg any) {
 		// Re-check liveness at delivery time: crashes and cuts that happen
 		// while the message is "in flight" drop it, like a real network.
 		c.mu.RLock()
-		dead := c.closed || c.crashed[to] || c.cut[linkKey{from, to}]
-		cur, ok := c.inboxes[to]
+		dead := c.crashed[to] || c.cut[linkKey{from, to}]
 		c.mu.RUnlock()
-		if dead || !ok || cur != ch {
+		if dead {
 			c.dropped.Add(1)
 			return
 		}
-		c.deliver(ch, env)
+		c.deliver(to, ch, env)
 	})
 }
 
-func (c *ChanNet) deliver(ch chan Envelope, env Envelope) {
-	defer func() {
-		// The inbox may have been closed concurrently by Close; treat the
-		// resulting panic as a drop.
-		if recover() != nil {
-			c.dropped.Add(1)
-		}
-	}()
+func (c *ChanNet) deliver(to types.NodeID, ch chan Envelope, env Envelope) {
+	// Hold the read lock across the send: Close and transport Close take the
+	// write lock before closing an inbox, so a send can never race a close —
+	// the re-checks below see any close that happened since the caller
+	// looked the inbox up. The send is non-blocking, so the lock is held
+	// only momentarily.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed || c.inboxes[to] != ch {
+		c.dropped.Add(1)
+		return
+	}
 	select {
 	case ch <- env:
 		c.delivered.Add(1)

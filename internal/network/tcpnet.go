@@ -1,6 +1,7 @@
 package network
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -22,6 +23,12 @@ type TCPNet struct {
 	mu    sync.Mutex
 	conns map[types.NodeID]*tcpPeer
 
+	// learned routes reply over inbound connections to nodes that are not
+	// in the static address book — clients, whose listen addresses replicas
+	// cannot know in advance. The address book always wins when present.
+	learnedMu sync.Mutex
+	learned   map[types.NodeID]*tcpPeer
+
 	inMu    sync.Mutex
 	inbound map[net.Conn]struct{}
 
@@ -34,6 +41,7 @@ type TCPNet struct {
 type tcpPeer struct {
 	mu   sync.Mutex
 	conn net.Conn
+	bw   *bufio.Writer
 	enc  *gob.Encoder
 }
 
@@ -59,6 +67,7 @@ func NewTCPNet(node types.NodeID, peers map[types.NodeID]string) (*TCPNet, error
 		peers:    peers,
 		listener: ln,
 		conns:    make(map[types.NodeID]*tcpPeer),
+		learned:  make(map[types.NodeID]*tcpPeer),
 		inbound:  make(map[net.Conn]struct{}),
 		inbox:    make(chan Envelope, 65536),
 	}
@@ -83,21 +92,50 @@ func (t *TCPNet) acceptLoop() {
 		if err != nil {
 			return
 		}
-		t.inMu.Lock()
-		t.inbound[conn] = struct{}{}
-		t.inMu.Unlock()
-		t.wg.Add(1)
+		if !t.trackConn(conn) {
+			conn.Close()
+			return
+		}
 		go t.readLoop(conn)
 	}
 }
 
+// trackConn registers a connection for shutdown (inbound sweep + WaitGroup)
+// and reports whether the transport is still open. The registration happens
+// under closedMu so it cannot race Close: either the connection is recorded
+// before Close sweeps (and the sweep closes it, unblocking its readLoop), or
+// Close already ran and the caller must discard the connection.
+func (t *TCPNet) trackConn(conn net.Conn) bool {
+	t.closedMu.Lock()
+	defer t.closedMu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.wg.Add(1)
+	t.inMu.Lock()
+	t.inbound[conn] = struct{}{}
+	t.inMu.Unlock()
+	return true
+}
+
 func (t *TCPNet) readLoop(conn net.Conn) {
 	defer t.wg.Done()
+	var routeFrom types.NodeID
+	var routePeer *tcpPeer
 	defer func() {
 		conn.Close()
 		t.inMu.Lock()
 		delete(t.inbound, conn)
 		t.inMu.Unlock()
+		if routePeer != nil {
+			// Drop the reply route if this connection still owns it, so a
+			// departed client doesn't leak a dead peer entry.
+			t.learnedMu.Lock()
+			if t.learned[routeFrom] == routePeer {
+				delete(t.learned, routeFrom)
+			}
+			t.learnedMu.Unlock()
+		}
 	}()
 	dec := gob.NewDecoder(conn)
 	for {
@@ -111,6 +149,23 @@ func (t *TCPNet) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
+		if _, known := t.peers[we.From]; !known && we.From != t.node {
+			// A sender with no static address (a client) is reached back
+			// over its own connection. The From field is unauthenticated, so
+			// a spoofed connection can steal the route; re-asserting it on
+			// every message means the legitimate sender reclaims its route
+			// with its next (re)transmission — message-level crypto keeps
+			// spoofing a liveness nuisance, never a safety issue. One route
+			// per connection: the first unknown sender on this conn owns it.
+			if routePeer == nil {
+				bw := bufio.NewWriterSize(conn, 64*1024)
+				routeFrom = we.From
+				routePeer = &tcpPeer{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+			}
+			if we.From == routeFrom {
+				t.relearnRoute(routeFrom, routePeer)
+			}
+		}
 		select {
 		case t.inbox <- Envelope(we):
 		default:
@@ -118,6 +173,20 @@ func (t *TCPNet) readLoop(conn net.Conn) {
 			// retransmit.
 		}
 	}
+}
+
+// relearnRoute points the reply route for from at p unless it already does.
+// The map is capped like every other cache in the system; clearing it only
+// costs re-learning on the next message from each live client.
+func (t *TCPNet) relearnRoute(from types.NodeID, p *tcpPeer) {
+	t.learnedMu.Lock()
+	if t.learned[from] != p {
+		if len(t.learned) >= 1<<14 {
+			t.learned = make(map[types.NodeID]*tcpPeer)
+		}
+		t.learned[from] = p
+	}
+	t.learnedMu.Unlock()
 }
 
 func (t *TCPNet) peerConn(to types.NodeID) (*tcpPeer, error) {
@@ -142,8 +211,19 @@ func (t *TCPNet) peerConn(to types.NodeID) (*tcpPeer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Read the dialed connection too: peers without our listen address in
+	// their book (we are a client to them) reply over this connection.
+	if !t.trackConn(conn) {
+		conn.Close()
+		return nil, fmt.Errorf("network: transport closed")
+	}
+	go t.readLoop(conn)
 	p.conn = conn
-	p.enc = gob.NewEncoder(conn)
+	// Gob emits several small writes per message (type sections, length
+	// prefixes, payload); buffering coalesces them so each Send costs one
+	// write(2) instead of several, and Flush keeps latency bounded.
+	p.bw = bufio.NewWriterSize(conn, 64*1024)
+	p.enc = gob.NewEncoder(p.bw)
 	return p, nil
 }
 
@@ -157,7 +237,7 @@ func (t *TCPNet) Send(to types.NodeID, msg any) {
 		}
 		return
 	}
-	p, err := t.peerConn(to)
+	p, err := t.route(to)
 	if err != nil {
 		return
 	}
@@ -166,11 +246,36 @@ func (t *TCPNet) Send(to types.NodeID, msg any) {
 	if p.enc == nil {
 		return
 	}
-	if err := p.enc.Encode(wireEnvelope{From: t.node, To: to, Msg: msg}); err != nil {
-		// Reset the connection so the next Send re-dials.
-		p.conn.Close()
-		p.conn, p.enc = nil, nil
+	err = p.enc.Encode(wireEnvelope{From: t.node, To: to, Msg: msg})
+	if err == nil {
+		err = p.bw.Flush()
 	}
+	if err != nil {
+		// Reset the connection so the next Send re-dials (or, for a learned
+		// route, waits for the peer to reconnect).
+		p.conn.Close()
+		p.conn, p.bw, p.enc = nil, nil, nil
+		t.learnedMu.Lock()
+		if t.learned[to] == p {
+			delete(t.learned, to)
+		}
+		t.learnedMu.Unlock()
+	}
+}
+
+// route resolves the peer to send to: a dialed connection for nodes in the
+// address book, otherwise a learned inbound route.
+func (t *TCPNet) route(to types.NodeID) (*tcpPeer, error) {
+	if _, known := t.peers[to]; known {
+		return t.peerConn(to)
+	}
+	t.learnedMu.Lock()
+	p, ok := t.learned[to]
+	t.learnedMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("network: no route to %v", to)
+	}
+	return p, nil
 }
 
 // Close implements Transport.

@@ -144,13 +144,35 @@ func (t *Transaction) Digest() Digest {
 // Request is a signed transaction 〈T〉c: the transaction plus the client's
 // signature over its digest. Signatures assure that malicious primaries
 // cannot forge transactions (§II-B).
+//
+// Request memoizes its digest in unexported fields (ignored by gob; carried
+// by value copies). Memoization mutates the struct, so a Request received
+// from an in-process transport — whose pointer may be shared with the sender
+// and with other replicas — must be cloned (Batch.Clone, CloneRequest)
+// before its digest is first taken. The authentication pipeline does this at
+// ingress; after that, a replica's event loop owns its copies exclusively.
 type Request struct {
 	Txn Transaction
 	Sig []byte // client signature over Txn.Digest()
+
+	digest    Digest
+	hasDigest bool
 }
 
-// Digest returns the digest of the wrapped transaction.
-func (r *Request) Digest() Digest { return r.Txn.Digest() }
+// Digest returns the digest of the wrapped transaction, computing it on
+// first use and memoizing it.
+func (r *Request) Digest() Digest {
+	if !r.hasDigest {
+		r.digest = r.Txn.Digest()
+		r.hasDigest = true
+	}
+	return r.digest
+}
+
+// CloneRequest returns a copy of the request that the caller owns: digest
+// memoization on the copy never touches the original. The transaction's op
+// slices are shared (they are immutable once created).
+func CloneRequest(r Request) Request { return r }
 
 // Batch aggregates client requests proposed under one sequence number
 // (§III "Batching"). A batch with an empty request list and ZeroPayload set
@@ -162,7 +184,29 @@ type Batch struct {
 	// ZeroCount is the number of dummy executions a zero-payload batch
 	// stands for (the paper uses 100).
 	ZeroCount int
+
+	// digest memoization; see the Request doc comment for the ownership
+	// rule that makes this safe.
+	digest    Digest
+	hasDigest bool
 }
+
+// Clone returns a batch whose Request structs (and digest memos) are owned
+// by the caller. The per-request payloads (keys, values, signatures) are
+// shared — they are immutable once created. Clone is what makes digest
+// memoization safe when an in-process transport delivers the same message
+// pointer to several replicas.
+func (b Batch) Clone() Batch {
+	if b.Requests != nil {
+		b.Requests = append([]Request(nil), b.Requests...)
+	}
+	return b
+}
+
+// MemoizeDigests populates the batch's digest memo and every request's, so
+// later Digest calls anywhere downstream are loads. Call only on an owned
+// batch (see Clone).
+func (b *Batch) MemoizeDigests() { _ = b.Digest() }
 
 // Size returns the number of logical transactions the batch carries.
 func (b *Batch) Size() int {
@@ -172,8 +216,12 @@ func (b *Batch) Size() int {
 	return len(b.Requests)
 }
 
-// Digest identifies the batch contents.
+// Digest identifies the batch contents. It is memoized, and computing it
+// memoizes every request digest as a side effect.
 func (b *Batch) Digest() Digest {
+	if b.hasDigest {
+		return b.digest
+	}
 	h := sha256.New()
 	if b.ZeroPayload {
 		var buf [9]byte
@@ -185,9 +233,9 @@ func (b *Batch) Digest() Digest {
 		d := b.Requests[i].Digest()
 		h.Write(d[:])
 	}
-	var d Digest
-	h.Sum(d[:0])
-	return d
+	h.Sum(b.digest[:0])
+	b.hasDigest = true
+	return b.digest
 }
 
 // Result is the outcome of executing one transaction.
@@ -205,4 +253,17 @@ type ExecRecord struct {
 	Digest Digest // batch digest
 	Proof  []byte // certificate (threshold signature / support proof)
 	Batch  Batch
+}
+
+// CloneRecords copies a slice of execution records deeply enough that digest
+// memoization on the copies never touches the originals (see Request).
+func CloneRecords(recs []ExecRecord) []ExecRecord {
+	if recs == nil {
+		return nil
+	}
+	out := append([]ExecRecord(nil), recs...)
+	for i := range out {
+		out[i].Batch = out[i].Batch.Clone()
+	}
+	return out
 }

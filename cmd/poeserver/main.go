@@ -25,8 +25,17 @@ import (
 	"github.com/poexec/poe/internal/consensus/protocol"
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 )
+
+// snapSeq formats the recovered snapshot's sequence number (0 = none).
+func snapSeq(rec *storage.Recovered) types.SeqNum {
+	if rec.Snapshot == nil {
+		return 0
+	}
+	return rec.Snapshot.Seq
+}
 
 func main() {
 	id := flag.Int("id", 0, "replica id (0-based)")
@@ -35,6 +44,8 @@ func main() {
 	batch := flag.Int("batch", 100, "batch size")
 	scheme := flag.String("scheme", "mac", "authentication scheme: mac|ts|ed|none")
 	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
+	dataDir := flag.String("data-dir", "", "directory for the WAL and checkpoint snapshots; empty = volatile (no crash recovery)")
+	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (survives machine crashes, not just process crashes)")
 	flag.Parse()
 
 	addrs := strings.Split(*peerList, ",")
@@ -75,7 +86,20 @@ func main() {
 		ID: types.ReplicaID(*id), N: n, F: *f,
 		Scheme: sch, BatchSize: *batch,
 	}
-	replica, err := poe.New(cfg, ring, tr, poe.Options{})
+	var ropts protocol.RuntimeOptions
+	if *dataDir != "" {
+		st, err := storage.Open(*dataDir, storage.Options{Sync: *fsync})
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		defer st.Close()
+		if rec := st.Recovered(); rec.LastSeq > 0 {
+			fmt.Printf("recovered %d batches from %s (snapshot at %d, %d WAL records)\n",
+				rec.LastSeq, *dataDir, snapSeq(rec), len(rec.Records))
+		}
+		ropts.Storage = st
+	}
+	replica, err := poe.New(cfg, ring, tr, poe.Options{RuntimeOptions: ropts})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -132,6 +132,11 @@ type Replica struct {
 	newViews map[types.View]map[types.ReplicaID]QC
 	sentNV   map[types.View]bool
 
+	// recoverSkip counts decisions recovered from durable state whose nodes
+	// the commit walk may re-visit after a restart: the walk marks them
+	// committed but must not re-execute them or consume sequence numbers.
+	recoverSkip types.SeqNum
+
 	roundStart time.Time
 	curTimeout time.Duration
 
@@ -175,6 +180,25 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	r.committed[r.genesisHash] = true
 	r.highQC = QC{Round: 0, Node: r.genesisHash}
 	r.lockedQC = r.highQC
+	if rt.RecoveredSeq > 0 {
+		// Crash-restart: the executor already holds the recovered prefix,
+		// so new decisions continue at execSeq+1. The node chain itself is
+		// not persisted — it is re-fetched from peers (FetchNodes) — and
+		// the first commit walk will re-visit the recovered ancestry;
+		// recoverSkip makes that walk mark those nodes committed without
+		// re-executing them. Rejoin one round past the last executed one;
+		// the pacemaker's new-view synchronization covers the rest.
+		//
+		// Known limitation: the walk needs the full ancestry back to
+		// genesis, which peers prune past ~4096 nodes, so recovery after a
+		// very long run can stall until peers still hold the history (or a
+		// future node-chain snapshot closes the gap). The harness
+		// crash-restart scenarios stay well inside that horizon.
+		r.execSeq = rt.Exec.LastExecuted()
+		r.recoverSkip = rt.Exec.LastExecuted()
+		head := rt.Exec.Chain().Head()
+		r.curRound = head.View + 1
+	}
 	return r, nil
 }
 
@@ -525,6 +549,12 @@ func (r *Replica) commitChain(tip *Node) {
 	for _, node := range chain {
 		nh := node.Hash()
 		r.committed[nh] = true
+		if r.recoverSkip > 0 {
+			// Ancestry below the durably recovered prefix: already
+			// executed before the restart.
+			r.recoverSkip--
+			continue
+		}
 		r.execSeq++
 		events := r.rt.Exec.Commit(r.execSeq, node.Round, node.Batch, node.Justify.Cert)
 		for _, ev := range events {

@@ -150,6 +150,10 @@ type Replica struct {
 	lastNV     *NVPropose
 	fetchRound int
 
+	// catchup marks a replica restarted from durable state: the first tick
+	// proactively fetches past the recovered prefix.
+	catchup bool
+
 	tick time.Duration
 }
 
@@ -186,9 +190,9 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 			tick = 10 * time.Millisecond
 		}
 	}
-	return &Replica{
+	r := &Replica{
 		rt:           rt,
-		nextPropose:  1,
+		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),
 		lastProgress: time.Now(),
@@ -196,7 +200,15 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		vcVotes:      make(map[types.View]map[types.ReplicaID]*VCRequest),
 		sentVC:       make(map[types.View]bool),
 		tick:         tick,
-	}, nil
+	}
+	if rt.RecoveredSeq > 0 {
+		// Crash-restart: resume after the recovered prefix, rejoin in the
+		// last durably executed view (view-change catch-up handles any
+		// further drift), and fetch proactively on the first tick.
+		r.view = rt.Exec.Chain().Head().View
+		r.catchup = true
+	}
+	return r, nil
 }
 
 // Runtime exposes the replica runtime for the harness and tests.
@@ -478,6 +490,10 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 
 func (r *Replica) onTick() {
 	now := time.Now()
+	if r.catchup {
+		r.catchup = false
+		r.fetchFrom(r.rt.Exec.LastExecuted())
+	}
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
@@ -518,6 +534,11 @@ func (r *Replica) maybeFetch() {
 	if !gapped {
 		return
 	}
+	r.fetchFrom(after)
+}
+
+// fetchFrom asks the next peer (round-robin) for executed records above after.
+func (r *Replica) fetchFrom(after types.SeqNum) {
 	n := r.rt.Cfg.N
 	for i := 0; i < n; i++ {
 		r.fetchRound++

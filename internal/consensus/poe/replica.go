@@ -65,6 +65,10 @@ type Replica struct {
 	lastNV     *NVPropose // cached by the new primary for late joiners
 	fetchRound int
 
+	// catchup marks a replica restarted from durable state: the first tick
+	// proactively fetches past the recovered prefix.
+	catchup bool
+
 	tick time.Duration
 }
 
@@ -100,10 +104,10 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 			tick = 10 * time.Millisecond
 		}
 	}
-	return &Replica{
+	r := &Replica{
 		rt:           rt,
 		byz:          opts.Byz,
-		nextPropose:  1,
+		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),
 		lastProgress: time.Now(),
@@ -111,7 +115,19 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		vcVotes:      make(map[types.View]map[types.ReplicaID]*VCRequest),
 		sentVC:       make(map[types.View]bool),
 		tick:         tick,
-	}, nil
+	}
+	if rt.RecoveredSeq > 0 {
+		// Crash-restart: resume sequencing after the recovered prefix and
+		// rejoin in the view of the last durably executed batch — the
+		// cluster may have moved further, but the ordinary view-change
+		// catch-up handles that, exactly as it does for a replica that
+		// missed the view change in the dark. The first tick issues a
+		// Fetch so the replica closes the gap to the live cluster even if
+		// no new proposals arrive to reveal it.
+		r.view = rt.Exec.Chain().Head().View
+		r.catchup = true
+	}
+	return r, nil
 }
 
 // Runtime exposes the replica's runtime for inspection by tests and the
@@ -471,6 +487,10 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 
 func (r *Replica) onTick() {
 	now := time.Now()
+	if r.catchup {
+		r.catchup = false
+		r.fetchFrom(r.rt.Exec.LastExecuted())
+	}
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {

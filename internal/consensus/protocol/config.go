@@ -1,12 +1,19 @@
 // Package protocol contains the replica framework shared by every consensus
 // protocol in this repository: configuration and quorum arithmetic, the
 // client-facing message types, the ordered executor that drives the store
-// and ledger, the primary-side request batcher, and the analytic cost model
+// and ledger, the parallel authentication pipeline, the primary-side
+// request batcher, the checkpoint sub-protocol, and the analytic cost model
 // behind the paper's Fig 1.
 //
 // Individual protocols (poe, pbft, zyzzyva, sbft, hotstuff) build their
 // replicas on these pieces, mirroring how the paper implements all five
 // protocols inside the one ResilientDB fabric (§III).
+//
+// Durability is opt-in through RuntimeOptions.Storage: the executor then
+// write-ahead-logs every executed batch before the replica answers its
+// clients, stable checkpoints persist snapshots, and NewRuntime rebuilds
+// the executed prefix (snapshot restore + WAL replay) at construction; see
+// the internal/storage package for the on-disk format and recovery rules.
 package protocol
 
 import (

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/poexec/poe/internal/ledger"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/store"
 	"github.com/poexec/poe/internal/types"
 )
@@ -33,6 +34,20 @@ type Executor struct {
 	log     map[types.SeqNum]*types.ExecRecord // executed, above the stable checkpoint
 	lastCli map[types.ClientID]uint64
 
+	// cliJournal is the undo log for lastCli, one entry per raised client
+	// sequence number, in execution order. Rollback reverts the exact
+	// entries above the rollback point, and durable checkpoints use it to
+	// reconstruct the dedup history as of the checkpoint sequence number
+	// even when execution has speculatively run ahead.
+	cliJournal []cliMark
+
+	// wal, when attached, persists every executed batch before the replica
+	// replies and writes a checkpoint snapshot when the checkpoint
+	// stabilizes. A durable replica that cannot persist must stop rather
+	// than answer clients from volatile state, so persistence failures
+	// panic (crash-stop, the fault model replicas already assume).
+	wal *storage.Store
+
 	stable types.SeqNum // last stable checkpoint
 
 	// RetainSlack keeps execution records for this many sequence numbers
@@ -54,6 +69,14 @@ type decided struct {
 	view  types.View
 	batch types.Batch
 	proof []byte
+}
+
+// cliMark records that executing seq raised a client's dedup sequence
+// number from prev (0 = client unseen before).
+type cliMark struct {
+	seq    types.SeqNum
+	client types.ClientID
+	prev   uint64
 }
 
 // NewExecutor creates an executor over a store and ledger.
@@ -130,6 +153,7 @@ func (e *Executor) executeLocked(seq types.SeqNum, d *decided) Executed {
 	for i := range effective.Requests {
 		txn := &effective.Requests[i].Txn
 		if txn.Seq > e.lastCli[txn.Client] {
+			e.cliJournal = append(e.cliJournal, cliMark{seq: seq, client: txn.Client, prev: e.lastCli[txn.Client]})
 			e.lastCli[txn.Client] = txn.Seq
 		}
 	}
@@ -139,6 +163,14 @@ func (e *Executor) executeLocked(seq types.SeqNum, d *decided) Executed {
 	}
 	rec := &types.ExecRecord{Seq: seq, View: d.view, Digest: digest, Proof: d.proof, Batch: d.batch}
 	e.log[seq] = rec
+	// Log before reply: the record hits the WAL inside Commit, before the
+	// replica sees the Executed event and INFORMs the client, so every
+	// acknowledged execution survives a crash.
+	if e.wal != nil {
+		if err := e.wal.Append(rec); err != nil {
+			panic(fmt.Sprintf("protocol: wal append seq %d: %v", seq, err))
+		}
+	}
 	return Executed{Rec: rec, Results: results}
 }
 
@@ -201,6 +233,15 @@ func (e *Executor) Rollback(toSeq types.SeqNum) error {
 	if toSeq < e.stable {
 		return fmt.Errorf("protocol: rollback to %d below stable checkpoint %d", toSeq, e.stable)
 	}
+	// Cut the durable log first: if the process dies between the two, a
+	// too-short WAL merely recovers a shorter prefix (the re-decided suffix
+	// arrives via Fetch), whereas a too-long one would durably resurrect
+	// batches the cluster abandoned — silent divergence.
+	if e.wal != nil {
+		if err := e.wal.Truncate(toSeq); err != nil {
+			panic(fmt.Sprintf("protocol: wal truncate to %d: %v", toSeq, err))
+		}
+	}
 	if err := e.kv.Rollback(toSeq); err != nil {
 		return err
 	}
@@ -212,37 +253,66 @@ func (e *Executor) Rollback(toSeq types.SeqNum) error {
 			delete(e.pending, seq)
 		}
 	}
-	for seq, rec := range e.log {
+	for seq := range e.log {
 		if seq > toSeq {
-			_ = rec
 			delete(e.log, seq)
 		}
 	}
-	// Rebuild client dedup history from scratch: entries from rolled-back
-	// batches must not suppress re-execution.
-	e.lastCli = make(map[types.ClientID]uint64, len(e.lastCli))
-	for _, rec := range e.log {
-		for i := range rec.Batch.Requests {
-			txn := &rec.Batch.Requests[i].Txn
-			if txn.Seq > e.lastCli[txn.Client] {
-				e.lastCli[txn.Client] = txn.Seq
-			}
+	// Revert the client dedup history through its undo journal: entries
+	// from rolled-back batches must not suppress re-execution, while
+	// history from surviving batches — including batches older than the
+	// retained execution log — must keep suppressing duplicates.
+	cut := len(e.cliJournal)
+	for i := len(e.cliJournal) - 1; i >= 0; i-- {
+		m := e.cliJournal[i]
+		if m.seq <= toSeq {
+			break
 		}
+		if m.prev == 0 {
+			delete(e.lastCli, m.client)
+		} else {
+			e.lastCli[m.client] = m.prev
+		}
+		cut = i
 	}
+	e.cliJournal = e.cliJournal[:cut]
 	return nil
 }
 
 // MarkStable records a stable checkpoint at seq: undo information below it
-// is discarded and the ledger prefix is frozen.
+// is discarded and the ledger prefix is frozen. With storage attached, the
+// checkpoint is first made durable — a snapshot of the state exactly at seq
+// plus a rotated WAL carrying the still-speculative suffix — before the
+// in-memory undo information is released.
 func (e *Executor) MarkStable(seq types.SeqNum) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if seq <= e.stable {
 		return
 	}
+	// A lagging replica can learn a checkpoint stabilized before executing
+	// up to it (nf others vouched; it is catching up via Fetch). It cannot
+	// snapshot state it does not have yet — the durable image advances at
+	// the next checkpoint it reaches with the state in hand, and the WAL
+	// keeps the full prefix recoverable in the meantime.
+	if e.wal != nil && seq <= e.kv.LastApplied() {
+		if err := e.persistCheckpointLocked(seq); err != nil {
+			panic(fmt.Sprintf("protocol: persist checkpoint seq %d: %v", seq, err))
+		}
+	}
 	e.stable = seq
 	e.kv.Checkpoint(seq)
 	e.chain.MarkStable(seq)
+	// Drop journal entries frozen by the checkpoint; rollback can no longer
+	// reach below seq.
+	idx := len(e.cliJournal)
+	for i, m := range e.cliJournal {
+		if m.seq > seq {
+			idx = i
+			break
+		}
+	}
+	e.cliJournal = append([]cliMark(nil), e.cliJournal[idx:]...)
 	cut := types.SeqNum(0)
 	if seq > e.RetainSlack {
 		cut = seq - e.RetainSlack
@@ -251,6 +321,78 @@ func (e *Executor) MarkStable(seq types.SeqNum) {
 		if s <= cut {
 			delete(e.log, s)
 		}
+	}
+}
+
+// persistCheckpointLocked snapshots the executed state as of seq and rotates
+// the WAL. It must run before kv.Checkpoint(seq): rewinding the table to seq
+// and reconstructing the dedup history both consume undo information the
+// checkpoint is about to discard.
+//
+// The table copy, encode, and file I/O all happen under e.mu, pausing
+// execution for the duration of the snapshot once per checkpoint interval.
+// That is deliberate for now — appends must not interleave with the WAL
+// rotation — and amortizes to noise at the default interval; if it ever
+// shows up in profiles, the copy can be taken under the lock and the
+// encode/write moved off it.
+func (e *Executor) persistCheckpointLocked(seq types.SeqNum) error {
+	data, err := e.kv.SnapshotAt(seq)
+	if err != nil {
+		return err
+	}
+	head, ok := e.chain.Get(seq)
+	if !ok {
+		return fmt.Errorf("ledger block at %d not retained", seq)
+	}
+	lastCli := make(map[types.ClientID]uint64, len(e.lastCli))
+	for c, s := range e.lastCli {
+		lastCli[c] = s
+	}
+	for i := len(e.cliJournal) - 1; i >= 0; i-- {
+		m := e.cliJournal[i]
+		if m.seq <= seq {
+			break
+		}
+		if m.prev == 0 {
+			delete(lastCli, m.client)
+		} else {
+			lastCli[m.client] = m.prev
+		}
+	}
+	snap := &storage.Snapshot{Seq: seq, Head: head, Data: data, LastCli: lastCli}
+	var tail []types.ExecRecord
+	for s, rec := range e.log {
+		if s > seq {
+			tail = append(tail, *rec)
+		}
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Seq < tail[j].Seq })
+	return e.wal.WriteSnapshot(snap, tail)
+}
+
+// AttachStorage arms the executor with a durable store: subsequent
+// executions append to its WAL and stable checkpoints write snapshots. The
+// caller must first replay the store's recovered state (Restore + Commit of
+// the recovered records), so the WAL's next expected sequence number lines
+// up with the executor's.
+func (e *Executor) AttachStorage(st *storage.Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal = st
+}
+
+// Restore primes a freshly built executor with the durable checkpoint state
+// recovered from disk: the stable checkpoint sequence number and the client
+// dedup history as of that checkpoint. The store and chain passed to
+// NewExecutor must already hold the snapshot state; WAL records above it are
+// then replayed through Commit.
+func (e *Executor) Restore(stable types.SeqNum, lastCli map[types.ClientID]uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stable = stable
+	e.lastCli = make(map[types.ClientID]uint64, len(lastCli))
+	for c, s := range lastCli {
+		e.lastCli[c] = s
 	}
 }
 

@@ -1,0 +1,306 @@
+package protocol
+
+// Recovery tests: a durable executor must come back from snapshot + WAL
+// replay with the exact state digest it crashed with, under every
+// combination the acceptance criteria name — pure WAL replay, snapshot plus
+// partial WAL, dedup history crossing the snapshot, and speculative rollback
+// mirrored on disk.
+
+import (
+	"testing"
+
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/ledger"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+// durableExec builds an executor over a data dir, recovering whatever the
+// dir holds, mirroring NewRuntime's recovery sequence.
+func durableExec(t *testing.T, dir string) (*Executor, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatalf("open storage: %v", err)
+	}
+	rec := st.Recovered()
+	kv := store.New()
+	var chain *ledger.Chain
+	if rec.Snapshot != nil {
+		kv.Restore(rec.Snapshot.Data, rec.Snapshot.Seq)
+		chain = ledger.Restore(rec.Snapshot.Head)
+	} else {
+		chain = ledger.NewChain(0)
+	}
+	e := NewExecutor(kv, chain)
+	e.RetainSlack = 1 << 20
+	if rec.Snapshot != nil {
+		e.Restore(rec.Snapshot.Seq, rec.Snapshot.LastCli)
+	}
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		e.Commit(r.Seq, r.View, r.Batch, r.Proof)
+	}
+	e.AttachStorage(st)
+	return e, st
+}
+
+func writeBatch(client types.ClientID, cliSeq uint64, key string, val byte) types.Batch {
+	return types.Batch{Requests: []types.Request{{Txn: types.Transaction{
+		Client: client, Seq: cliSeq,
+		Ops: []types.Op{{Kind: types.OpWrite, Key: key, Value: []byte{val}}},
+	}}}}
+}
+
+// TestWALReplayDeterminism writes N batches, recovers, and requires equal
+// state and ledger digests — no checkpoint involved, pure log replay.
+func TestWALReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	e, st := durableExec(t, dir)
+	const n = 25
+	for seq := types.SeqNum(1); seq <= n; seq++ {
+		b := writeBatch(types.ClientIDBase+types.ClientID(seq%3), uint64(seq), "key", byte(seq))
+		if evs := e.Commit(seq, 0, b, []byte{byte(seq)}); len(evs) != 1 {
+			t.Fatalf("seq %d did not execute", seq)
+		}
+	}
+	wantState := e.StateDigest()
+	h := e.Chain().Head()
+	wantHead := h.Hash()
+	st.Close()
+
+	e2, st2 := durableExec(t, dir)
+	defer st2.Close()
+	if e2.LastExecuted() != n {
+		t.Fatalf("recovered to seq %d, want %d", e2.LastExecuted(), n)
+	}
+	if e2.StateDigest() != wantState {
+		t.Fatal("state digest diverged after replay")
+	}
+	head := e2.Chain().Head()
+	if head.Hash() != wantHead {
+		t.Fatal("ledger head diverged after replay")
+	}
+	if _, ok := e2.Chain().Verify(); !ok {
+		t.Fatal("recovered chain fails hash-link verification")
+	}
+}
+
+// TestSnapshotPlusPartialWALRecovery checkpoints mid-stream, keeps
+// executing, recovers, and requires the snapshot + WAL-suffix combination to
+// land on the live replicas' digest.
+func TestSnapshotPlusPartialWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, st := durableExec(t, dir)
+	for seq := types.SeqNum(1); seq <= 10; seq++ {
+		e.Commit(seq, 0, writeBatch(types.ClientIDBase, uint64(seq), "a", byte(seq)), nil)
+	}
+	e.MarkStable(8)
+	for seq := types.SeqNum(11); seq <= 17; seq++ {
+		e.Commit(seq, 1, writeBatch(types.ClientIDBase, uint64(seq), "b", byte(seq)), nil)
+	}
+	wantState := e.StateDigest()
+	hh := e.Chain().Head()
+	wantHead := hh.Hash()
+	st.Close()
+
+	e2, st2 := durableExec(t, dir)
+	defer st2.Close()
+	if e2.LastExecuted() != 17 {
+		t.Fatalf("recovered to %d, want 17", e2.LastExecuted())
+	}
+	if e2.StableCheckpointSeq() != 8 {
+		t.Fatalf("stable checkpoint %d, want 8", e2.StableCheckpointSeq())
+	}
+	if e2.StateDigest() != wantState || headBlock(e2) != wantHead {
+		t.Fatal("snapshot+WAL recovery diverged")
+	}
+	if e2.Chain().Base() != 8 {
+		t.Fatalf("restored chain base %d, want 8", e2.Chain().Base())
+	}
+	// The recovered replica keeps executing and checkpointing normally.
+	e2.Commit(18, 1, writeBatch(types.ClientIDBase, 18, "c", 18), nil)
+	e2.MarkStable(16)
+	if e2.StableCheckpointSeq() != 16 {
+		t.Fatal("post-recovery checkpoint failed")
+	}
+}
+
+// TestSnapshotStateExcludesSpeculativeSuffix: the snapshot at a stable
+// checkpoint must capture the table as of the checkpoint even though
+// execution has speculatively run ahead; the suffix lives in the WAL only.
+func TestSnapshotStateExcludesSpeculativeSuffix(t *testing.T) {
+	dir := t.TempDir()
+	e, st := durableExec(t, dir)
+	for seq := types.SeqNum(1); seq <= 9; seq++ {
+		e.Commit(seq, 0, writeBatch(types.ClientIDBase, uint64(seq), "k", byte(seq)), nil)
+	}
+	e.MarkStable(5) // state digest of the snapshot must be as of seq 5
+	st.Close()
+
+	st2, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snap := st2.Recovered().Snapshot
+	if snap == nil || snap.Seq != 5 {
+		t.Fatalf("snapshot = %+v, want seq 5", snap)
+	}
+	if got := snap.Data["k"]; len(got) != 1 || got[0] != 5 {
+		t.Fatalf("snapshot captured k=%v, want the value as of seq 5", got)
+	}
+	if len(st2.Recovered().Records) != 4 {
+		t.Fatalf("WAL suffix has %d records, want 4 (6..9)", len(st2.Recovered().Records))
+	}
+}
+
+// TestDedupHistorySurvivesRecovery: a client transaction executed before the
+// snapshot must still be deduplicated after recovery, and one that was
+// deduplicated inside the replayed suffix must replay identically.
+func TestDedupHistorySurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, st := durableExec(t, dir)
+	cli := types.ClientIDBase
+	// seq 1..4: client reaches cliSeq 4. Checkpoint at 4.
+	for seq := types.SeqNum(1); seq <= 4; seq++ {
+		e.Commit(seq, 0, writeBatch(cli, uint64(seq), "k", byte(seq)), nil)
+	}
+	e.MarkStable(4)
+	// seq 5 carries a replay of cliSeq 2 (deduplicated: must not re-apply)
+	// plus fresh cliSeq 5.
+	dup := types.Batch{Requests: []types.Request{
+		{Txn: types.Transaction{Client: cli, Seq: 2, Ops: []types.Op{{Kind: types.OpWrite, Key: "k", Value: []byte{99}}}}},
+		{Txn: types.Transaction{Client: cli, Seq: 5, Ops: []types.Op{{Kind: types.OpWrite, Key: "fresh", Value: []byte{5}}}}},
+	}}
+	e.Commit(5, 0, dup, nil)
+	wantState := e.StateDigest()
+	if v, _ := e.Store().Get("k"); len(v) != 1 || v[0] != 4 {
+		t.Fatalf("dup write applied live: k=%v", v)
+	}
+	st.Close()
+
+	e2, st2 := durableExec(t, dir)
+	defer st2.Close()
+	if e2.StateDigest() != wantState {
+		t.Fatal("replayed dedup decision diverged")
+	}
+	if v, _ := e2.Store().Get("k"); len(v) != 1 || v[0] != 4 {
+		t.Fatalf("recovery resurrected a deduplicated write: k=%v", v)
+	}
+	if !e2.AlreadyExecuted(cli, 5) || !e2.AlreadyExecuted(cli, 1) {
+		t.Fatal("dedup history lost across recovery")
+	}
+	// A pre-snapshot duplicate arriving after recovery must still be skipped.
+	e2.Commit(6, 0, types.Batch{Requests: []types.Request{
+		{Txn: types.Transaction{Client: cli, Seq: 3, Ops: []types.Op{{Kind: types.OpWrite, Key: "k", Value: []byte{77}}}}},
+	}}, nil)
+	if v, _ := e2.Store().Get("k"); len(v) != 1 || v[0] != 4 {
+		t.Fatalf("post-recovery duplicate applied: k=%v", v)
+	}
+}
+
+// TestRollbackTruncatesWAL: a speculative rollback must cut the durable log
+// too, so recovery replays the replacement history, not the abandoned one.
+func TestRollbackTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, st := durableExec(t, dir)
+	for seq := types.SeqNum(1); seq <= 8; seq++ {
+		e.Commit(seq, 0, writeBatch(types.ClientIDBase, uint64(seq), "k", byte(seq)), nil)
+	}
+	if err := e.Rollback(5); err != nil {
+		t.Fatal(err)
+	}
+	// Re-execute 6..7 with different content in a later view.
+	for seq := types.SeqNum(6); seq <= 7; seq++ {
+		e.Commit(seq, 1, writeBatch(types.ClientIDBase+1, uint64(seq), "j", byte(seq+100)), nil)
+	}
+	wantState := e.StateDigest()
+	hh := e.Chain().Head()
+	wantHead := hh.Hash()
+	st.Close()
+
+	e2, st2 := durableExec(t, dir)
+	defer st2.Close()
+	if e2.LastExecuted() != 7 {
+		t.Fatalf("recovered to %d, want 7", e2.LastExecuted())
+	}
+	if e2.StateDigest() != wantState || headBlock(e2) != wantHead {
+		t.Fatal("recovery resurrected rolled-back history")
+	}
+	if e2.AlreadyExecuted(types.ClientIDBase, 8) {
+		t.Fatal("dedup history kept a rolled-back transaction")
+	}
+}
+
+// TestRollbackRevertsDedupThroughJournal exercises the journal-based lastCli
+// revert directly (no storage): a rolled-back transaction must execute
+// again, while older history — beyond the retained execution log — still
+// suppresses duplicates.
+func TestRollbackRevertsDedupThroughJournal(t *testing.T) {
+	e := newExec()
+	cli := types.ClientIDBase
+	e.Commit(1, 0, writeBatch(cli, 1, "k", 1), nil)
+	e.Commit(2, 0, writeBatch(cli, 2, "k", 2), nil)
+	e.Commit(3, 0, writeBatch(cli, 3, "k", 3), nil)
+	if err := e.Rollback(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.AlreadyExecuted(cli, 3) {
+		t.Fatal("rolled-back cliSeq 3 still marked executed")
+	}
+	if !e.AlreadyExecuted(cli, 2) {
+		t.Fatal("surviving cliSeq 2 lost from dedup history")
+	}
+	// Re-execution of the rolled-back transaction must apply.
+	e.Commit(3, 1, writeBatch(cli, 3, "k", 33), nil)
+	if v, _ := e.Store().Get("k"); len(v) != 1 || v[0] != 33 {
+		t.Fatalf("re-execution after rollback did not apply: k=%v", v)
+	}
+}
+
+// TestRuntimeRecovery drives recovery through NewRuntime itself: the
+// integration NewRuntime performs (snapshot restore, WAL replay, RecoveredSeq)
+// must match a live runtime's executor state.
+func TestRuntimeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	net := network.NewChanNet()
+	defer net.Close()
+	ring := crypto.NewKeyRing(4, []byte("persist-test"))
+	cfg := Config{ID: 0, N: 4, F: 1, Scheme: crypto.SchemeNone, CheckpointInterval: 4}
+
+	st, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(cfg, ring, net.Join(types.ReplicaNode(0)), RuntimeOptions{Storage: st})
+	for seq := types.SeqNum(1); seq <= 10; seq++ {
+		rt.Exec.Commit(seq, 0, writeBatch(types.ClientIDBase, uint64(seq), "k", byte(seq)), nil)
+	}
+	rt.Exec.MarkStable(8)
+	wantState := rt.Exec.StateDigest()
+	st.Close()
+
+	st2, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rt2 := NewRuntime(cfg, ring, net.Join(types.ReplicaNode(0)), RuntimeOptions{Storage: st2})
+	if rt2.RecoveredSeq != 10 {
+		t.Fatalf("RecoveredSeq = %d, want 10", rt2.RecoveredSeq)
+	}
+	if rt2.Exec.LastExecuted() != 10 || rt2.Exec.StateDigest() != wantState {
+		t.Fatal("runtime recovery diverged")
+	}
+	if rt2.Exec.StableCheckpointSeq() != 8 {
+		t.Fatalf("stable = %d, want 8", rt2.Exec.StableCheckpointSeq())
+	}
+}
+
+func headBlock(e *Executor) types.Digest {
+	h := e.Chain().Head()
+	return h.Hash()
+}

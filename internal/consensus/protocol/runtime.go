@@ -7,6 +7,7 @@ import (
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/store"
 	"github.com/poexec/poe/internal/types"
 )
@@ -44,6 +45,12 @@ type Runtime struct {
 	// checkpoint vote bookkeeping
 	cpVotes map[types.SeqNum]map[types.ReplicaID]types.Digest
 
+	// RecoveredSeq is the last sequence number rebuilt from durable state
+	// (snapshot + WAL replay) at construction; 0 for a fresh replica.
+	// Protocols use it to resume their sequencing (nextPropose, rounds)
+	// past the recovered prefix instead of restarting at 1.
+	RecoveredSeq types.SeqNum
+
 	verifyWorkers int
 }
 
@@ -51,21 +58,45 @@ type Runtime struct {
 type RuntimeOptions struct {
 	// ZeroPayload puts the batcher in zero-payload mode.
 	ZeroPayload bool
-	// InitialTable pre-loads the store (identical on every replica).
+	// InitialTable pre-loads the store (identical on every replica). When
+	// Storage recovers a snapshot, the snapshot supersedes it: the table
+	// was loaded before the first executed batch and is part of the
+	// snapshotted state.
 	InitialTable map[string][]byte
 	// VerifyWorkers overrides the authentication pipeline's pool size
 	// (default GOMAXPROCS).
 	VerifyWorkers int
+	// Storage, when set, makes the replica durable: the state recovered
+	// from its data directory (checkpoint snapshot + WAL replay) is
+	// rebuilt into the executor at construction, every subsequent
+	// execution is logged before the client is answered, and stable
+	// checkpoints write snapshots. The replica catches up past its last
+	// durable sequence number through the ordinary Fetch state transfer.
+	Storage *storage.Store
 }
 
-// NewRuntime builds a runtime for one replica.
+// NewRuntime builds a runtime for one replica. With RuntimeOptions.Storage
+// set, the store, ledger, and executor are rebuilt from the recovered
+// durable state — snapshot restore followed by WAL replay through the
+// ordinary Commit path — before the runtime is handed to the protocol.
 func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts RuntimeOptions) *Runtime {
 	cfg = cfg.WithDefaults()
-	kv := store.New()
-	if opts.InitialTable != nil {
-		kv.Load(opts.InitialTable)
+	var recovered *storage.Recovered
+	if opts.Storage != nil {
+		recovered = opts.Storage.Recovered()
 	}
-	chain := ledger.NewChain(cfg.Primary(0))
+	kv := store.New()
+	var chain *ledger.Chain
+	if recovered != nil && recovered.Snapshot != nil {
+		snap := recovered.Snapshot
+		kv.Restore(snap.Data, snap.Seq)
+		chain = ledger.Restore(snap.Head)
+	} else {
+		if opts.InitialTable != nil {
+			kv.Load(opts.InitialTable)
+		}
+		chain = ledger.NewChain(cfg.Primary(0))
+	}
 	rt := &Runtime{
 		Cfg:  cfg,
 		Ring: ring,
@@ -92,6 +123,23 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 	// Keep enough history beyond the stable checkpoint to serve state
 	// transfer to replicas a malicious primary kept in the dark.
 	rt.Exec.RetainSlack = 2 * cfg.CheckpointInterval
+	if recovered != nil {
+		if recovered.Snapshot != nil {
+			rt.Exec.Restore(recovered.Snapshot.Seq, recovered.Snapshot.LastCli)
+		}
+		// Replay the WAL suffix through the ordinary Commit path: the same
+		// deterministic execution, dedup, and ledger appends as the first
+		// time around, so the recovered replica lands on the same state
+		// digest. The WAL is attached only afterwards — replayed records
+		// are already on disk and must not be re-appended.
+		for i := range recovered.Records {
+			rec := &recovered.Records[i]
+			rec.Batch.MemoizeDigests()
+			rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
+		}
+		rt.Exec.AttachStorage(opts.Storage)
+		rt.RecoveredSeq = recovered.LastSeq
+	}
 	return rt
 }
 

@@ -202,6 +202,11 @@ type Replica struct {
 	sentVC    map[types.View]bool
 	lastNV    *NVPropose
 
+	fetchRound int
+	// catchup marks a replica restarted from durable state: the first tick
+	// proactively fetches past the recovered prefix.
+	catchup bool
+
 	tick        time.Duration
 	collTimeout time.Duration
 }
@@ -256,9 +261,9 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	if tick <= 0 {
 		tick = time.Millisecond
 	}
-	return &Replica{
+	r := &Replica{
 		rt:           rt,
-		nextPropose:  1,
+		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),
 		lastProgress: time.Now(),
@@ -267,7 +272,15 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		sentVC:       make(map[types.View]bool),
 		tick:         tick,
 		collTimeout:  ct,
-	}, nil
+	}
+	if rt.RecoveredSeq > 0 {
+		// Crash-restart: resume after the recovered prefix, rejoin in the
+		// last durably executed view (view-change catch-up handles any
+		// further drift), and fetch proactively on the first tick.
+		r.view = rt.Exec.Chain().Head().View
+		r.catchup = true
+	}
+	return r, nil
 }
 
 // Runtime exposes the replica runtime.
@@ -734,6 +747,10 @@ func (r *Replica) informClients(s *slot, cert []byte) {
 
 func (r *Replica) onTick() {
 	now := time.Now()
+	if r.catchup {
+		r.catchup = false
+		r.fetchFrom(r.rt.Exec.LastExecuted())
+	}
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
@@ -742,6 +759,7 @@ func (r *Replica) onTick() {
 		if r.isCollector() {
 			r.checkCollectorTimeouts(now)
 		}
+		r.maybeFetch()
 		if r.suspect(now) {
 			r.startViewChange(r.view + 1)
 		}
@@ -749,6 +767,30 @@ func (r *Replica) onTick() {
 		if now.Sub(r.vcStarted) > r.curTimeout {
 			r.startViewChange(r.vcTarget + 1)
 		}
+	}
+}
+
+// maybeFetch requests state transfer when decided batches are stuck behind
+// missing predecessors (a replica left in the dark, §II-D).
+func (r *Replica) maybeFetch() {
+	after, _, gapped := r.rt.Exec.Gap()
+	if !gapped {
+		return
+	}
+	r.fetchFrom(after)
+}
+
+// fetchFrom asks the next peer (round-robin) for executed records above after.
+func (r *Replica) fetchFrom(after types.SeqNum) {
+	n := r.rt.Cfg.N
+	for i := 0; i < n; i++ {
+		r.fetchRound++
+		peer := types.ReplicaID(r.fetchRound % n)
+		if peer == r.rt.Cfg.ID {
+			continue
+		}
+		r.rt.SendReplica(peer, &protocol.Fetch{From: r.rt.Cfg.ID, After: after, Max: 4 * r.rt.Cfg.Window})
+		return
 	}
 }
 

@@ -187,9 +187,9 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 			tick = 10 * time.Millisecond
 		}
 	}
-	return &Replica{
+	r := &Replica{
 		rt:               rt,
-		nextPropose:      1,
+		nextPropose:      rt.Exec.LastExecuted() + 1,
 		orders:           make(map[types.SeqNum]*OrderReq),
 		primaryHistories: make(map[types.SeqNum]types.Digest),
 		pendingReqs:      make(map[types.Digest]pendingReq),
@@ -198,7 +198,18 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		vcVotes:          make(map[types.View]map[types.ReplicaID]*VCRequest),
 		sentVC:           make(map[types.View]bool),
 		tick:             tick,
-	}, nil
+	}
+	if rt.RecoveredSeq > 0 {
+		// Crash-restart: resume sequencing after the durably recovered
+		// prefix and rejoin in the view it was executed in. Zyzzyva's
+		// catch-up is its view change — the NV-PROPOSE carries the
+		// executed records a restarted replica is missing — so no
+		// proactive fetch is issued here; buffered order requests above
+		// the gap trigger the suspicion timer that gets us there.
+		r.view = rt.Exec.Chain().Head().View
+		r.committedStable = rt.Exec.StableCheckpointSeq()
+	}
+	return r, nil
 }
 
 // Runtime exposes the replica runtime.

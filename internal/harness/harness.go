@@ -5,6 +5,12 @@
 // timelines (Fig 10), pipelined or closed-loop clients (Fig 9 k/l), and the
 // no-consensus upper-bound runs (Fig 7).
 //
+// Beyond the paper's figures, the harness opens the crash-recovery scenario
+// family: with Options.DataDir set every replica is durable (WAL +
+// checkpoint snapshots), and RunCrashRestart kills a replica mid-run,
+// restarts it from its data directory, and checks that it rejoins on the
+// same executed-batch digest prefix as the live replicas.
+//
 // The harness substitutes the paper's Google-Cloud deployment (91 c2
 // machines, 320k clients) with goroutines over the in-process channel
 // network; see DESIGN.md §3 for why the protocol-relative comparisons
@@ -14,6 +20,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +34,7 @@ import (
 	"github.com/poexec/poe/internal/consensus/zyzzyva"
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/workload"
 )
@@ -92,6 +100,12 @@ type Options struct {
 	// (Fig 9k/l, window ablation) need it: with microsecond links the
 	// window never binds.
 	NetDelay time.Duration
+
+	// DataDir, when set, makes every replica durable: replica i logs its
+	// executed batches and checkpoint snapshots under DataDir/replica-i.
+	// Required by the crash-restart scenarios (RunCrashRestart), optional
+	// everywhere else.
+	DataDir string
 
 	Seed int64
 }
@@ -237,21 +251,29 @@ func Run(opts Options) (Result, error) {
 	}
 
 	replicas := make([]replicaHandle, opts.N)
+	replicaDone := make([]chan struct{}, opts.N)
 	for i := 0; i < opts.N; i++ {
-		cfg := protocol.Config{
-			ID: types.ReplicaID(i), N: opts.N, F: opts.F, Scheme: opts.Scheme,
-			BatchSize: opts.BatchSize, Window: opts.Window,
-			CheckpointInterval: types.SeqNum(opts.CheckpointInterval),
-			ViewTimeout:        opts.ViewTimeout,
-		}
 		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table}
-		tr := net.Join(types.ReplicaNode(cfg.ID))
-		h, err := buildReplica(opts, cfg, ring, tr, ropts)
+		if opts.DataDir != "" {
+			st, err := storage.Open(replicaDir(opts.DataDir, i), storage.Options{})
+			if err != nil {
+				return Result{}, err
+			}
+			defer st.Close()
+			ropts.Storage = st
+		}
+		tr := net.Join(types.ReplicaNode(types.ReplicaID(i)))
+		h, err := buildReplica(opts, replicaConfig(opts, i), ring, tr, ropts)
 		if err != nil {
 			return Result{}, err
 		}
 		replicas[i] = h
-		go h.Run(ctx)
+		done := make(chan struct{})
+		replicaDone[i] = done
+		go func(h replicaHandle) {
+			h.Run(ctx)
+			close(done)
+		}(h)
 	}
 
 	if opts.CrashBackup {
@@ -340,6 +362,12 @@ func Run(opts Options) (Result, error) {
 	cancel()
 	net.Close()
 	wg.Wait()
+	// Join the replica goroutines before the deferred storage closes run: a
+	// replica may still be inside a WAL append, and closing the store under
+	// it would turn an orderly shutdown into a crash-stop panic.
+	for _, done := range replicaDone {
+		<-done
+	}
 
 	total := completed.Load()
 	res := Result{
@@ -358,6 +386,22 @@ func Run(opts Options) (Result, error) {
 		res.Rollbacks += h.Runtime().Metrics.Rollbacks.Load()
 	}
 	return res, nil
+}
+
+// replicaConfig derives replica i's protocol configuration from the run
+// options.
+func replicaConfig(opts Options, i int) protocol.Config {
+	return protocol.Config{
+		ID: types.ReplicaID(i), N: opts.N, F: opts.F, Scheme: opts.Scheme,
+		BatchSize: opts.BatchSize, Window: opts.Window,
+		CheckpointInterval: types.SeqNum(opts.CheckpointInterval),
+		ViewTimeout:        opts.ViewTimeout,
+	}
+}
+
+// replicaDir is replica i's data directory under a run's DataDir root.
+func replicaDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("replica-%d", i))
 }
 
 func buildReplica(opts Options, cfg protocol.Config, ring *crypto.KeyRing, tr network.Transport, ropts protocol.RuntimeOptions) (replicaHandle, error) {

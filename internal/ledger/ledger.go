@@ -6,6 +6,11 @@
 // As the paper notes, hashing the previous block can be expensive; blocks
 // therefore also carry the consensus certificate (the threshold signature
 // from the CERTIFY message) as an alternative proof-of-acceptance.
+//
+// A chain either starts at the genesis block (NewChain) or, on a replica
+// recovering from a durable checkpoint snapshot, at the snapshot's head
+// block (Restore); in both cases the root is immutable and hash-link
+// verification covers everything appended after it.
 package ledger
 
 import (
@@ -50,10 +55,17 @@ func (b *Block) Hash() types.Digest {
 // use. Because PoE executes speculatively, blocks appended after the latest
 // checkpoint may be truncated again during a view change (TruncateAfter);
 // blocks below a checkpoint are immutable.
+//
+// A chain normally starts at the genesis block (sequence 0), but a replica
+// recovering from a durable checkpoint snapshot restarts its chain from the
+// snapshot's head block instead (Restore): the prefix below it was frozen by
+// a stable checkpoint and lives in the snapshot, so only the base block is
+// needed to keep extending — and verifying — the hash chain.
 type Chain struct {
 	mu     sync.RWMutex
 	blocks []Block
-	stable int // number of leading blocks frozen by checkpoints
+	base   types.SeqNum // sequence number of blocks[0]
+	stable int          // number of leading blocks frozen by checkpoints
 }
 
 // NewChain creates a ledger whose genesis block is derived from the identity
@@ -68,18 +80,38 @@ func NewChain(initialPrimary types.ReplicaID) *Chain {
 	return &Chain{blocks: []Block{genesis}, stable: 1}
 }
 
-// Genesis returns the genesis block.
+// Restore creates a chain rooted at a trusted head block, typically the
+// ledger head recorded in a durable checkpoint snapshot. The head plays the
+// role genesis plays for a fresh chain: it is immutable, and blocks appended
+// after it chain off its hash, so hash-link verification still covers every
+// block the restored replica appends.
+func Restore(head Block) *Chain {
+	return &Chain{blocks: []Block{head}, base: head.Seq, stable: 1}
+}
+
+// Genesis returns the chain's root block: the true genesis for a fresh
+// chain, or the snapshot head for a restored one.
 func (c *Chain) Genesis() Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.blocks[0]
 }
 
-// Height returns the number of blocks excluding genesis.
+// Base returns the sequence number of the chain's root block (0 for a fresh
+// chain). Blocks below it are not retained in memory.
+func (c *Chain) Base() types.SeqNum {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+// Height returns the sequence number of the head block: the number of
+// batches the full chain covers, including any prefix compacted into a
+// snapshot.
 func (c *Chain) Height() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.blocks) - 1
+	return int(c.blocks[len(c.blocks)-1].Seq)
 }
 
 // Head returns the most recent block.
@@ -104,14 +136,15 @@ func (c *Chain) Append(seq types.SeqNum, digest types.Digest, view types.View, p
 	return b, nil
 }
 
-// Get returns the block at sequence number seq.
+// Get returns the block at sequence number seq. Blocks below the chain's
+// base (compacted into a snapshot on a restored chain) are not available.
 func (c *Chain) Get(seq types.SeqNum) (Block, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if int(seq) >= len(c.blocks) {
+	if seq < c.base || int(seq-c.base) >= len(c.blocks) {
 		return Block{}, false
 	}
-	return c.blocks[seq], true
+	return c.blocks[seq-c.base], true
 }
 
 // TruncateAfter removes all blocks with sequence number greater than seq,
@@ -120,11 +153,11 @@ func (c *Chain) Get(seq types.SeqNum) (Block, bool) {
 func (c *Chain) TruncateAfter(seq types.SeqNum) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if int(seq)+1 < c.stable {
-		return fmt.Errorf("ledger: cannot truncate to seq %d below stable prefix %d", seq, c.stable-1)
+	if seq < c.base || int(seq-c.base)+1 < c.stable {
+		return fmt.Errorf("ledger: cannot truncate to seq %d below stable prefix %d", seq, types.SeqNum(c.stable-1)+c.base)
 	}
-	if int(seq)+1 < len(c.blocks) {
-		c.blocks = c.blocks[:seq+1]
+	if int(seq-c.base)+1 < len(c.blocks) {
+		c.blocks = c.blocks[:seq-c.base+1]
 	}
 	return nil
 }
@@ -133,8 +166,11 @@ func (c *Chain) TruncateAfter(seq types.SeqNum) error {
 func (c *Chain) MarkStable(seq types.SeqNum) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if int(seq)+1 > c.stable && int(seq) < len(c.blocks) {
-		c.stable = int(seq) + 1
+	if seq < c.base {
+		return
+	}
+	if int(seq-c.base)+1 > c.stable && int(seq-c.base) < len(c.blocks) {
+		c.stable = int(seq-c.base) + 1
 	}
 }
 

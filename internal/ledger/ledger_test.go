@@ -92,3 +92,97 @@ func TestQuickChainsWithSameBlocksAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTruncateThenAppendSequence pins down the edge cases of the
+// rollback-reappend cycle a speculative view change produces: truncation to
+// the head is a no-op, repeated truncation is idempotent, and sequence
+// numbering restarts exactly after the truncation point.
+func TestTruncateThenAppendSequence(t *testing.T) {
+	c := NewChain(0)
+	for s := types.SeqNum(1); s <= 6; s++ {
+		if _, err := c.Append(s, types.DigestBytes([]byte{byte(s)}), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.TruncateAfter(6); err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 6 {
+		t.Fatal("truncating to the head must not drop blocks")
+	}
+	if err := c.TruncateAfter(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TruncateAfter(4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 4 {
+		t.Fatalf("height %d after idempotent truncate, want 4", c.Height())
+	}
+	// Sequence numbering must continue at 5, not at the old head.
+	if _, err := c.Append(6, types.DigestBytes([]byte("skip")), 1, nil); err == nil {
+		t.Fatal("append skipping seq 5 accepted after truncate")
+	}
+	b5, err := c.Append(5, types.DigestBytes([]byte("new5")), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, _ := c.Get(4)
+	if b5.PrevHash != b4.Hash() {
+		t.Fatal("re-appended block must link to the surviving head")
+	}
+	if _, ok := c.Verify(); !ok {
+		t.Fatal("chain must verify after truncate-then-append")
+	}
+}
+
+// TestRestoredChainFromSnapshotHead covers the crash-recovery construction:
+// a chain rooted at a snapshot head block must index, truncate, and verify
+// relative to its base, and refuse to reach below it.
+func TestRestoredChainFromSnapshotHead(t *testing.T) {
+	orig := NewChain(0)
+	for s := types.SeqNum(1); s <= 10; s++ {
+		if _, err := orig.Append(s, types.DigestBytes([]byte{byte(s)}), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head, _ := orig.Get(7)
+	r := Restore(head)
+	if r.Base() != 7 || r.Height() != 7 {
+		t.Fatalf("restored base=%d height=%d, want 7/7", r.Base(), r.Height())
+	}
+	if g := r.Genesis(); g.Hash() != head.Hash() {
+		t.Fatal("restored root must be the snapshot head")
+	}
+	if _, ok := r.Get(3); ok {
+		t.Fatal("blocks below the base are not retained")
+	}
+	// Appends continue the original hash chain exactly.
+	for s := types.SeqNum(8); s <= 10; s++ {
+		if _, err := r.Append(s, types.DigestBytes([]byte{byte(s)}), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ro, _ := r.Get(10)
+	oo, _ := orig.Get(10)
+	if ro.Hash() != oo.Hash() {
+		t.Fatal("restored chain diverged from the original")
+	}
+	if _, ok := r.Verify(); !ok {
+		t.Fatal("restored chain must verify")
+	}
+	// Truncation below the base is refused; at or above works.
+	if err := r.TruncateAfter(5); err == nil {
+		t.Fatal("truncation below the restored base accepted")
+	}
+	if err := r.TruncateAfter(8); err != nil {
+		t.Fatal(err)
+	}
+	if r.Height() != 8 {
+		t.Fatalf("height %d after truncate, want 8", r.Height())
+	}
+	r.MarkStable(8)
+	if err := r.TruncateAfter(7); err == nil {
+		t.Fatal("truncation below a checkpoint on a restored chain accepted")
+	}
+}

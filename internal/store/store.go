@@ -6,7 +6,9 @@
 // All mutating operations are deterministic: on identical inputs applied in
 // identical order, every replica produces identical results and identical
 // state digests (the paper's non-faulty replica determinism assumption,
-// §II-A).
+// §II-A). Determinism is also what makes crash recovery exact: replaying
+// the same batches against a table restored from a checkpoint snapshot
+// (SnapshotAt/Restore) reproduces the pre-crash state digest bit for bit.
 package store
 
 import (
@@ -244,6 +246,67 @@ func (kv *KV) Checkpoint(seq types.SeqNum) {
 	for i := range kv.marks {
 		kv.marks[i].start -= cut
 	}
+}
+
+// SnapshotAt returns a copy of the table exactly as of seq: writes from
+// batches applied above seq are rewound through the undo log, without
+// touching the live state. It powers durable checkpoint snapshots — the
+// store may already have executed speculatively past the stable checkpoint,
+// and persisting that speculative suffix would let a crash resurrect state
+// the cluster later rolled back. Call it before Checkpoint(seq) discards the
+// undo entries it needs.
+func (kv *KV) SnapshotAt(seq types.SeqNum) (map[string][]byte, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if seq > kv.last {
+		return nil, fmt.Errorf("store: snapshot at seq %d beyond last applied %d", seq, kv.last)
+	}
+	data := make(map[string][]byte, len(kv.data))
+	for k, v := range kv.data {
+		data[k] = append([]byte(nil), v...)
+	}
+	if seq == kv.last {
+		return data, nil
+	}
+	idx := len(kv.marks)
+	for i, m := range kv.marks {
+		if m.seq > seq {
+			idx = i
+			break
+		}
+	}
+	if idx == len(kv.marks) || kv.marks[idx].seq != seq+1 {
+		return nil, fmt.Errorf("store: cannot snapshot at seq %d: undo log truncated by checkpoint", seq)
+	}
+	for i := len(kv.undo) - 1; i >= kv.marks[idx].start; i-- {
+		e := kv.undo[i]
+		if e.existed {
+			data[e.key] = append([]byte(nil), e.prev...)
+		} else {
+			delete(data, e.key)
+		}
+	}
+	return data, nil
+}
+
+// Restore replaces the store's contents with a snapshot taken by SnapshotAt:
+// the table is loaded, the applied sequence number is set to seq, and the
+// incremental state digest is recomputed, so a restored replica reports the
+// same StateDigest the snapshotting replica did at seq. The undo log starts
+// empty — everything at or below a durable snapshot is stable by definition.
+func (kv *KV) Restore(records map[string][]byte, seq types.SeqNum) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.data = make(map[string][]byte, len(records))
+	kv.state = [32]byte{}
+	for k, v := range records {
+		val := append([]byte(nil), v...)
+		kv.data[k] = val
+		kv.state = xorDigest(kv.state, entryHash(k, val, true))
+	}
+	kv.undo = nil
+	kv.marks = nil
+	kv.last = seq
 }
 
 // UndoLen returns the number of pending undo entries (for the checkpoint

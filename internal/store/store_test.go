@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -203,5 +204,100 @@ func TestQuickPartialRollback(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestApplyOutOfOrderError pins the ErrOutOfOrder contract directly: the
+// error type, its Want/Got fields, and that a failed apply leaves no trace
+// (no state change, no undo entries, no sequence advance).
+func TestApplyOutOfOrderError(t *testing.T) {
+	kv := New()
+	if _, err := kv.Apply(1, writeBatch("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	before := kv.StateDigest()
+	_, err := kv.Apply(3, writeBatch("b", "2"))
+	var oo *ErrOutOfOrder
+	if !errors.As(err, &oo) {
+		t.Fatalf("err = %v, want *ErrOutOfOrder", err)
+	}
+	if oo.Want != 2 || oo.Got != 3 {
+		t.Fatalf("ErrOutOfOrder{Want:%d Got:%d}, want {2 3}", oo.Want, oo.Got)
+	}
+	// Replaying an old sequence number is equally out of order.
+	if _, err := kv.Apply(1, writeBatch("c", "3")); err == nil {
+		t.Fatal("replaying seq 1 accepted")
+	}
+	if kv.LastApplied() != 1 || kv.StateDigest() != before || kv.UndoLen() != 1 {
+		t.Fatal("failed apply mutated the store")
+	}
+}
+
+// TestSnapshotAtRewindsSpeculativeSuffix: SnapshotAt must capture the table
+// as of the requested sequence number while the live store keeps the newer
+// writes, and Restore of that snapshot must reproduce the digest the store
+// had at that point.
+func TestSnapshotAtRewindsSpeculativeSuffix(t *testing.T) {
+	kv := New()
+	digests := map[types.SeqNum]types.Digest{}
+	for s := types.SeqNum(1); s <= 6; s++ {
+		if _, err := kv.Apply(s, writeBatch("k", fmt.Sprintf("v%d", s), "extra", fmt.Sprintf("e%d", s))); err != nil {
+			t.Fatal(err)
+		}
+		digests[s] = kv.StateDigest()
+	}
+	for _, at := range []types.SeqNum{3, 6} {
+		snap, err := kv.SnapshotAt(at)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", at, err)
+		}
+		if got := string(snap["k"]); got != fmt.Sprintf("v%d", at) {
+			t.Fatalf("snapshot at %d has k=%q", at, got)
+		}
+		restored := New()
+		restored.Restore(snap, at)
+		if restored.StateDigest() != digests[at] {
+			t.Fatalf("restored digest at %d diverges", at)
+		}
+		if restored.LastApplied() != at {
+			t.Fatalf("restored LastApplied = %d, want %d", restored.LastApplied(), at)
+		}
+	}
+	// The live store must be untouched by the rewind.
+	if kv.StateDigest() != digests[6] {
+		t.Fatal("SnapshotAt mutated the live store")
+	}
+	// A restored store continues applying normally.
+	snap, _ := kv.SnapshotAt(6)
+	r := New()
+	r.Restore(snap, 6)
+	if _, err := kv.Apply(7, writeBatch("k", "v7", "extra", "e7")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Apply(7, writeBatch("k", "v7", "extra", "e7")); err != nil {
+		t.Fatal(err)
+	}
+	if r.StateDigest() != kv.StateDigest() {
+		t.Fatal("restored store diverged on the next apply")
+	}
+}
+
+// TestSnapshotAtBelowCheckpointFails: the rewind needs undo information, so
+// a snapshot below the last store checkpoint must be refused, as must one
+// beyond the applied prefix.
+func TestSnapshotAtBelowCheckpointFails(t *testing.T) {
+	kv := New()
+	for s := types.SeqNum(1); s <= 5; s++ {
+		kv.Apply(s, writeBatch("k", fmt.Sprintf("v%d", s)))
+	}
+	kv.Checkpoint(3)
+	if _, err := kv.SnapshotAt(2); err == nil {
+		t.Fatal("snapshot below the checkpoint accepted")
+	}
+	if _, err := kv.SnapshotAt(9); err == nil {
+		t.Fatal("snapshot beyond LastApplied accepted")
+	}
+	if _, err := kv.SnapshotAt(3); err != nil {
+		t.Fatalf("snapshot exactly at the checkpoint must work: %v", err)
 	}
 }

@@ -8,6 +8,11 @@
 //	poebench -fig all
 //	poebench -fig 9ab -full
 //	poebench -fig 11
+//
+// Beyond the paper's figures, -fig chaos runs the robustness scenario suite
+// (docs/SCENARIOS.md): partition-then-heal for all five protocols plus the
+// Byzantine attacks of Example 3, reporting throughput, view changes, and
+// the digest-prefix safety verdict for each.
 package main
 
 import (
@@ -34,7 +39,7 @@ type scale struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,all; or the chaos scenario suite: chaos")
 	full := flag.Bool("full", false, "run the larger (paper-scale) configurations")
 	flag.Parse()
 
@@ -111,6 +116,10 @@ func main() {
 		any = true
 		fig11()
 	}
+	if run("chaos") && *fig != "all" {
+		any = true
+		figChaos(sc)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -173,10 +182,18 @@ func fig9(sc scale, title string, crash, zero bool) {
 	for _, p := range harness.AllProtocols {
 		fmt.Printf("%-9s", p)
 		for _, n := range sc.ns {
+			// The failure is a mid-run crash scheduled through the fault
+			// plan (half-way through warmup, so the measurement window sees
+			// the degraded steady state), not a replica that was never
+			// there — reproducing Fig 9's single backup failure faithfully.
+			var crashAt time.Duration
+			if crash {
+				crashAt = sc.warmup / 2
+			}
 			res, err := harness.Run(harness.Options{
 				Protocol: p, N: n,
 				BatchSize: sc.batchSize, Clients: sc.clients, Outstanding: sc.out,
-				CrashBackup: crash, ZeroPayload: zero,
+				CrashBackupAfter: crashAt, ZeroPayload: zero,
 				Warmup: sc.warmup, Measure: sc.measure,
 			})
 			if err != nil {
@@ -299,6 +316,62 @@ func fig11() {
 		}
 		fmt.Println()
 	}
+}
+
+// figChaos runs the robustness scenario suite of docs/SCENARIOS.md: the
+// partition-then-heal matrix over all five protocols, then the Byzantine
+// attack family where each attack is most meaningful.
+func figChaos(sc scale) {
+	header("chaos: partition-then-heal, all protocols")
+	fmt.Printf("%-9s %10s %10s %6s %7s  %s\n", "protocol", "txn/s", "after-heal", "vc", "safety", "net")
+	base := func(p harness.Protocol) harness.Options {
+		return harness.Options{
+			Protocol: p, N: 4,
+			BatchSize: sc.batchSize, Clients: sc.clients, Outstanding: sc.out,
+			Warmup: sc.warmup, Measure: 2 * sc.measure,
+			ViewTimeout:   300 * time.Millisecond,
+			ClientTimeout: 300 * time.Millisecond,
+		}
+	}
+	report := func(rep harness.ChaosReport, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		safety := "OK"
+		if !rep.PrefixMatch {
+			safety = "DIVERGED: " + rep.Divergence
+		}
+		fmt.Printf("%-9s %10.0f %10d %6d %7s  sent=%d dropped=%d queued=%d\n",
+			rep.Protocol, rep.Throughput, rep.CompletedAfterEvent, rep.ViewChanges,
+			safety, rep.Net.Sent, rep.Net.Dropped, rep.Net.Queued)
+	}
+	for _, p := range harness.AllProtocols {
+		report(harness.RunChaos(harness.ChaosOptions{
+			Options:     base(p),
+			PartitionAt: sc.measure / 2,
+			HealAt:      sc.measure,
+		}))
+	}
+
+	header("chaos: byzantine primary attacks")
+	for _, tc := range []struct {
+		p      harness.Protocol
+		attack harness.Attack
+	}{
+		{harness.PoE, harness.AttackEquivocate},
+		{harness.PBFT, harness.AttackEquivocate},
+		{harness.HotStuff, harness.AttackEquivocate},
+		{harness.PoE, harness.AttackDark},
+	} {
+		opts := base(tc.p)
+		fmt.Printf("%-12s ", tc.attack)
+		report(harness.RunChaos(harness.ChaosOptions{Options: opts, Attack: tc.attack}))
+	}
+	opts := base(harness.PoE)
+	opts.Scheme = crypto.SchemeTS
+	fmt.Printf("%-12s ", harness.AttackSilenceCert)
+	report(harness.RunChaos(harness.ChaosOptions{Options: opts, Attack: harness.AttackSilenceCert}))
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

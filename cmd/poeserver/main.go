@@ -9,6 +9,10 @@
 //
 // All replicas (and clients) must share the same -seed so the deterministic
 // key ring agrees.
+//
+// The -fault-* flags arm the chaos fabric on this replica's outbound links
+// (drop/duplicate/reorder probabilities, delay ± jitter) — a WAN emulator
+// for multi-process robustness testing; see docs/SCENARIOS.md.
 package main
 
 import (
@@ -46,6 +50,12 @@ func main() {
 	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
 	dataDir := flag.String("data-dir", "", "directory for the WAL and checkpoint snapshots; empty = volatile (no crash recovery)")
 	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (survives machine crashes, not just process crashes)")
+	faultDrop := flag.Float64("fault-drop", 0, "chaos: probability of dropping each outbound message")
+	faultDup := flag.Float64("fault-dup", 0, "chaos: probability of duplicating each outbound message")
+	faultReorder := flag.Float64("fault-reorder", 0, "chaos: probability of swapping an outbound message with its successor")
+	faultDelay := flag.Duration("fault-delay", 0, "chaos: fixed outbound delay (e.g. 5ms)")
+	faultJitter := flag.Duration("fault-jitter", 0, "chaos: ± jitter on the outbound delay")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos: seed for the fault randomness")
 	flag.Parse()
 
 	addrs := strings.Split(*peerList, ",")
@@ -81,6 +91,22 @@ func main() {
 	}
 	defer tr.Close()
 
+	// Chaos flags route this replica's outbound traffic through the fault
+	// fabric — a WAN emulator / robustness harness for multi-process
+	// clusters. Inbound traffic is the other replicas' outbound; give every
+	// process the same flags for a symmetric network.
+	var replicaNet network.Transport = tr
+	faults := network.LinkFaults{
+		Drop: *faultDrop, Duplicate: *faultDup, Reorder: *faultReorder,
+		Delay: *faultDelay, Jitter: *faultJitter,
+	}
+	if !faults.IsZero() {
+		fn := network.NewFaultNet(nil, network.WithFaultSeed(*faultSeed))
+		fn.SetDefaultFaults(faults)
+		replicaNet = fn.Wrap(tr)
+		fmt.Printf("fault fabric armed: %+v\n", faults)
+	}
+
 	ring := crypto.NewKeyRing(n, []byte(*seed))
 	cfg := protocol.Config{
 		ID: types.ReplicaID(*id), N: n, F: *f,
@@ -99,7 +125,7 @@ func main() {
 		}
 		ropts.Storage = st
 	}
-	replica, err := poe.New(cfg, ring, tr, poe.Options{RuntimeOptions: ropts})
+	replica, err := poe.New(cfg, ring, replicaNet, poe.Options{RuntimeOptions: ropts})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -108,7 +108,14 @@ func Leader(n int, round types.View) types.ReplicaID {
 // Options configure a HotStuff replica.
 type Options struct {
 	protocol.RuntimeOptions
-	Tick time.Duration
+	// Adversary makes this replica a Byzantine leader per the shared
+	// cross-protocol spec: in rounds it leads, targeted replicas receive a
+	// conflicting (re-signed) proposal variant or no proposal at all. The
+	// vote split keeps either variant from forming a QC, so the round times
+	// out and the rotating pacemaker recovers on the next honest leader.
+	// Nil means honest.
+	Adversary *protocol.AdversarySpec
+	Tick      time.Duration
 	// Pipeline is the number of client requests the paper grants HotStuff
 	// in the no-out-of-order experiment (Fig 9k allows 4, one per phase of
 	// the chained pipeline). It only affects the harness; the replica
@@ -118,7 +125,8 @@ type Options struct {
 
 // Replica is one chained-HotStuff replica.
 type Replica struct {
-	rt *protocol.Runtime
+	rt  *protocol.Runtime
+	adv *protocol.AdversarySpec
 
 	curRound  types.View
 	nodes     map[types.Digest]*Node
@@ -163,6 +171,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	}
 	r := &Replica{
 		rt:         rt,
+		adv:        opts.Adversary,
 		curRound:   1,
 		nodes:      make(map[types.Digest]*Node),
 		committed:  make(map[types.Digest]bool),
@@ -358,8 +367,38 @@ func (r *Replica) propose(batch types.Batch) {
 	p := &Proposal{Node: node}
 	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
 	r.rt.Metrics.ProposedBatches.Add(1)
-	r.rt.Broadcast(p)
+	r.broadcastProposal(p)
 	r.onProposal(r.rt.Cfg.ID, p)
+}
+
+// broadcastProposal sends a proposal to every other replica, applying the
+// Byzantine adversary spec if one is installed (variants are re-signed with
+// this replica's real keys, so honest verifiers accept them).
+func (r *Replica) broadcastProposal(p *Proposal) {
+	if r.adv == nil {
+		r.rt.Broadcast(p)
+		return
+	}
+	var variant *Proposal
+	for i := 0; i < r.rt.Cfg.N; i++ {
+		id := types.ReplicaID(i)
+		if id == r.rt.Cfg.ID {
+			continue
+		}
+		switch r.adv.ActionFor(id) {
+		case protocol.ProposeSilence:
+		case protocol.ProposeEquivocate:
+			if variant == nil {
+				v := *p
+				v.Node.Batch = protocol.EquivocateBatch(p.Node.Batch)
+				v.Auth = r.rt.AuthBroadcast(v.SignedPayload())
+				variant = &v
+			}
+			r.rt.SendReplica(id, variant)
+		default:
+			r.rt.SendReplica(id, p)
+		}
+	}
 }
 
 // --- voting ---
@@ -659,7 +698,7 @@ func (r *Replica) onNewView(m *NewView) {
 	node := Node{Round: r.curRound, ParentHash: r.highQC.Node, Batch: batch, Justify: r.highQC}
 	p := &Proposal{Node: node}
 	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
-	r.rt.Broadcast(p)
+	r.broadcastProposal(p)
 	r.onProposal(cfg.ID, p)
 }
 

@@ -127,12 +127,18 @@ const (
 // Options configure a PBFT replica.
 type Options struct {
 	protocol.RuntimeOptions
-	Tick time.Duration
+	// Adversary makes this replica a Byzantine primary per the shared
+	// cross-protocol spec: equivocating or suppressed PRE-PREPAREs toward
+	// the listed backups, re-signed with this replica's real keys so honest
+	// verifiers accept them. Nil means honest.
+	Adversary *protocol.AdversarySpec
+	Tick      time.Duration
 }
 
 // Replica is one PBFT replica.
 type Replica struct {
-	rt *protocol.Runtime
+	rt  *protocol.Runtime
+	adv *protocol.AdversarySpec
 
 	view        types.View
 	status      status
@@ -192,6 +198,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	}
 	r := &Replica{
 		rt:           rt,
+		adv:          opts.Adversary,
 		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),
@@ -333,8 +340,38 @@ func (r *Replica) proposeReady(force bool) {
 		m := &PrePrepare{View: r.view, Seq: seq, Batch: batch}
 		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		r.rt.Metrics.ProposedBatches.Add(1)
-		r.rt.Broadcast(m)
+		r.broadcastPrePrepare(m)
 		r.handlePrePrepare(r.rt.Cfg.ID, m)
+	}
+}
+
+// broadcastPrePrepare sends the proposal to every backup, applying the
+// Byzantine adversary spec if one is installed: targeted backups receive a
+// conflicting (but correctly signed) variant batch or nothing at all.
+func (r *Replica) broadcastPrePrepare(m *PrePrepare) {
+	if r.adv == nil {
+		r.rt.Broadcast(m)
+		return
+	}
+	var variant *PrePrepare
+	for i := 0; i < r.rt.Cfg.N; i++ {
+		id := types.ReplicaID(i)
+		if id == r.rt.Cfg.ID {
+			continue
+		}
+		switch r.adv.ActionFor(id) {
+		case protocol.ProposeSilence:
+		case protocol.ProposeEquivocate:
+			if variant == nil {
+				v := *m
+				v.Batch = protocol.EquivocateBatch(m.Batch)
+				v.Auth = r.rt.AuthBroadcast(v.SignedPayload())
+				variant = &v
+			}
+			r.rt.SendReplica(id, variant)
+		default:
+			r.rt.SendReplica(id, m)
+		}
 	}
 }
 

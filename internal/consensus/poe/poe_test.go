@@ -204,7 +204,10 @@ func TestPrimaryFailureViewChange(t *testing.T) {
 	}
 }
 
-// equivocator sends different batches to odd and even replicas: Example 3(1).
+// equivocator sends conflicting batches to odd and even replicas:
+// Example 3(1). The variant comes from protocol.EquivocateBatch, so its
+// digest genuinely differs while every client signature stays valid — an
+// equivocation honest verifiers accept rather than drop.
 type equivocator struct{}
 
 func (equivocator) ProposeTo(to types.ReplicaID, p *Propose) *Propose {
@@ -212,10 +215,7 @@ func (equivocator) ProposeTo(to types.ReplicaID, p *Propose) *Propose {
 		return p
 	}
 	alt := *p
-	alt.Batch = types.Batch{Requests: append([]types.Request(nil), p.Batch.Requests...)}
-	if len(alt.Batch.Requests) > 0 {
-		alt.Batch.Requests[0].Txn.TimeNanos ^= 1 // different digest
-	}
+	alt.Batch = protocol.EquivocateBatch(p.Batch)
 	return &alt
 }
 

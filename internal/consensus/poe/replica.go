@@ -17,8 +17,10 @@ const (
 	statusViewChange
 )
 
-// Byzantine lets tests inject malicious primary behaviour (Example 3 of the
-// paper). A nil Byzantine is honest.
+// Byzantine lets tests inject arbitrary malicious primary behaviour
+// (Example 3 of the paper). A nil Byzantine is honest. Most callers should
+// prefer the declarative, cross-protocol Options.Adversary instead; this
+// interface remains for attacks a spec cannot express.
 type Byzantine interface {
 	// ProposeTo rewrites (or suppresses, by returning nil) the proposal the
 	// primary sends to one replica. Equivocation returns different batches
@@ -32,12 +34,36 @@ type Byzantine interface {
 // Options configure a PoE replica.
 type Options struct {
 	protocol.RuntimeOptions
-	// Byz injects malicious behaviour for tests; nil means honest.
+	// Adversary makes this replica a Byzantine primary per the shared
+	// cross-protocol spec (equivocating PROPOSE variants, selective
+	// silence, withheld CERTIFY broadcasts). Nil means honest. Ignored when
+	// Byz is also set.
+	Adversary *protocol.AdversarySpec
+	// Byz injects custom malicious behaviour for tests; nil means honest.
 	Byz Byzantine
 	// Tick overrides the housekeeping interval (defaults to a quarter of
 	// the view timeout).
 	Tick time.Duration
 }
+
+// specByz adapts the declarative cross-protocol adversary spec to PoE's
+// Byzantine hook.
+type specByz struct{ spec *protocol.AdversarySpec }
+
+func (s specByz) ProposeTo(to types.ReplicaID, p *Propose) *Propose {
+	switch s.spec.ActionFor(to) {
+	case protocol.ProposeSilence:
+		return nil
+	case protocol.ProposeEquivocate:
+		alt := *p
+		alt.Batch = protocol.EquivocateBatch(p.Batch)
+		return &alt
+	default:
+		return p
+	}
+}
+
+func (s specByz) SilenceCertify(seq types.SeqNum) bool { return s.spec.SilenceCert(seq) }
 
 // Replica is one PoE replica: the backup role of Fig 3 plus, when
 // id = v mod n, the primary role, plus the view-change algorithm of Fig 5.
@@ -104,9 +130,13 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 			tick = 10 * time.Millisecond
 		}
 	}
+	byz := opts.Byz
+	if byz == nil && opts.Adversary != nil {
+		byz = specByz{opts.Adversary}
+	}
 	r := &Replica{
 		rt:           rt,
-		byz:          opts.Byz,
+		byz:          byz,
 		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),

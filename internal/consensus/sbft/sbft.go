@@ -176,7 +176,13 @@ const (
 // Options configure an SBFT replica.
 type Options struct {
 	protocol.RuntimeOptions
-	Tick time.Duration
+	// Adversary makes this replica a Byzantine primary/collector per the
+	// shared cross-protocol spec: equivocating or suppressed PRE-PREPAREs
+	// toward the listed backups, and — with SilenceCertificates — a
+	// collector that withholds FULL-COMMIT-PROOF so backups sign-share but
+	// never commit. Nil means honest.
+	Adversary *protocol.AdversarySpec
+	Tick      time.Duration
 	// CollectorTimeout is how long the collector waits for all n shares
 	// before falling back to the slow path (the paper's replica-side
 	// timeout, chosen small in §IV-D).
@@ -185,7 +191,8 @@ type Options struct {
 
 // Replica is one SBFT replica.
 type Replica struct {
-	rt *protocol.Runtime
+	rt  *protocol.Runtime
+	adv *protocol.AdversarySpec
 
 	view        types.View
 	status      status
@@ -263,6 +270,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	}
 	r := &Replica{
 		rt:           rt,
+		adv:          opts.Adversary,
 		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),
@@ -420,8 +428,38 @@ func (r *Replica) proposeReady(force bool) {
 		m := &PrePrepare{View: r.view, Seq: seq, Batch: batch}
 		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		r.rt.Metrics.ProposedBatches.Add(1)
-		r.rt.Broadcast(m)
+		r.broadcastPrePrepare(m)
 		r.handlePrePrepare(r.rt.Cfg.ID, m)
+	}
+}
+
+// broadcastPrePrepare sends the proposal to every backup, applying the
+// Byzantine adversary spec if one is installed (equivocating variants are
+// re-signed with this replica's real keys, so honest verifiers accept them).
+func (r *Replica) broadcastPrePrepare(m *PrePrepare) {
+	if r.adv == nil {
+		r.rt.Broadcast(m)
+		return
+	}
+	var variant *PrePrepare
+	for i := 0; i < r.rt.Cfg.N; i++ {
+		id := types.ReplicaID(i)
+		if id == r.rt.Cfg.ID {
+			continue
+		}
+		switch r.adv.ActionFor(id) {
+		case protocol.ProposeSilence:
+		case protocol.ProposeEquivocate:
+			if variant == nil {
+				v := *m
+				v.Batch = protocol.EquivocateBatch(m.Batch)
+				v.Auth = r.rt.AuthBroadcast(v.SignedPayload())
+				variant = &v
+			}
+			r.rt.SendReplica(id, variant)
+		default:
+			r.rt.SendReplica(id, m)
+		}
 	}
 }
 
@@ -514,8 +552,10 @@ func (r *Replica) sendProof(seq types.SeqNum, s *slot) {
 		return
 	}
 	s.proofSent = true
-	proof := &FullCommitProof{View: s.view, Seq: seq, Digest: s.digest, Cert: cert}
-	r.rt.Broadcast(proof)
+	if !r.adv.SilenceCert(seq) {
+		proof := &FullCommitProof{View: s.view, Seq: seq, Digest: s.digest, Cert: cert}
+		r.rt.Broadcast(proof)
+	}
 	r.commit(seq, s, cert)
 }
 
@@ -595,8 +635,10 @@ func (r *Replica) addShare2(from types.ReplicaID, m *Share2, s *slot) {
 		return
 	}
 	s.proofSent = true
-	proof := &FullCommitProof{View: s.view, Seq: m.Seq, Digest: s.digest, Cert: cert}
-	r.rt.Broadcast(proof)
+	if !r.adv.SilenceCert(m.Seq) {
+		proof := &FullCommitProof{View: s.view, Seq: m.Seq, Digest: s.digest, Cert: cert}
+		r.rt.Broadcast(proof)
+	}
 	r.commit(m.Seq, s, cert)
 }
 

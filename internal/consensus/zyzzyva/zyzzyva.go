@@ -132,12 +132,20 @@ const (
 // Options configure a Zyzzyva replica.
 type Options struct {
 	protocol.RuntimeOptions
-	Tick time.Duration
+	// Adversary makes this replica a Byzantine primary per the shared
+	// cross-protocol spec: targeted backups receive a conflicting ORDER-REQ
+	// variant whose history digest is re-derived for the variant batch —
+	// so victims speculatively execute it and genuinely diverge, the attack
+	// the rollback machinery of §III exists for — or no ORDER-REQ at all.
+	// Nil means honest.
+	Adversary *protocol.AdversarySpec
+	Tick      time.Duration
 }
 
 // Replica is one Zyzzyva replica.
 type Replica struct {
-	rt *protocol.Runtime
+	rt  *protocol.Runtime
+	adv *protocol.AdversarySpec
 
 	view        types.View
 	status      status
@@ -189,6 +197,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	}
 	r := &Replica{
 		rt:               rt,
+		adv:              opts.Adversary,
 		nextPropose:      rt.Exec.LastExecuted() + 1,
 		orders:           make(map[types.SeqNum]*OrderReq),
 		primaryHistories: make(map[types.SeqNum]types.Digest),
@@ -328,31 +337,61 @@ func (r *Replica) proposeReady(force bool) {
 		// The history digest for seq is the ledger block hash the batch
 		// will produce; the primary predicts it for in-flight proposals.
 		bd := batch.Digest()
-		hist := r.predictHistory(seq, bd, r.view)
+		prev := r.prevHistory(seq)
+		hist := blockHash(ledgerBlock{Seq: seq, Digest: bd, View: r.view, PrevHash: prev})
 		r.primaryHistories[seq] = hist
 		m := &OrderReq{View: r.view, Seq: seq, History: hist, Batch: batch}
 		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		r.rt.Metrics.ProposedBatches.Add(1)
-		r.rt.Broadcast(m)
+		r.broadcastOrderReq(m, prev)
 		r.handleOrderReq(r.rt.Cfg.ID, m)
 	}
 }
 
-// predictHistory computes the ledger block hash the batch at seq would
-// produce, chaining from either the executed ledger head or a cached
-// in-flight prediction.
-func (r *Replica) predictHistory(seq types.SeqNum, batchDigest types.Digest, view types.View) types.Digest {
-	var prev types.Digest
-	if h, ok := r.primaryHistories[seq-1]; ok {
-		prev = h
-	} else if b, ok := r.rt.Exec.Chain().Get(seq - 1); ok {
-		prev = blockHash(b)
-	} else {
-		head := r.rt.Exec.Chain().Head()
-		prev = blockHash(head)
+// broadcastOrderReq sends the ordering message to every backup, applying the
+// Byzantine adversary spec if one is installed. An equivocation variant
+// carries a different (validly signed) batch and the matching re-derived
+// history digest, so its receivers speculatively execute it — Zyzzyva's
+// replicas diverge until the view change rolls the losers back.
+func (r *Replica) broadcastOrderReq(m *OrderReq, prev types.Digest) {
+	if r.adv == nil {
+		r.rt.Broadcast(m)
+		return
 	}
-	b := ledgerBlock{Seq: seq, Digest: batchDigest, View: view, PrevHash: prev}
-	return b.Hash()
+	var variant *OrderReq
+	for i := 0; i < r.rt.Cfg.N; i++ {
+		id := types.ReplicaID(i)
+		if id == r.rt.Cfg.ID {
+			continue
+		}
+		switch r.adv.ActionFor(id) {
+		case protocol.ProposeSilence:
+		case protocol.ProposeEquivocate:
+			if variant == nil {
+				vb := protocol.EquivocateBatch(m.Batch)
+				v := *m
+				v.Batch = vb
+				v.History = blockHash(ledgerBlock{Seq: m.Seq, Digest: vb.Digest(), View: m.View, PrevHash: prev})
+				v.Auth = r.rt.AuthBroadcast(v.SignedPayload())
+				variant = &v
+			}
+			r.rt.SendReplica(id, variant)
+		default:
+			r.rt.SendReplica(id, m)
+		}
+	}
+}
+
+// prevHistory returns the history digest a proposal at seq chains from:
+// either a cached in-flight prediction or the executed ledger.
+func (r *Replica) prevHistory(seq types.SeqNum) types.Digest {
+	if h, ok := r.primaryHistories[seq-1]; ok {
+		return h
+	}
+	if b, ok := r.rt.Exec.Chain().Get(seq - 1); ok {
+		return blockHash(b)
+	}
+	return blockHash(r.rt.Exec.Chain().Head())
 }
 
 func (r *Replica) handleOrderReq(from types.ReplicaID, m *OrderReq) {

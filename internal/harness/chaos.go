@@ -1,0 +1,337 @@
+package harness
+
+// Chaos scenarios: the harness-level entry point to the fault fabric
+// (network.FaultNet) and the cross-protocol Byzantine adversary spec
+// (protocol.AdversarySpec). One RunChaos call runs any of the five
+// protocols under a scripted combination of a Byzantine leader, dynamic
+// partitions with heal, scheduled crashes, and lossy/slow links — then
+// checks the two properties every scenario in docs/SCENARIOS.md reduces to:
+//
+//	safety:   all honest replicas share an executed-batch digest prefix
+//	          (pairwise, over every sequence number both retain), and each
+//	          honest ledger is internally hash-linked;
+//	liveness: client-visible throughput resumes after the last scheduled
+//	          disruption (view change completed, partition healed).
+//
+// The fault taxonomy and which layer injects each fault class are laid out
+// in DESIGN.md §6.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/workload"
+)
+
+// Attack names a Byzantine behaviour for the faulty replica.
+type Attack string
+
+// The attack library. Each maps to a protocol.AdversarySpec the faulty
+// replica applies whenever it holds the leader role.
+const (
+	// AttackNone runs every replica honest.
+	AttackNone Attack = ""
+	// AttackEquivocate is the quorum-splitting equivocator (Example 3(1)):
+	// half the backups receive a conflicting, validly signed batch, so
+	// neither version can gather n−f support and the view must change.
+	AttackEquivocate Attack = "equivocate"
+	// AttackDark keeps f backups in the dark (Example 3(2)): the cluster
+	// keeps deciding without them; the dark replicas recover via state
+	// transfer.
+	AttackDark Attack = "dark"
+	// AttackSilenceCert withholds leader-distributed certificates (PoE's
+	// CERTIFY, SBFT's FULL-COMMIT-PROOF): backups prepare but cannot
+	// commit, forcing the failure detector to fire.
+	AttackSilenceCert Attack = "silence-cert"
+)
+
+// ChaosOptions configure one chaos run. All offsets are measured from the
+// start of the measurement window (after warmup), matching the scenario
+// notation "at t=2s, partition {0,1} from {2,3}".
+type ChaosOptions struct {
+	Options
+
+	// Attack is the Byzantine behaviour of replica Faulty (default:
+	// replica 0, the view-0 primary — so the attack bites immediately).
+	Attack Attack
+	Faulty int
+
+	// PartitionAt/HealAt schedule a partition of Isolate against the rest
+	// of the replicas and its heal. Both must be set to enable; clients are
+	// never partitioned. Isolate defaults to {N-1}; isolating ≥ f+1
+	// replicas (e.g. half the cluster) denies everyone a quorum and stalls
+	// the run until heal.
+	PartitionAt, HealAt time.Duration
+	Isolate             []int
+	// ReliablePartition queues the blocked traffic and delivers it at heal
+	// (a partition over TCP); otherwise it is lost (datagram semantics).
+	ReliablePartition bool
+
+	// Faults, when non-zero, is applied to every replica↔replica link for
+	// the whole run — the lossy-link soak.
+	Faults network.LinkFaults
+
+	// Plan appends extra scheduled fabric steps (offsets from measurement
+	// start, like PartitionAt).
+	Plan *network.Plan
+}
+
+// ChaosReport is the outcome of a chaos run.
+type ChaosReport struct {
+	Result
+
+	// CompletedAtEvent and CompletedAfterEvent split Completed at the
+	// moment the last scheduled disruption ended (HealAt, or mid-window for
+	// pure-attack runs): liveness means CompletedAfterEvent > 0.
+	CompletedAtEvent    int64
+	CompletedAfterEvent int64
+
+	// PrefixMatch reports the safety check over every honest replica pair:
+	// internally hash-linked ledgers agreeing on batch digest and view
+	// wherever both chains hold a block. Divergence describes the first
+	// violation.
+	PrefixMatch bool
+	Divergence  string
+
+	// MinHonestSeq/MaxHonestSeq are the lowest and highest last-executed
+	// sequence numbers among honest replicas at the end of the run.
+	MinHonestSeq, MaxHonestSeq types.SeqNum
+
+	// Net counts the fabric's decisions (sent/dropped/queued/flushed...).
+	Net network.FaultStats
+}
+
+// adversaryFor materializes the attack's spec for the faulty replica.
+func adversaryFor(opts ChaosOptions) (*protocol.AdversarySpec, error) {
+	switch opts.Attack {
+	case AttackNone:
+		return nil, nil
+	case AttackEquivocate:
+		return protocol.EquivocateHalf(opts.N, types.ReplicaID(opts.Faulty)), nil
+	case AttackDark:
+		return protocol.DarkQuorum(opts.N, opts.F, types.ReplicaID(opts.Faulty)), nil
+	case AttackSilenceCert:
+		return &protocol.AdversarySpec{SilenceCertificates: true}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown attack %q", opts.Attack)
+	}
+}
+
+// RunChaos executes one chaos scenario and reports safety and liveness.
+func RunChaos(opts ChaosOptions) (ChaosReport, error) {
+	opts.Options = opts.Options.withDefaults()
+	if opts.Faulty < 0 || opts.Faulty >= opts.N {
+		return ChaosReport{}, fmt.Errorf("harness: faulty replica %d out of range", opts.Faulty)
+	}
+	if (opts.PartitionAt > 0) != (opts.HealAt > 0) || opts.HealAt < opts.PartitionAt {
+		return ChaosReport{}, fmt.Errorf("harness: need 0 < PartitionAt < HealAt (got %v, %v)", opts.PartitionAt, opts.HealAt)
+	}
+	adv, err := adversaryFor(opts)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	base := network.NewChanNet(
+		network.WithSeed(opts.Seed),
+		network.WithSendCost(opts.SendCost),
+		network.WithDelay(opts.NetDelay, 0),
+	)
+	defer base.Close()
+	fn := network.NewFaultNet(base, network.WithFaultSeed(opts.Seed))
+	defer fn.Close()
+	if !opts.Faults.IsZero() {
+		for i := 0; i < opts.N; i++ {
+			for j := 0; j < opts.N; j++ {
+				if i != j {
+					fn.SetLink(types.ReplicaNode(types.ReplicaID(i)), types.ReplicaNode(types.ReplicaID(j)), opts.Faults)
+				}
+			}
+		}
+	}
+
+	// Clone so appending the partition steps never mutates the caller's
+	// plan (ChaosOptions stay reusable across runs).
+	plan := opts.Plan.Clone()
+	if opts.PartitionAt > 0 {
+		isolate := opts.Isolate
+		if len(isolate) == 0 {
+			isolate = []int{opts.N - 1}
+		}
+		in := make(map[int]bool, len(isolate))
+		var a, b []types.NodeID
+		for _, i := range isolate {
+			if i < 0 || i >= opts.N {
+				return ChaosReport{}, fmt.Errorf("harness: isolate replica %d out of range", i)
+			}
+			in[i] = true
+			a = append(a, types.ReplicaNode(types.ReplicaID(i)))
+		}
+		for i := 0; i < opts.N; i++ {
+			if !in[i] {
+				b = append(b, types.ReplicaNode(types.ReplicaID(i)))
+			}
+		}
+		plan.PartitionAt(opts.PartitionAt, a, b, opts.ReliablePartition)
+		plan.HealAt(opts.HealAt)
+	}
+
+	ring := crypto.NewKeyRing(opts.N, []byte(fmt.Sprintf("harness-%d", opts.Seed)))
+	wcfg := workload.DefaultConfig(opts.Records)
+	wcfg.Seed = opts.Seed
+	var table map[string][]byte
+	if !opts.ZeroPayload {
+		table = workload.InitialTable(wcfg)
+	}
+
+	replicas := make([]replicaHandle, opts.N)
+	replicaDone := make([]chan struct{}, opts.N)
+	for i := 0; i < opts.N; i++ {
+		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table}
+		if opts.DataDir != "" {
+			st, err := storage.Open(replicaDir(opts.DataDir, i), storage.Options{})
+			if err != nil {
+				return ChaosReport{}, err
+			}
+			defer st.Close()
+			ropts.Storage = st
+		}
+		var radv *protocol.AdversarySpec
+		if i == opts.Faulty {
+			radv = adv
+		}
+		tr := fn.Join(types.ReplicaNode(types.ReplicaID(i)))
+		h, err := buildReplica(opts.Options, replicaConfig(opts.Options, i), ring, tr, ropts, radv)
+		if err != nil {
+			return ChaosReport{}, err
+		}
+		replicas[i] = h
+		done := make(chan struct{})
+		replicaDone[i] = done
+		go func(h replicaHandle) {
+			h.Run(ctx)
+			close(done)
+		}(h)
+	}
+
+	var completed atomic.Int64
+	var latencySum atomic.Int64
+	var measuring atomic.Bool
+	clients := make([]submitter, opts.Clients)
+	for i := 0; i < opts.Clients; i++ {
+		s, err := buildClient(opts.Options, i, ring, fn)
+		if err != nil {
+			return ChaosReport{}, err
+		}
+		s.Start(ctx)
+		clients[i] = s
+	}
+	var wg sync.WaitGroup
+	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring)
+
+	select {
+	case <-time.After(opts.Warmup):
+	case <-ctx.Done():
+	}
+	measuring.Store(true)
+	runStart := time.Now()
+	fn.Execute(ctx, plan)
+
+	// eventAt marks the end of the last scheduled disruption: completions
+	// after it are the liveness signal. Pure-attack runs (nothing scheduled)
+	// use the window midpoint — by then the view change away from the faulty
+	// leader must have happened for the run to count as live.
+	eventAt := opts.HealAt
+	for _, s := range planOffsets(plan) {
+		if s > eventAt {
+			eventAt = s
+		}
+	}
+	if eventAt == 0 || eventAt > opts.Measure {
+		eventAt = opts.Measure / 2
+	}
+	sleepUntil(ctx, runStart, eventAt)
+	report := ChaosReport{CompletedAtEvent: completed.Load()}
+
+	sleepUntil(ctx, runStart, opts.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(runStart)
+	cancel()
+	fn.Close()
+	base.Close()
+	wg.Wait()
+	for _, done := range replicaDone {
+		<-done
+	}
+
+	total := completed.Load()
+	report.CompletedAfterEvent = total - report.CompletedAtEvent
+	report.Result = Result{
+		Protocol:   opts.Protocol,
+		N:          opts.N,
+		BatchSize:  opts.BatchSize,
+		Completed:  total,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}
+	if total > 0 {
+		report.Result.AvgLatency = time.Duration(latencySum.Load() / total)
+	}
+	for _, h := range replicas {
+		report.Result.ViewChanges += h.Runtime().Metrics.ViewChanges.Load()
+		report.Result.Rollbacks += h.Runtime().Metrics.Rollbacks.Load()
+	}
+	report.Net = fn.Stats()
+
+	// Safety: every honest ledger internally hash-linked, plus pairwise
+	// digest-prefix agreement among honest replicas. The Byzantine replica
+	// is excluded — its state is unconstrained. The hash-link check runs
+	// per replica (comparePrefix only verifies its first argument, which
+	// would leave the highest-index replica's links unchecked).
+	report.PrefixMatch = true
+	first := true
+	for i := 0; i < opts.N; i++ {
+		if opts.Attack != AttackNone && i == opts.Faulty {
+			continue
+		}
+		if seq, ok := replicas[i].Runtime().Exec.Chain().Verify(); !ok && report.PrefixMatch {
+			report.PrefixMatch = false
+			report.Divergence = fmt.Sprintf("replica %d: chain hash link broken at seq %d", i, seq)
+		}
+		last := replicas[i].Runtime().Exec.LastExecuted()
+		if first || last < report.MinHonestSeq {
+			report.MinHonestSeq = last
+		}
+		if first || last > report.MaxHonestSeq {
+			report.MaxHonestSeq = last
+		}
+		first = false
+		for j := i + 1; j < opts.N; j++ {
+			if opts.Attack != AttackNone && j == opts.Faulty {
+				continue
+			}
+			if ok, why := comparePrefix(replicas[i], replicas[j]); !ok && report.PrefixMatch {
+				report.PrefixMatch = false
+				report.Divergence = fmt.Sprintf("replicas %d vs %d: %s", i, j, why)
+			}
+		}
+	}
+	return report, nil
+}
+
+// planOffsets lists a plan's step offsets (for the event marker).
+func planOffsets(p *network.Plan) []time.Duration {
+	if p == nil {
+		return nil
+	}
+	return p.Offsets()
+}

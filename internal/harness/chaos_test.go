@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+)
+
+// chaosOpts is the shared scenario configuration: small cluster, short
+// timeouts so view changes fit the window, and a client timeout low enough
+// that Zyzzyva's slow path cycles several times per second.
+func chaosOpts(p Protocol) Options {
+	return Options{
+		Protocol: p, N: 4,
+		BatchSize: 10, Clients: 8, Outstanding: 4,
+		Records: 512,
+		Warmup:  200 * time.Millisecond, Measure: 2 * time.Second,
+		ViewTimeout:   300 * time.Millisecond,
+		ClientTimeout: 300 * time.Millisecond,
+	}
+}
+
+func checkChaos(t *testing.T, rep ChaosReport, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if !rep.PrefixMatch {
+		t.Fatalf("safety violation: %s", rep.Divergence)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no transactions completed at all")
+	}
+	if rep.CompletedAfterEvent == 0 {
+		t.Fatalf("no liveness after the disruption ended: %d total, %d before event, vc=%d",
+			rep.Completed, rep.CompletedAtEvent, rep.ViewChanges)
+	}
+	t.Logf("%s: %d txns (%d after event), vc=%d, net=%+v",
+		rep.Protocol, rep.Completed, rep.CompletedAfterEvent, rep.ViewChanges, rep.Net)
+}
+
+// TestChaosPartitionHealAllProtocols is the cross-protocol scenario matrix:
+// one backup is partitioned away mid-run and healed; every protocol must
+// keep (or resume) committing, and all honest replicas must agree on their
+// executed-batch digest prefix at the end.
+func TestChaosPartitionHealAllProtocols(t *testing.T) {
+	for _, p := range AllProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			rep, err := RunChaos(ChaosOptions{
+				Options:     chaosOpts(p),
+				PartitionAt: 400 * time.Millisecond,
+				HealAt:      time.Second,
+			})
+			checkChaos(t, rep, err)
+		})
+	}
+}
+
+// TestChaosEquivocatingPrimary runs the quorum-splitting equivocator on the
+// view-0 primary: no conflicting batch may ever commit (Proposition 2), the
+// failure detector must replace the primary, and throughput must resume
+// under the new one. PoE and PBFT carry certificates through their view
+// change, so the post-attack guarantees are unconditional there.
+func TestChaosEquivocatingPrimary(t *testing.T) {
+	for _, p := range []Protocol{PoE, PBFT} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			rep, err := RunChaos(ChaosOptions{
+				Options: chaosOpts(p),
+				Attack:  AttackEquivocate,
+			})
+			checkChaos(t, rep, err)
+			if rep.ViewChanges == 0 {
+				t.Fatal("equivocating primary was never replaced")
+			}
+		})
+	}
+}
+
+// TestChaosEquivocatingLeaderRotates covers the rotating-leader and
+// speculative cases: HotStuff's vote split must starve both variants of a
+// QC (rounds led by the faulty replica time out; honest rounds commit), and
+// Zyzzyva's victims must be rolled back into agreement by the view change.
+func TestChaosEquivocatingLeaderRotates(t *testing.T) {
+	for _, p := range []Protocol{HotStuff, SBFT} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			rep, err := RunChaos(ChaosOptions{
+				Options: chaosOpts(p),
+				Attack:  AttackEquivocate,
+			})
+			checkChaos(t, rep, err)
+		})
+	}
+}
+
+// TestChaosDarkBackups runs the selective-silence attack (Example 3(2)):
+// the primary keeps f backups in the dark. The cluster must keep deciding
+// at full tilt, and the dark replicas must converge through state transfer.
+func TestChaosDarkBackups(t *testing.T) {
+	rep, err := RunChaos(ChaosOptions{
+		Options: chaosOpts(PoE),
+		Attack:  AttackDark,
+	})
+	checkChaos(t, rep, err)
+}
+
+// TestChaosSilencedCertificates withholds the leader-distributed
+// certificates in PoE's threshold-signature mode: backups support but never
+// commit, so the view must change and throughput resume.
+func TestChaosSilencedCertificates(t *testing.T) {
+	opts := chaosOpts(PoE)
+	opts.Scheme = crypto.SchemeTS
+	rep, err := RunChaos(ChaosOptions{
+		Options: opts,
+		Attack:  AttackSilenceCert,
+	})
+	checkChaos(t, rep, err)
+	if rep.ViewChanges == 0 {
+		t.Fatal("certificate-withholding primary was never replaced")
+	}
+}
+
+// TestChaosQuorumLossPartition splits the cluster 2|2 — no side holds a
+// quorum, so the run fully stalls — then heals over a reliable partition
+// (queued traffic is flushed). Progress must resume and prefixes converge.
+func TestChaosQuorumLossPartition(t *testing.T) {
+	opts := chaosOpts(PoE)
+	opts.Measure = 3 * time.Second
+	rep, err := RunChaos(ChaosOptions{
+		Options:           opts,
+		Isolate:           []int{0, 1},
+		PartitionAt:       300 * time.Millisecond,
+		HealAt:            900 * time.Millisecond,
+		ReliablePartition: true,
+	})
+	checkChaos(t, rep, err)
+	if rep.Net.Queued == 0 || rep.Net.Flushed == 0 {
+		t.Fatalf("reliable partition never queued/flushed traffic: %+v", rep.Net)
+	}
+}
+
+// TestChaosLossySoakDurable combines the omission faults with the
+// durability subsystem: every replica link drops, delays, and reorders
+// traffic for the whole run while replicas log to disk. Protocol-level
+// retransmission and state transfer must keep the cluster live and in
+// digest agreement.
+func TestChaosLossySoakDurable(t *testing.T) {
+	opts := chaosOpts(PoE)
+	opts.DataDir = t.TempDir()
+	rep, err := RunChaos(ChaosOptions{
+		Options: opts,
+		Faults: network.LinkFaults{
+			Drop:    0.02,
+			Reorder: 0.05,
+			Delay:   200 * time.Microsecond,
+			Jitter:  100 * time.Microsecond,
+		},
+	})
+	checkChaos(t, rep, err)
+	if rep.Net.Dropped == 0 {
+		t.Fatalf("soak injected no drops: %+v", rep.Net)
+	}
+}
+
+// TestChaosCrashBackupMidRun exercises the repaired Fig 9 knob: the last
+// replica crashes at a scheduled offset (via the fault plan) instead of
+// before the run, and the cluster rides through the transition.
+func TestChaosCrashBackupMidRun(t *testing.T) {
+	opts := chaosOpts(PoE)
+	opts.CrashBackupAfter = 600 * time.Millisecond
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no progress across a mid-run backup crash")
+	}
+	t.Logf("%v", res)
+}

@@ -118,7 +118,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 		}
 		stores[i] = st
 		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table, Storage: st}
-		h, err := buildReplica(opts.Options, replicaConfig(opts.Options, i), ring, net.Join(types.ReplicaNode(types.ReplicaID(i))), ropts)
+		h, err := buildReplica(opts.Options, replicaConfig(opts.Options, i), ring, net.Join(types.ReplicaNode(types.ReplicaID(i))), ropts, nil)
 		if err != nil {
 			st.Close()
 			stores[i] = nil
@@ -161,34 +161,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 		clients[i] = s
 	}
 	var wg sync.WaitGroup
-	for i, s := range clients {
-		gen := workload.NewGenerator(wcfg, types.ClientID(types.ClientIDBase)+types.ClientID(i))
-		genMu := &sync.Mutex{}
-		for j := 0; j < opts.Outstanding; j++ {
-			wg.Add(1)
-			go func(s submitter) {
-				defer wg.Done()
-				for ctx.Err() == nil {
-					genMu.Lock()
-					txn := gen.Next()
-					genMu.Unlock()
-					txn.Seq = s.NextSeq()
-					if opts.ZeroPayload {
-						txn.Ops = nil
-					}
-					begin := time.Now()
-					txn.TimeNanos = begin.UnixNano()
-					if _, err := s.SubmitTxn(ctx, txn); err != nil {
-						return
-					}
-					if measuring.Load() {
-						completed.Add(1)
-						latencySum.Add(int64(time.Since(begin)))
-					}
-				}
-			}(s)
-		}
-	}
+	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring)
 
 	select {
 	case <-time.After(opts.Warmup):

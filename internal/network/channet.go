@@ -13,7 +13,10 @@ import (
 // channel and sends are direct channel writes. It supports the fault
 // injection the paper's experiments need — crashed replicas (Fig 9 single
 // backup failure, Fig 10 primary failure), link delays (Fig 11's
-// message-delay regime), probabilistic drops, and partitions.
+// message-delay regime), probabilistic drops, and partitions. The richer,
+// schedulable fault rules of the chaos scenarios (per-link duplication and
+// reordering, reliable partitions, fault plans, Byzantine mutators) live in
+// FaultNet, which wraps a ChanNet.
 //
 // ChanNet is safe for concurrent use.
 type ChanNet struct {

@@ -1,11 +1,31 @@
 // Package network provides the message transports the consensus protocols
-// run over: an in-process channel network with fault injection (delays,
-// drops, partitions, crashes) used by tests and benchmarks, and a TCP
-// transport used by the cmd/ binaries to run a cluster across processes.
+// run over, and the fault-injection fabric the robustness scenarios drive
+// them through. Three pieces:
 //
-// Protocols only see the Transport interface; authenticated communication is
-// layered above it by the protocols themselves (crypto package), matching the
-// paper's model where the network is unreliable and unauthenticated.
+//   - ChanNet, the in-process channel network used by tests, benchmarks,
+//     and the harness: direct channel writes, an optional per-message
+//     send cost (restoring the serialization/syscall cost broadcasts pay
+//     in a real deployment — DESIGN.md §3), and basic built-in faults.
+//   - TCPNet, the gob-over-TCP transport the cmd/ binaries use to spread a
+//     cluster across processes and machines.
+//   - FaultNet, the composable chaos fabric (DESIGN.md §6): it wraps any
+//     Net (or, via Wrap, any bare Transport, including TCPNet) and applies
+//     deterministic seeded fault rules on the sender side — per-link
+//     drop/delay/duplicate/reorder, dynamic partitions that lose or queue
+//     their traffic, crash markers, per-sender Byzantine mutators — with a
+//     Plan API for scheduling rule changes mid-run.
+//
+// Protocols only see the Transport interface; harnesses compose networks
+// through Net. Authenticated communication is layered above the transport
+// by the protocols themselves (crypto package), matching the paper's model
+// where the network is unreliable and unauthenticated. Two consequences
+// shape the fault fabric: a receiving replica hands every inbound envelope
+// to its parallel authentication pipeline (protocol.Verifier), so whatever
+// the fabric corrupts is verified — and dropped — off the replica's event
+// loop at full pipeline parallelism; and network-level tampering can never
+// forge protocol state, which is why effective equivocation is injected
+// above the transport via protocol.AdversarySpec rather than by a FaultNet
+// mutator.
 package network
 
 import (

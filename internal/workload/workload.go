@@ -4,7 +4,21 @@
 // write queries, and configurable payload sizes, plus the zero-payload mode.
 //
 // Generators are deterministic given their seed, so experiments are
-// reproducible and replicas can pre-load identical tables.
+// reproducible and replicas can pre-load identical tables — the same
+// determinism contract the fault fabric (network.FaultNet) and the chaos
+// scenarios build on.
+//
+// How generated transactions meet the rest of the system: each one is
+// signed by its client and travels as a types.Request; on every replica the
+// signature is checked off the event loop by the parallel authentication
+// pipeline (protocol.Verifier) — once per replica, memoized thereafter —
+// before the batcher aggregates requests into proposals. ValueSize × batch
+// size therefore controls the PROPOSE payload the pipeline clones and
+// digests at ingress, which is why the harness's measured throughput is
+// sensitive to this package's configuration even though no workload code
+// runs on the hot path itself. Under chaos runs (harness.RunChaos), the
+// open-loop generators double as the liveness probe: completions after a
+// heal or view change are what certify the cluster recovered.
 package workload
 
 import (

@@ -308,6 +308,33 @@ func BenchmarkAblationBatchZeroPayload(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableWAL measures durable-mode throughput (DataDir + fsync):
+// group commit — a burst of in-order executed batches framed in one buffered
+// write and one fsync, replies released after the group is durable — against
+// the per-record-sync baseline it replaced. The gap is the amortized fsync.
+func BenchmarkDurableWAL(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		noGroup bool
+	}{{"group-commit", false}, {"per-record-sync", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Small batches and deep client pipelining: the record rate —
+				// and so the fsync rate the baseline pays — is high, and the
+				// in-flight window keeps the cluster busy while groups sync.
+				res := runOnce(b, harness.Options{
+					Protocol: harness.PoE, N: 4,
+					BatchSize: 20, Clients: 64, Outstanding: 32,
+					DataDir: b.TempDir(), Fsync: true, NoGroupCommit: tc.noGroup,
+				})
+				b.ReportMetric(res.Throughput, "txn/s")
+				b.ReportMetric(float64(res.AvgLatency.Microseconds())/1000, "ms/lat")
+				b.ReportMetric(res.WALGroupMean(), "recs/group")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationCheckpointInterval varies the checkpoint cadence, which
 // trades undo-log/view-change size against checkpoint traffic (§II-D).
 func BenchmarkAblationCheckpointInterval(b *testing.B) {

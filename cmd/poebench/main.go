@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,47 @@ import (
 	"github.com/poexec/poe/internal/harness"
 	"github.com/poexec/poe/internal/sim"
 )
+
+// benchEntry is one row of the machine-readable -json snapshot
+// (BENCH_PR4.json schema): benchmark name → throughput and latency. Harness
+// rows fill TxnPerSec/LatencyMs; simulation rows (fig 11) fill
+// DecisionsPerSec.
+type benchEntry struct {
+	TxnPerSec       float64 `json:"txn_s,omitempty"`
+	LatencyMs       float64 `json:"latency_ms,omitempty"`
+	DecisionsPerSec float64 `json:"decisions_s,omitempty"`
+}
+
+// benchSnapshot is the file the CI job uploads next to the fig-11 output so
+// the perf trajectory is tracked per push.
+type benchSnapshot struct {
+	Schema     string                `json:"schema"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+var snapshot = benchSnapshot{Schema: "poebench/v1", Benchmarks: map[string]benchEntry{}}
+
+// record adds one harness result to the snapshot.
+func record(name string, res harness.Result) {
+	snapshot.Benchmarks[name] = benchEntry{TxnPerSec: res.Throughput, LatencyMs: ms(res.AvgLatency)}
+}
+
+// recordSim adds one simulation result to the snapshot.
+func recordSim(name string, res sim.Result) {
+	snapshot.Benchmarks[name] = benchEntry{DecisionsPerSec: res.DecisionsPS}
+}
+
+func writeSnapshot(path string) {
+	data, err := json.MarshalIndent(&snapshot, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 type scale struct {
 	ns        []int
@@ -41,6 +83,7 @@ type scale struct {
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,all; or the chaos scenario suite: chaos")
 	full := flag.Bool("full", false, "run the larger (paper-scale) configurations")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark snapshot (benchmark name → txn/s, latency) to this file")
 	flag.Parse()
 
 	sc := scale{
@@ -124,6 +167,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		writeSnapshot(*jsonPath)
+	}
 }
 
 func header(title string) {
@@ -149,6 +195,7 @@ func fig7(sc scale) {
 		if execute {
 			mode = "exec."
 		}
+		record(fmt.Sprintf("fig7/%s", mode), res)
 		fmt.Printf("%-9s %10.0f txn/s  %8.2f ms\n", mode, res.Throughput, ms(res.AvgLatency))
 	}
 }
@@ -168,6 +215,7 @@ func fig8(sc scale) {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
+		record(fmt.Sprintf("fig8/%s", tc.name), res)
 		fmt.Printf("%-5s %10.0f txn/s  %8.2f ms\n", tc.name, res.Throughput, ms(res.AvgLatency))
 	}
 }
@@ -200,6 +248,7 @@ func fig9(sc scale, title string, crash, zero bool) {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
+			record(fmt.Sprintf("fig%s/%s/n=%d", strings.SplitN(title, ":", 2)[0], p, n), res)
 			fmt.Printf("  %8.0f/%4.0fms", res.Throughput, ms(res.AvgLatency))
 		}
 		fmt.Println()
@@ -227,6 +276,7 @@ func fig9ij(sc scale) {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
+			record(fmt.Sprintf("fig9ij/%s/batch=%d", p, bs), res)
 			fmt.Printf("  %8.0f/%4.0fms", res.Throughput, ms(res.AvgLatency))
 		}
 		fmt.Println()
@@ -256,6 +306,7 @@ func fig9kl(sc scale) {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
+			record(fmt.Sprintf("fig9kl/%s/n=%d", p, n), res)
 			fmt.Printf("  %8.0f/%4.0fms", res.Throughput, ms(res.AvgLatency))
 		}
 		fmt.Println()
@@ -277,6 +328,7 @@ func fig10(sc scale) {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
+		record(fmt.Sprintf("fig10/%s", p), res)
 		fmt.Printf("%s (view changes: %d)\n", p, res.ViewChanges)
 		for _, pt := range res.Timeline {
 			bar := int(pt.Throughput / 200)
@@ -302,6 +354,7 @@ func fig11() {
 			fmt.Printf("  %-9v", d)
 			for _, p := range []sim.Protocol{sim.PoE, sim.PBFT, sim.HotStuff} {
 				res := sim.Run(sim.Config{Protocol: p, N: n, Delay: d, Decisions: 500, Window: 1})
+				recordSim(fmt.Sprintf("fig11/seq/n=%d/%v/delay=%v", n, p, d), res)
 				fmt.Printf("  %10.1f", res.DecisionsPS)
 			}
 			fmt.Println()
@@ -312,6 +365,7 @@ func fig11() {
 		fmt.Printf("  %-9v", d)
 		for _, p := range []sim.Protocol{sim.PoE, sim.PBFT} {
 			res := sim.Run(sim.Config{Protocol: p, N: 128, Delay: d, Decisions: 500, Window: 250})
+			recordSim(fmt.Sprintf("fig11/ooo/n=128/%v/delay=%v", p, d), res)
 			fmt.Printf("  %10.0f", res.DecisionsPS)
 		}
 		fmt.Println()

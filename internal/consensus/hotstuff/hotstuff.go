@@ -218,8 +218,11 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 func (r *Replica) Round() types.View { return r.curRound }
 
 // Run processes messages until ctx is cancelled. Inbound messages pass
-// through the parallel authentication pipeline (verify.go), so the loop
-// below performs no asymmetric crypto of its own on the normal-case path.
+// through the parallel authentication pipeline (verify.go); outbound
+// proposals, vote shares, checkpoint votes, and reply MACs are signed on
+// the egress pipeline, whose Local channel loops the leader's own vote back
+// onto the loop. The loop below performs no asymmetric crypto of its own in
+// either direction on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
@@ -234,6 +237,8 @@ func (r *Replica) Run(ctx context.Context) {
 			}
 			r.rt.Metrics.MessagesIn.Add(1)
 			r.dispatch(env)
+		case fn := <-r.rt.Egress.Local():
+			fn()
 		case <-ticker.C:
 			r.onTick()
 		}
@@ -365,10 +370,25 @@ func (r *Replica) propose(batch types.Batch) {
 		Justify:    r.highQC,
 	}
 	p := &Proposal{Node: node}
-	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
 	r.rt.Metrics.ProposedBatches.Add(1)
-	r.broadcastProposal(p)
+	r.emitProposal(p)
 	r.onProposal(r.rt.Cfg.ID, p)
+}
+
+// emitProposal signs and broadcasts a proposal: through the egress pipeline
+// when honest, inline per-target when an adversary spec is installed (the
+// attack path is not the hot path).
+func (r *Replica) emitProposal(p *Proposal) {
+	if r.adv == nil {
+		payload := p.SignedPayload() // memoizes the node/batch digest on the loop
+		r.rt.Egress.Enqueue(
+			func() { p.Auth = r.rt.AuthBroadcast(payload) },
+			func() { r.rt.Broadcast(p) },
+			nil)
+		return
+	}
+	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
+	r.broadcastProposal(p)
 }
 
 // broadcastProposal sends a proposal to every other replica, applying the
@@ -448,13 +468,21 @@ func (r *Replica) onProposal(from types.ReplicaID, m *Proposal) {
 		return
 	}
 	r.lastVoted = node.Round
-	share := r.rt.TS.Share(h[:])
-	vote := &Vote{Round: node.Round, Node: h, Share: share}
+	// The vote share is signed on the egress pool. When this replica leads
+	// the next round, its own vote loops back onto the event loop; onVote's
+	// own guards (round, leader) handle any staleness.
+	vote := &Vote{Round: node.Round, Node: h}
 	next := Leader(cfg.N, node.Round+1)
 	if next == cfg.ID {
-		r.onVote(cfg.ID, vote)
+		r.rt.Egress.Enqueue(
+			func() { vote.Share = r.rt.TS.Share(h[:]) },
+			nil,
+			func() { r.onVote(cfg.ID, vote) })
 	} else {
-		r.rt.SendReplica(next, vote)
+		r.rt.Egress.Enqueue(
+			func() { vote.Share = r.rt.TS.Share(h[:]) },
+			func() { r.rt.SendReplica(next, vote) },
+			nil)
 	}
 }
 
@@ -697,8 +725,7 @@ func (r *Replica) onNewView(m *NewView) {
 	}
 	node := Node{Round: r.curRound, ParentHash: r.highQC.Node, Batch: batch, Justify: r.highQC}
 	p := &Proposal{Node: node}
-	p.Auth = r.rt.AuthBroadcast(p.SignedPayload())
-	r.broadcastProposal(p)
+	r.emitProposal(p)
 	r.onProposal(cfg.ID, p)
 }
 

@@ -225,8 +225,11 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 func (r *Replica) View() types.View { return r.view }
 
 // Run processes messages until ctx is cancelled. Inbound messages pass
-// through the parallel authentication pipeline (verify.go), so the loop
-// below performs no asymmetric crypto of its own on the normal-case path.
+// through the parallel authentication pipeline (verify.go); outbound
+// pre-prepares, prepare/commit shares, checkpoint votes, and reply MACs are
+// signed on the egress pipeline, whose Local channel loops the deferred
+// self-votes back onto the loop. The loop below performs no asymmetric
+// crypto of its own in either direction on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
@@ -241,6 +244,8 @@ func (r *Replica) Run(ctx context.Context) {
 			}
 			r.rt.Metrics.MessagesIn.Add(1)
 			r.dispatch(env)
+		case fn := <-r.rt.Egress.Local():
+			fn()
 		case <-ticker.C:
 			r.onTick()
 		}
@@ -338,16 +343,26 @@ func (r *Replica) proposeReady(force bool) {
 		seq := r.nextPropose
 		r.nextPropose++
 		m := &PrePrepare{View: r.view, Seq: seq, Batch: batch}
-		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		r.rt.Metrics.ProposedBatches.Add(1)
-		r.broadcastPrePrepare(m)
+		if r.adv == nil {
+			payload := m.SignedPayload() // memoizes the batch digest on the loop
+			r.rt.Egress.Enqueue(
+				func() { m.Auth = r.rt.AuthBroadcast(payload) },
+				func() { r.rt.Broadcast(m) },
+				nil)
+		} else {
+			// Byzantine variants sign inline: the attack path is not the
+			// hot path.
+			m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
+			r.broadcastPrePrepare(m)
+		}
 		r.handlePrePrepare(r.rt.Cfg.ID, m)
 	}
 }
 
-// broadcastPrePrepare sends the proposal to every backup, applying the
-// Byzantine adversary spec if one is installed: targeted backups receive a
-// conflicting (but correctly signed) variant batch or nothing at all.
+// broadcastPrePrepare sends an adversarial proposal to every backup:
+// targeted backups receive a conflicting (but correctly signed) variant
+// batch or nothing at all.
 func (r *Replica) broadcastPrePrepare(m *PrePrepare) {
 	if r.adv == nil {
 		r.rt.Broadcast(m)
@@ -411,10 +426,20 @@ func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
 	cd := commitDigest(s.digest)
 	r.rt.Pipeline.NoteDigest(kindPrepare, m.View, m.Seq, s.digest[:])
 	r.rt.Pipeline.NoteDigest(kindCommit, m.View, m.Seq, cd[:])
-	// Broadcast PREPARE and count our own.
-	p := &Prepare{View: m.View, Seq: m.Seq, Share: r.rt.TS.Share(s.digest[:])}
-	r.rt.Broadcast(p)
-	r.addPrepare(cfg.ID, p, s)
+	// Broadcast PREPARE and count our own: the share is signed on the
+	// egress pool; the self-vote loops back onto the event loop afterwards,
+	// re-checking view/status since the slot may have been abandoned.
+	p := &Prepare{View: m.View, Seq: m.Seq}
+	digest := s.digest
+	view := m.View
+	r.rt.Egress.Enqueue(
+		func() { p.Share = r.rt.TS.Share(digest[:]) },
+		func() { r.rt.Broadcast(p) },
+		func() {
+			if r.status == statusNormal && r.view == view {
+				r.addPrepare(cfg.ID, p, s)
+			}
+		})
 }
 
 func (r *Replica) onPrepare(from types.ReplicaID, m *Prepare) {
@@ -456,9 +481,16 @@ func (r *Replica) tryPrepared(seq types.SeqNum, s *slot) {
 	s.preparedCert = cert
 	r.lastProgress = time.Now()
 	cd := commitDigest(s.digest)
-	c := &Commit{View: s.view, Seq: seq, Share: r.rt.TS.Share(cd[:])}
-	r.rt.Broadcast(c)
-	r.addCommit(r.rt.Cfg.ID, c, s)
+	c := &Commit{View: s.view, Seq: seq}
+	view := s.view
+	r.rt.Egress.Enqueue(
+		func() { c.Share = r.rt.TS.Share(cd[:]) },
+		func() { r.rt.Broadcast(c) },
+		func() {
+			if r.status == statusNormal && r.view == view {
+				r.addCommit(r.rt.Cfg.ID, c, s)
+			}
+		})
 }
 
 func (r *Replica) onCommit(from types.ReplicaID, m *Commit) {

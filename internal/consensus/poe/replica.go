@@ -170,9 +170,13 @@ func (r *Replica) View() types.View { return r.view }
 
 // Run processes messages until the context is cancelled. Inbound messages
 // pass through the parallel authentication pipeline: their authenticators
-// are verified on worker goroutines and invalid messages are dropped, so
-// the loop below — the replica state machine — performs no asymmetric
-// crypto of its own on the normal-case path.
+// are verified on worker goroutines and invalid messages are dropped.
+// Outbound messages leave unsigned through the egress pipeline, which
+// computes authenticators off-loop and releases sends in submission order;
+// its Local channel carries the deferred self-votes (own SUPPORT share,
+// own checkpoint vote) back onto the loop. The loop below — the replica
+// state machine — therefore performs no asymmetric crypto in either
+// direction on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
@@ -187,6 +191,8 @@ func (r *Replica) Run(ctx context.Context) {
 			}
 			r.rt.Metrics.MessagesIn.Add(1)
 			r.dispatch(env)
+		case fn := <-r.rt.Egress.Local():
+			fn()
 		case <-ticker.C:
 			r.onTick()
 		}
@@ -291,9 +297,11 @@ func (r *Replica) propose(batch types.Batch) {
 	seq := r.nextPropose
 	r.nextPropose++
 	m := &Propose{View: r.view, Seq: seq, Batch: batch}
-	m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 	r.rt.Metrics.ProposedBatches.Add(1)
 	if r.byz != nil {
+		// Byzantine variants sign inline: the attack path is not the hot
+		// path, and per-target variants defeat single-payload batching.
+		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		for i := 0; i < r.rt.Cfg.N; i++ {
 			id := types.ReplicaID(i)
 			if id == r.rt.Cfg.ID {
@@ -309,7 +317,14 @@ func (r *Replica) propose(batch types.Batch) {
 			r.rt.SendReplica(id, variant)
 		}
 	} else {
-		r.rt.Broadcast(m)
+		// The payload digest is taken on the loop (memoizing the batch
+		// digest before the message is shared); the signature/MAC vector is
+		// computed on the egress pool and the broadcast released in order.
+		payload := m.SignedPayload()
+		r.rt.Egress.Enqueue(
+			func() { m.Auth = r.rt.AuthBroadcast(payload) },
+			func() { r.rt.Broadcast(m) },
+			nil)
 	}
 	r.handlePropose(r.rt.Cfg.ID, m)
 }
@@ -352,21 +367,40 @@ func (r *Replica) handlePropose(from types.ReplicaID, m *Propose) {
 	// for this slot off the event loop.
 	r.rt.Pipeline.NoteDigest(kindSupport, m.View, m.Seq, s.digest[:])
 	s.supported = true
-	share := r.rt.TS.Share(s.digest[:])
-	sup := &Support{View: m.View, Seq: m.Seq, Share: share}
-	if cfg.Scheme == crypto.SchemeMAC || cfg.Scheme == crypto.SchemeNone {
-		// MAC instantiation (Appendix A): SUPPORT is broadcast all-to-all
-		// and every replica assembles the certificate itself.
-		r.rt.Broadcast(sup)
-		r.addSupport(cfg.ID, sup, s)
-	} else {
-		// TS instantiation: SUPPORT goes to the primary only.
-		if r.isPrimary() {
-			r.addSupport(cfg.ID, sup, s)
-		} else {
-			r.rt.Net.Send(r.primaryNode(), sup)
+	// The SUPPORT share is this replica's signature over the slot digest:
+	// computed on the egress pool, released to the wire in order, and —
+	// when this replica collects certificates itself — looped back onto the
+	// event loop to count toward the slot's quorum. The loop-back re-checks
+	// view and status: it runs later than this handler, and the slot may
+	// have been abandoned by a view change in between.
+	sup := &Support{View: m.View, Seq: m.Seq}
+	digest := s.digest
+	macMode := cfg.Scheme == crypto.SchemeMAC || cfg.Scheme == crypto.SchemeNone
+	toPrimary := !macMode && !r.isPrimary()
+	primary := r.primaryNode()
+	collector := macMode || r.isPrimary()
+	view := m.View
+	var local func()
+	if collector {
+		local = func() {
+			if r.status == statusNormal && r.view == view {
+				r.addSupport(cfg.ID, sup, s)
+			}
 		}
 	}
+	r.rt.Egress.Enqueue(
+		func() { sup.Share = r.rt.TS.Share(digest[:]) },
+		func() {
+			if macMode {
+				// MAC instantiation (Appendix A): SUPPORT is broadcast
+				// all-to-all and every replica assembles the certificate.
+				r.rt.Broadcast(sup)
+			} else if toPrimary {
+				// TS instantiation: SUPPORT goes to the primary only.
+				r.rt.Net.Send(primary, sup)
+			}
+		},
+		local)
 	if s.pendingCert != nil {
 		cert := s.pendingCert
 		s.pendingCert = nil

@@ -99,3 +99,17 @@ func (b *Batcher) Forget(client types.ClientID) {
 func (b *Batcher) ResetProposed() {
 	b.proposed = make(map[types.ClientID]uint64)
 }
+
+// PruneProposed drops proposed-history entries that executed reports as
+// already covered by the executor's dedup history. Called at stable
+// checkpoints: without it the map grows by one entry per client forever. A
+// pruned client's retransmission re-enters the pending queue, where the
+// executor's deterministic dedup (and the reply cache) still suppress
+// re-execution.
+func (b *Batcher) PruneProposed(executed func(types.ClientID, uint64) bool) {
+	for c, seq := range b.proposed {
+		if executed(c, seq) {
+			delete(b.proposed, c)
+		}
+	}
+}

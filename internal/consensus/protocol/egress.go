@@ -1,0 +1,262 @@
+package protocol
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// This file implements the egress pipeline: the outbound twin of the
+// parallel authentication pipeline in verifier.go. The replica event loop
+// hands outbound messages over *unsigned*; their authenticators — Ed25519
+// broadcast signatures, per-replica MAC vectors, threshold shares, reply
+// MACs — are computed on a pool of worker goroutines, and the messages are
+// released to the transport strictly in submission order. Together with the
+// inbound Verifier this removes the last asymmetric crypto from the replica
+// state machine: signatures are verified before dispatch and produced after
+// it, and the single-goroutine event loop only moves protocol state.
+//
+// Ordering contract: jobs are released one at a time, in the order they were
+// enqueued, on a single releaser goroutine. Because every send the replica
+// issues through the pipeline funnels through that goroutine, global
+// submission order — and therefore per-destination FIFO order — is
+// preserved, exactly as if the event loop had sent the messages itself. The
+// signing stages of different jobs still run concurrently; only the release
+// is serialized (sequence-stamped, arrival-order release — the same design
+// the Verifier uses for delivery).
+//
+// Self-delivery: a replica counts its own share/vote toward its quorums. The
+// event loop cannot do that before the share exists, so a job may carry a
+// `local` continuation: after the job's send is released, the continuation
+// is delivered on the Local channel, which the replica's Run loop drains on
+// its own goroutine. Local continuations therefore run on the event loop, in
+// submission order relative to the job's send, and may touch replica state —
+// but they run *later* than the enqueue, so they must re-check any state
+// (view, status) they assumed.
+//
+// Lifecycle: an Egress starts in inline mode — Enqueue runs the three stages
+// synchronously on the caller's goroutine, which keeps direct handler-driving
+// tests (and benchmarks that never start a Run loop) behaving exactly like
+// the pre-pipeline code. Start arms the asynchronous pipeline; the Run loops
+// call it through Runtime.StartPipeline.
+
+// Egress is the outbound signing pipeline for one replica.
+type Egress struct {
+	workers int
+	metrics *Metrics
+
+	mu      sync.Mutex
+	queue   []*egressJob
+	started bool
+
+	wake  chan struct{}
+	local chan func()
+}
+
+// egressJob is one outbound unit moving through the pipeline.
+type egressJob struct {
+	sign  func() // worker pool: compute authenticators, fill the message
+	send  func() // releaser goroutine, submission order: transport writes
+	local func() // event loop, after send: count own share/vote
+	done  chan struct{}
+}
+
+// NewEgress creates an egress pipeline with the given worker-pool size
+// (<= 0 means GOMAXPROCS). It runs inline until Start is called.
+func NewEgress(workers int, m *Metrics) *Egress {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Egress{
+		workers: workers,
+		metrics: m,
+		wake:    make(chan struct{}, 1),
+		local:   make(chan func(), 1024),
+	}
+}
+
+// Local is the channel of event-loop continuations. The replica Run loop
+// must drain it alongside its inbox; each received function is executed on
+// the loop goroutine.
+func (e *Egress) Local() <-chan func() { return e.local }
+
+// Enqueue submits one outbound unit. sign runs on a pipeline worker; send
+// runs on the releaser goroutine in submission order after sign completes;
+// local (optional) is then delivered to the Local channel for the event
+// loop. Any stage may be nil. Enqueue never blocks (the input queue is
+// unbounded, so the event loop can never deadlock against its own egress),
+// and it is safe to call from any goroutine — the event loop, the storage
+// group-commit callback, or a test.
+//
+// Before Start, the three stages run synchronously on the caller.
+func (e *Egress) Enqueue(sign, send, local func()) {
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		if sign != nil {
+			sign()
+		}
+		if send != nil {
+			send()
+		}
+		if local != nil {
+			local()
+		}
+		return
+	}
+	e.queue = append(e.queue, &egressJob{sign: sign, send: send, local: local, done: make(chan struct{})})
+	// Count while still holding mu — after unlock the pipeline may already
+	// have released the job and decremented the depth gauge.
+	if m := e.metrics; m != nil {
+		m.EgressQueued.Add(1)
+		d := m.EgressDepth.Add(1)
+		for {
+			max := m.EgressMaxDepth.Load()
+			if d <= max || m.EgressMaxDepth.CompareAndSwap(max, d) {
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Start arms the asynchronous pipeline: a feeder draining the unbounded
+// input queue, `workers` signing goroutines, and one releaser that issues
+// sends (and local continuations) in submission order. All goroutines exit
+// when ctx is done; jobs still queued at that point are dropped, like
+// messages on a closing transport.
+func (e *Egress) Start(ctx context.Context) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	if e.workers == 1 {
+		// Single-worker degenerate case (GOMAXPROCS=1): signing cannot
+		// overlap with itself, so the fan-out/fan-in plumbing only adds
+		// channel handoffs. One goroutine drains the queue and runs
+		// sign+send back to back — submission order, and therefore
+		// per-destination FIFO order, is trivially preserved.
+		go func() {
+			for {
+				e.mu.Lock()
+				batch := e.queue
+				e.queue = nil
+				e.mu.Unlock()
+				if len(batch) == 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-e.wake:
+						continue
+					}
+				}
+				for _, j := range batch {
+					if j.sign != nil {
+						j.sign()
+						if e.metrics != nil {
+							e.metrics.EgressSignedOffLoop.Add(1)
+						}
+					}
+					if j.send != nil {
+						j.send()
+					}
+					if e.metrics != nil {
+						e.metrics.EgressDepth.Add(-1)
+					}
+					if j.local != nil {
+						select {
+						case e.local <- j.local:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}
+		}()
+		return
+	}
+
+	work := make(chan *egressJob, 4*e.workers)
+	order := make(chan *egressJob, 4*e.workers)
+
+	// Feeder: move queued jobs into the worker pool, stamping arrival order
+	// via the order channel.
+	go func() {
+		defer close(work)
+		defer close(order)
+		for {
+			e.mu.Lock()
+			batch := e.queue
+			e.queue = nil
+			e.mu.Unlock()
+			if len(batch) == 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-e.wake:
+					continue
+				}
+			}
+			for _, j := range batch {
+				select {
+				case order <- j:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case work <- j:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// Workers: compute authenticators in parallel.
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			for j := range work {
+				if j.sign != nil {
+					j.sign()
+					if e.metrics != nil {
+						e.metrics.EgressSignedOffLoop.Add(1)
+					}
+				}
+				close(j.done)
+			}
+		}()
+	}
+
+	// Releaser: issue sends in submission order, then hand local
+	// continuations to the event loop.
+	go func() {
+		for j := range order {
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				return
+			}
+			if j.send != nil {
+				j.send()
+			}
+			if e.metrics != nil {
+				e.metrics.EgressDepth.Add(-1)
+			}
+			if j.local != nil {
+				select {
+				case e.local <- j.local:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+}

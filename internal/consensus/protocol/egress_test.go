@@ -1,0 +1,186 @@
+package protocol
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// TestEgressChaosFIFO floods a started egress pipeline from a producer while
+// the workers sign concurrently, and asserts the two invariants the
+// protocols rely on: every release observes its own sign stage completed,
+// and releases happen in submission order — which implies per-destination
+// FIFO order for every destination. Run under -race (the CI chaos smoke job
+// matches this test) it also proves the sign/send handoff is properly
+// synchronized.
+func TestEgressChaosFIFO(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e := NewEgress(4, &Metrics{})
+	e.Start(ctx)
+
+	const jobs = 2000
+	const dests = 7
+	var mu sync.Mutex
+	perDest := make(map[int][]int)
+	signed := make([]bool, jobs)
+	release := make(chan struct{})
+
+	go func() {
+		for i := 0; i < jobs; i++ {
+			i := i
+			dest := i % dests
+			e.Enqueue(
+				func() {
+					// Workers run concurrently; each job signs exactly once.
+					signed[i] = true
+				},
+				func() {
+					if !signed[i] {
+						t.Errorf("job %d released before its sign stage ran", i)
+					}
+					mu.Lock()
+					perDest[dest] = append(perDest[dest], i)
+					mu.Unlock()
+					if i == jobs-1 {
+						close(release)
+					}
+				},
+				nil)
+		}
+	}()
+
+	select {
+	case <-release:
+	case <-time.After(30 * time.Second):
+		t.Fatal("egress pipeline stalled")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for dest, seq := range perDest {
+		total += len(seq)
+		for j := 1; j < len(seq); j++ {
+			if seq[j] <= seq[j-1] {
+				t.Fatalf("destination %d saw out-of-order releases: %d after %d", dest, seq[j], seq[j-1])
+			}
+		}
+	}
+	if total != jobs {
+		t.Fatalf("released %d jobs, want %d", total, jobs)
+	}
+}
+
+// TestEgressLocalOrdering: a job's local continuation is delivered after its
+// send, and continuations arrive in submission order.
+func TestEgressLocalOrdering(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e := NewEgress(2, nil)
+	e.Start(ctx)
+
+	const jobs = 200
+	var mu sync.Mutex
+	sent := make(map[int]bool)
+	for i := 0; i < jobs; i++ {
+		i := i
+		e.Enqueue(nil, func() {
+			mu.Lock()
+			sent[i] = true
+			mu.Unlock()
+		}, func() {
+			mu.Lock()
+			ok := sent[i]
+			mu.Unlock()
+			if !ok {
+				t.Errorf("local continuation %d ran before its send", i)
+			}
+		})
+	}
+	// Drain the local channel the way a Run loop would.
+	want := 0
+	timeout := time.After(30 * time.Second)
+	for want < jobs {
+		select {
+		case fn := <-e.Local():
+			fn()
+			want++
+		case <-timeout:
+			t.Fatalf("drained only %d/%d local continuations", want, jobs)
+		}
+	}
+}
+
+// TestEgressInlineBeforeStart: before Start, Enqueue runs all three stages
+// synchronously on the caller — the mode direct handler-driving tests rely
+// on.
+func TestEgressInlineBeforeStart(t *testing.T) {
+	e := NewEgress(2, nil)
+	var order []string
+	e.Enqueue(
+		func() { order = append(order, "sign") },
+		func() { order = append(order, "send") },
+		func() { order = append(order, "local") },
+	)
+	if len(order) != 3 || order[0] != "sign" || order[1] != "send" || order[2] != "local" {
+		t.Fatalf("inline mode ran %v, want [sign send local]", order)
+	}
+}
+
+// TestEgressMetrics: queued/signed-off-loop counters advance and the depth
+// gauge returns to zero once the pipeline drains.
+func TestEgressMetrics(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := &Metrics{}
+	e := NewEgress(2, m)
+	e.Start(ctx)
+	done := make(chan struct{})
+	for i := 0; i < 50; i++ {
+		last := i == 49
+		e.Enqueue(func() {}, func() {
+			if last {
+				close(done)
+			}
+		}, nil)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline stalled")
+	}
+	if got := m.EgressQueued.Load(); got != 50 {
+		t.Fatalf("EgressQueued = %d, want 50", got)
+	}
+	if got := m.EgressSignedOffLoop.Load(); got != 50 {
+		t.Fatalf("EgressSignedOffLoop = %d, want 50", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.EgressDepth.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("EgressDepth = %d after drain, want 0", m.EgressDepth.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.EgressMaxDepth.Load() <= 0 {
+		t.Fatal("EgressMaxDepth never observed a backlog")
+	}
+}
+
+// TestBatcherPruneProposed: entries covered by the executor dedup history are
+// dropped, unexecuted ones stay.
+func TestBatcherPruneProposed(t *testing.T) {
+	b := NewBatcher(10, 0, false)
+	b.Add(types.Request{Txn: types.Transaction{Client: 1, Seq: 5}})
+	b.Add(types.Request{Txn: types.Transaction{Client: 2, Seq: 9}})
+	b.PruneProposed(func(c types.ClientID, seq uint64) bool { return c == 1 })
+	if len(b.proposed) != 1 {
+		t.Fatalf("proposed has %d entries, want 1", len(b.proposed))
+	}
+	if _, ok := b.proposed[2]; !ok {
+		t.Fatal("unexecuted client 2 was pruned")
+	}
+}

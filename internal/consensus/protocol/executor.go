@@ -43,10 +43,20 @@ type Executor struct {
 
 	// wal, when attached, persists every executed batch before the replica
 	// replies and writes a checkpoint snapshot when the checkpoint
-	// stabilizes. A durable replica that cannot persist must stop rather
-	// than answer clients from volatile state, so persistence failures
-	// panic (crash-stop, the fault model replicas already assume).
+	// stabilizes. Appends go through the store's group-commit queue: the
+	// record is queued here (preserving execution order) and onDurable fires
+	// from the committer once its group is on disk, which is what releases
+	// the batch's client replies. A durable replica that cannot persist must
+	// stop rather than answer clients from volatile state, so persistence
+	// failures panic (crash-stop, the fault model replicas already assume).
 	wal *storage.Store
+
+	// onDurable is invoked (on the storage committer goroutine) when seq's
+	// WAL group has been committed; onRollback when Rollback discarded the
+	// suffix above toSeq. Both are set by NewRuntime to drive the reply
+	// durability gate.
+	onDurable  func(seq types.SeqNum)
+	onRollback func(toSeq types.SeqNum)
 
 	stable types.SeqNum // last stable checkpoint
 
@@ -163,13 +173,23 @@ func (e *Executor) executeLocked(seq types.SeqNum, d *decided) Executed {
 	}
 	rec := &types.ExecRecord{Seq: seq, View: d.view, Digest: digest, Proof: d.proof, Batch: d.batch}
 	e.log[seq] = rec
-	// Log before reply: the record hits the WAL inside Commit, before the
-	// replica sees the Executed event and INFORMs the client, so every
-	// acknowledged execution survives a crash.
+	// Log before reply: the record enters the group-commit queue inside
+	// Commit, in execution order, before the replica sees the Executed
+	// event. The replies themselves are held by the runtime's durability
+	// gate until onDurable reports the record's group committed, so every
+	// acknowledged execution survives a crash — at one (amortized) fsync per
+	// group instead of one per record. The record is immutable from here on,
+	// so the committer can encode it concurrently with the event loop.
 	if e.wal != nil {
-		if err := e.wal.Append(rec); err != nil {
-			panic(fmt.Sprintf("protocol: wal append seq %d: %v", seq, err))
-		}
+		notify := e.onDurable
+		e.wal.AppendAsync(rec, func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("protocol: wal append seq %d: %v", seq, err))
+			}
+			if notify != nil {
+				notify(seq)
+			}
+		})
 	}
 	return Executed{Rec: rec, Results: results}
 }
@@ -233,13 +253,27 @@ func (e *Executor) Rollback(toSeq types.SeqNum) error {
 	if toSeq < e.stable {
 		return fmt.Errorf("protocol: rollback to %d below stable checkpoint %d", toSeq, e.stable)
 	}
+	// Replies for the doomed suffix that are still gated on durability must
+	// never go out: drop them before the flush inside Truncate would release
+	// them ("lose the reply, keep the durability").
+	if e.onRollback != nil {
+		e.onRollback(toSeq)
+	}
 	// Cut the durable log first: if the process dies between the two, a
 	// too-short WAL merely recovers a shorter prefix (the re-decided suffix
 	// arrives via Fetch), whereas a too-long one would durably resurrect
-	// batches the cluster abandoned — silent divergence.
+	// batches the cluster abandoned — silent divergence. Truncate drains the
+	// group-commit queue before cutting, so no queued append can land after
+	// the cut.
 	if e.wal != nil {
 		if err := e.wal.Truncate(toSeq); err != nil {
 			panic(fmt.Sprintf("protocol: wal truncate to %d: %v", toSeq, err))
+		}
+		// The flush inside Truncate advanced the durability watermark past
+		// the cut; pull it back so replies of re-executed sequence numbers
+		// gate on their own groups, not the abandoned ones.
+		if e.onRollback != nil {
+			e.onRollback(toSeq)
 		}
 	}
 	if err := e.kv.Rollback(toSeq); err != nil {

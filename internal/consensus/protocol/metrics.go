@@ -17,6 +17,20 @@ type Metrics struct {
 	Rollbacks       atomic.Int64
 	Checkpoints     atomic.Int64
 
+	// Egress pipeline: jobs submitted, authenticators computed off the event
+	// loop, the current queue depth, and the deepest backlog observed —
+	// sustained depth near EgressQueued/runtime means the signing pool, not
+	// the state machine, is the bottleneck.
+	EgressQueued        atomic.Int64
+	EgressSignedOffLoop atomic.Int64
+	EgressDepth         atomic.Int64
+	EgressMaxDepth      atomic.Int64
+
+	// WAL group commit: groups written and records they carried
+	// (records/groups = mean group size; 1.0 means no batching was needed).
+	WALGroups         atomic.Int64
+	WALGroupedRecords atomic.Int64
+
 	startNanos atomic.Int64
 }
 

@@ -2,7 +2,9 @@ package protocol
 
 import (
 	"context"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/ledger"
@@ -27,20 +29,48 @@ type Runtime struct {
 	Batcher *Batcher
 	Metrics *Metrics
 
-	// Pipeline is the replica's authentication pipeline, set by
-	// StartPipeline when the replica's Run loop starts.
+	// Pipeline is the replica's inbound authentication pipeline, armed by
+	// StartPipeline when the replica's Run loop starts. Egress is its
+	// outbound twin: the signing pipeline every normal-case send goes
+	// through (inline until StartPipeline starts it).
 	Pipeline *Verifier
+	Egress   *Egress
+
+	// Store is the durable store backing the executor's WAL, nil for a
+	// volatile replica. The durability gate mirrors its group-commit stats
+	// into Metrics on every committed group, which is what the harness
+	// reads.
+	Store *storage.Store
 
 	// reqSeen remembers digests of client requests whose signature this
 	// replica has already verified, so retransmissions and re-proposals
-	// (view changes, rotating leaders) don't pay Ed25519 twice. Guarded by
-	// reqMu: the pipeline verifies from worker goroutines.
+	// (view changes, rotating leaders) don't pay Ed25519 twice. The value is
+	// the stable-checkpoint sequence number at verification time, which is
+	// what lets PruneAtStable age entries out instead of leaking one per
+	// request forever. Guarded by reqMu: the pipeline verifies from worker
+	// goroutines.
 	reqMu   sync.Mutex
-	reqSeen map[types.Digest]struct{}
+	reqSeen map[types.Digest]types.SeqNum
+
+	// stableSeq mirrors the executor's stable checkpoint for lock-free reads
+	// from pipeline workers (reqSeen stamping).
+	stableSeq atomic.Int64
 
 	// lastReply caches the most recent Inform per client so duplicates can
-	// be answered without re-execution.
+	// be answered without re-execution. Guarded by replyMu: replies are
+	// cached by egress workers and read by the event loop.
+	replyMu   sync.Mutex
 	lastReply map[types.ClientID]*Inform
+
+	// Durability gate: with storage attached, client replies are held here
+	// until the WAL group carrying their batch has been committed (and, in
+	// Sync mode, fsynced). durWater is the highest group-durable sequence
+	// number; durPending holds the release continuations of replies whose
+	// batches are executed but not yet durable.
+	durMu      sync.Mutex
+	durable    bool
+	durWater   types.SeqNum
+	durPending map[types.SeqNum][]func()
 
 	// checkpoint vote bookkeeping
 	cpVotes map[types.SeqNum]map[types.ReplicaID]types.Digest
@@ -107,19 +137,24 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		// HMAC construction.
 		TS: crypto.NewThresholdScheme(ring, cfg.ID, cfg.NF(),
 			cfg.Scheme == crypto.SchemeTS || cfg.Scheme == crypto.SchemeED),
-		Net:       net,
-		Exec:      NewExecutor(kv, chain),
-		Batcher:   NewBatcher(cfg.BatchSize, cfg.BatchLinger, opts.ZeroPayload),
-		Metrics:   &Metrics{},
-		reqSeen:   make(map[types.Digest]struct{}),
-		lastReply: make(map[types.ClientID]*Inform),
-		cpVotes:   make(map[types.SeqNum]map[types.ReplicaID]types.Digest),
+		Net:        net,
+		Exec:       NewExecutor(kv, chain),
+		Batcher:    NewBatcher(cfg.BatchSize, cfg.BatchLinger, opts.ZeroPayload),
+		Metrics:    &Metrics{},
+		reqSeen:    make(map[types.Digest]types.SeqNum),
+		lastReply:  make(map[types.ClientID]*Inform),
+		durPending: make(map[types.SeqNum][]func()),
+		cpVotes:    make(map[types.SeqNum]map[types.ReplicaID]types.Digest),
 	}
 	rt.verifyWorkers = opts.VerifyWorkers
-	// The pipeline object exists from construction so handlers may register
-	// share payloads (NoteDigest) unconditionally; StartPipeline arms it
-	// with the protocol's verify function when the Run loop starts.
+	// The pipeline objects exist from construction so handlers may register
+	// share payloads (NoteDigest) and enqueue sends unconditionally;
+	// StartPipeline arms the verifier with the protocol's verify function
+	// and starts the egress workers when the Run loop starts. Until then the
+	// egress runs inline, preserving synchronous semantics for direct
+	// handler-driving tests.
 	rt.Pipeline = NewVerifier(nil, rt.verifyWorkers)
+	rt.Egress = NewEgress(rt.verifyWorkers, rt.Metrics)
 	// Keep enough history beyond the stable checkpoint to serve state
 	// transfer to replicas a malicious primary kept in the dark.
 	rt.Exec.RetainSlack = 2 * cfg.CheckpointInterval
@@ -140,7 +175,87 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		rt.Exec.AttachStorage(opts.Storage)
 		rt.RecoveredSeq = recovered.LastSeq
 	}
+	if opts.Storage != nil {
+		// Arm the durability gate: replies release only once their batch's
+		// WAL group is committed. Everything recovered is durable already.
+		rt.durable = true
+		rt.Store = opts.Storage
+		rt.durWater = rt.Exec.LastExecuted()
+		rt.Exec.onDurable = rt.noteDurable
+	}
+	rt.Exec.onRollback = rt.dropPendingReplies
+	rt.stableSeq.Store(int64(rt.Exec.StableCheckpointSeq()))
 	return rt
+}
+
+// --- durability gate ---
+
+// GateOnDurable runs release once seq is group-durable: immediately when the
+// replica is volatile or seq has already been committed to disk, otherwise
+// from the storage committer's callback. release must therefore be safe to
+// run off the event loop (the reply paths only touch internally synchronized
+// state: the reply cache and the egress queue).
+func (rt *Runtime) GateOnDurable(seq types.SeqNum, release func()) {
+	if !rt.durable {
+		release()
+		return
+	}
+	rt.durMu.Lock()
+	if seq <= rt.durWater {
+		rt.durMu.Unlock()
+		release()
+		return
+	}
+	rt.durPending[seq] = append(rt.durPending[seq], release)
+	rt.durMu.Unlock()
+}
+
+// noteDurable is the executor's durability callback: the WAL group carrying
+// seq is on disk, so every reply gated at or below it may go out.
+func (rt *Runtime) noteDurable(seq types.SeqNum) {
+	rt.durMu.Lock()
+	if seq > rt.durWater {
+		rt.durWater = seq
+	}
+	var ready []func()
+	if len(rt.durPending) > 0 {
+		var seqs []types.SeqNum
+		for s := range rt.durPending {
+			if s <= rt.durWater {
+				seqs = append(seqs, s)
+			}
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			ready = append(ready, rt.durPending[s]...)
+			delete(rt.durPending, s)
+		}
+	}
+	rt.durMu.Unlock()
+	for _, release := range ready {
+		release()
+	}
+	if rt.Store != nil {
+		groups, recs := rt.Store.GroupStats()
+		rt.Metrics.WALGroups.Store(groups)
+		rt.Metrics.WALGroupedRecords.Store(recs)
+	}
+}
+
+// dropPendingReplies discards gated replies above toSeq: their batches were
+// rolled back (and the WAL truncated), so the replies must never be sent —
+// the crash-consistency contract is "lose the reply, keep the durability".
+func (rt *Runtime) dropPendingReplies(toSeq types.SeqNum) {
+	rt.durMu.Lock()
+	for s := range rt.durPending {
+		if s > toSeq {
+			delete(rt.durPending, s)
+		}
+	}
+	if rt.durWater > toSeq {
+		rt.durWater = toSeq
+	}
+	rt.durMu.Unlock()
 }
 
 // Broadcast sends msg to every replica except this one.
@@ -153,31 +268,58 @@ func (rt *Runtime) SendReplica(to types.ReplicaID, msg any) {
 	rt.Net.Send(types.ReplicaNode(to), msg)
 }
 
-// Inform sends the execution result for one transaction to its client and
-// caches it for duplicate suppression. The reply carries a MAC: per §II-E
-// replicas answer clients with cheap MACs rather than signatures.
-func (rt *Runtime) Inform(view types.View, seq types.SeqNum, req *types.Request, res types.Result, speculative bool, orderProof types.Digest) {
-	client := req.Txn.Client
-	msg := &Inform{
-		From:        rt.Cfg.ID,
-		Digest:      req.Digest(),
-		View:        view,
-		Seq:         seq,
-		ClientSeq:   req.Txn.Seq,
-		Values:      res.Values,
-		Speculative: speculative,
-		OrderProof:  orderProof,
+// Reply is one client reply staged for delivery through the durability gate
+// and the egress pipeline.
+type Reply struct {
+	Client types.ClientID
+	Msg    *Inform
+}
+
+// SendReplies stages a batch's client replies. Once seq clears the
+// durability gate (immediately on a volatile replica), one egress job
+// computes every reply's MAC off the event loop — running prep first, which
+// protocols use to compute a shared threshold share — caches the replies for
+// duplicate suppression when cache is set, and releases the sends in
+// submission order. The replies and their messages must be owned by the
+// caller and never touched again after this call.
+func (rt *Runtime) SendReplies(seq types.SeqNum, replies []Reply, cache bool, prep func()) {
+	if len(replies) == 0 {
+		return
 	}
-	key := msg.Key()
-	msg.Tag = rt.Keys.MAC(types.ClientNode(client), key.Digest[:])
-	rt.lastReply[client] = msg
-	rt.Net.Send(types.ClientNode(client), msg)
+	rt.GateOnDurable(seq, func() {
+		rt.Egress.Enqueue(func() {
+			if prep != nil {
+				prep()
+			}
+			for _, rp := range replies {
+				key := rp.Msg.Key()
+				rp.Msg.Tag = rt.Keys.MAC(types.ClientNode(rp.Client), key.Digest[:])
+			}
+			if cache {
+				// Cache only fully built replies: ReplayReply may re-send
+				// them from another goroutine the moment they are visible.
+				rt.replyMu.Lock()
+				for _, rp := range replies {
+					rt.lastReply[rp.Client] = rp.Msg
+				}
+				rt.replyMu.Unlock()
+			}
+		}, func() {
+			for _, rp := range replies {
+				rt.Net.Send(types.ClientNode(rp.Client), rp.Msg)
+			}
+		}, nil)
+	})
 }
 
 // ReplayReply re-sends the cached reply for a duplicate request, if any.
-// It returns true when a cached reply existed.
+// It returns true when a cached reply existed. Cached replies are durable by
+// construction (they are cached only after their WAL group committed), so
+// replaying never answers from volatile state.
 func (rt *Runtime) ReplayReply(req *types.Request) bool {
+	rt.replyMu.Lock()
 	last, ok := rt.lastReply[req.Txn.Client]
+	rt.replyMu.Unlock()
 	if !ok || last.ClientSeq != req.Txn.Seq {
 		return false
 	}
@@ -185,36 +327,43 @@ func (rt *Runtime) ReplayReply(req *types.Request) bool {
 	return true
 }
 
-// InformBatch sends INFORMs for every result of an executed batch.
+// InformBatch stages INFORMs for every result of an executed batch.
 func (rt *Runtime) InformBatch(rec *types.ExecRecord, results []types.Result, speculative bool, orderProof types.Digest) {
-	// Results are produced in batch order for the deduplicated effective
-	// batch; match them to requests by (client, seq).
-	byKey := make(map[types.ClientID]map[uint64]types.Result, len(results))
-	for _, r := range results {
-		inner, ok := byKey[r.Client]
-		if !ok {
-			inner = make(map[uint64]types.Result)
-			byKey[r.Client] = inner
-		}
-		inner[r.Seq] = r
-	}
+	replies := make([]Reply, 0, len(results))
+	ri := 0
 	for i := range rec.Batch.Requests {
 		req := &rec.Batch.Requests[i]
-		res, ok := byKey[req.Txn.Client][req.Txn.Seq]
-		if !ok {
+		// Results are produced in batch order for the deduplicated effective
+		// batch, so they zip against the requests with a single cursor.
+		if ri >= len(results) || results[ri].Client != req.Txn.Client || results[ri].Seq != req.Txn.Seq {
 			// Deduplicated away: answer from the reply cache instead.
 			rt.ReplayReply(req)
 			continue
 		}
-		rt.Inform(rec.View, rec.Seq, req, res, speculative, orderProof)
+		res := results[ri]
+		ri++
+		replies = append(replies, Reply{Client: req.Txn.Client, Msg: &Inform{
+			From:        rt.Cfg.ID,
+			Digest:      req.Digest(),
+			View:        rec.View,
+			Seq:         rec.Seq,
+			ClientSeq:   req.Txn.Seq,
+			Values:      res.Values,
+			Speculative: speculative,
+			OrderProof:  orderProof,
+		}})
 	}
+	rt.SendReplies(rec.Seq, replies, true, nil)
 }
 
-// StartPipeline starts the replica's authentication pipeline over the
-// transport inbox and returns the channel of pre-verified envelopes the Run
-// loop consumes. The protocol-specific verify function runs on worker
-// goroutines; see VerifyFunc for its constraints.
+// StartPipeline starts the replica's authentication pipelines — the inbound
+// verifier over the transport inbox and the outbound egress signer — and
+// returns the channel of pre-verified envelopes the Run loop consumes. The
+// protocol-specific verify function runs on worker goroutines; see
+// VerifyFunc for its constraints. The Run loop must also drain
+// rt.Egress.Local().
 func (rt *Runtime) StartPipeline(ctx context.Context, verify VerifyFunc) <-chan network.Envelope {
+	rt.Egress.Start(ctx)
 	rt.Pipeline.verify = verify
 	return rt.Pipeline.Pipe(ctx, rt.Net.Inbox())
 }
@@ -240,10 +389,11 @@ func (rt *Runtime) VerifyClientRequest(req *types.Request) bool {
 		return false
 	}
 	rt.reqMu.Lock()
-	if len(rt.reqSeen) >= 1<<15 {
-		rt.reqSeen = make(map[types.Digest]struct{})
+	if len(rt.reqSeen) >= 1<<17 {
+		// Backstop against a burst outrunning checkpoint-time pruning.
+		rt.reqSeen = make(map[types.Digest]types.SeqNum)
 	}
-	rt.reqSeen[d] = struct{}{}
+	rt.reqSeen[d] = types.SeqNum(rt.stableSeq.Load())
 	rt.reqMu.Unlock()
 	return true
 }
@@ -322,6 +472,9 @@ func (rt *Runtime) HandleFetch(f *Fetch) {
 
 // MaybeCheckpoint is called after executing seq; when seq crosses a
 // checkpoint boundary the replica broadcasts a signed Checkpoint message.
+// The Ed25519 signature is produced on the egress pool; the replica's own
+// vote is counted through the pipeline's local continuation, back on the
+// event loop (OnCheckpoint skips signature verification for own votes).
 func (rt *Runtime) MaybeCheckpoint(seq types.SeqNum) {
 	if seq == 0 || seq%rt.Cfg.CheckpointInterval != 0 {
 		return
@@ -332,9 +485,12 @@ func (rt *Runtime) MaybeCheckpoint(seq types.SeqNum) {
 		State:  rt.Exec.StateDigest(),
 		Ledger: headHash(rt.Exec.Chain()),
 	}
-	cp.Sig = rt.Keys.Sign(cp.SignedPayload())
-	rt.OnCheckpoint(cp) // count own vote
-	rt.Broadcast(cp)
+	payload := cp.SignedPayload()
+	rt.Egress.Enqueue(
+		func() { cp.Sig = rt.Keys.Sign(payload) },
+		func() { rt.Broadcast(cp) },
+		func() { rt.OnCheckpoint(cp) }, // count own vote
+	)
 }
 
 // OnCheckpoint records a checkpoint vote. When nf distinct replicas vote the
@@ -369,10 +525,54 @@ func (rt *Runtime) OnCheckpoint(cp *Checkpoint) (types.SeqNum, bool) {
 					delete(rt.cpVotes, s)
 				}
 			}
+			rt.PruneAtStable(cp.Seq)
 			return cp.Seq, true
 		}
 	}
 	return 0, false
+}
+
+// replyCacheCap is the lastReply size above which stable-checkpoint pruning
+// starts aging idle clients out. Below the cap every client's last reply is
+// retained, so a lost INFORM is always answerable from the cache; above it,
+// memory wins — the classic BFT reply-cache low-water-mark tradeoff.
+const replyCacheCap = 1 << 16
+
+// PruneAtStable bounds the request-path caches when a checkpoint becomes
+// stable, so a long-lived replica serving millions of clients does not grow
+// without bound: verified-request digests older than one checkpoint interval
+// below the stable point are dropped (a pruned digest merely re-verifies on
+// the next retransmission), the batcher forgets proposed-history entries the
+// executor's dedup history already covers (a pruned entry merely re-enters
+// the pending queue, where execution-time dedup and the reply cache still
+// suppress it), and — only once more than replyCacheCap clients are cached —
+// replies of clients idle for over a checkpoint interval are evicted. That
+// last eviction is the one genuine tradeoff: such a client retransmitting a
+// request whose INFORM was lost can no longer be answered from the cache,
+// which is the standard price of a bounded reply cache (PBFT's low-water
+// mark); under the cap behaviour is unchanged. Called on the event loop
+// (OnCheckpoint); the batcher is loop-owned.
+func (rt *Runtime) PruneAtStable(stable types.SeqNum) {
+	rt.stableSeq.Store(int64(stable))
+	rt.reqMu.Lock()
+	for d, s := range rt.reqSeen {
+		if s+rt.Cfg.CheckpointInterval < stable {
+			delete(rt.reqSeen, d)
+		}
+	}
+	rt.reqMu.Unlock()
+	rt.replyMu.Lock()
+	if len(rt.lastReply) > replyCacheCap {
+		for c, msg := range rt.lastReply {
+			if msg.Seq+rt.Cfg.CheckpointInterval < stable {
+				delete(rt.lastReply, c)
+			}
+		}
+	}
+	rt.replyMu.Unlock()
+	rt.Batcher.PruneProposed(func(c types.ClientID, seq uint64) bool {
+		return rt.Exec.AlreadyExecuted(c, seq)
+	})
 }
 
 func headHash(c *ledger.Chain) types.Digest {

@@ -298,8 +298,11 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 func (r *Replica) View() types.View { return r.view }
 
 // Run processes messages until ctx is cancelled. Inbound messages pass
-// through the parallel authentication pipeline (verify.go), so the loop
-// below performs no asymmetric crypto of its own on the normal-case path.
+// through the parallel authentication pipeline (verify.go); outbound
+// pre-prepares, sign/state shares, checkpoint votes, and reply MACs are
+// signed on the egress pipeline, whose Local channel loops deferred
+// self-shares back onto the loop. The loop below performs no asymmetric
+// crypto of its own in either direction on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
@@ -314,6 +317,8 @@ func (r *Replica) Run(ctx context.Context) {
 			}
 			r.rt.Metrics.MessagesIn.Add(1)
 			r.dispatch(env)
+		case fn := <-r.rt.Egress.Local():
+			fn()
 		case <-ticker.C:
 			r.onTick()
 		}
@@ -426,16 +431,25 @@ func (r *Replica) proposeReady(force bool) {
 		seq := r.nextPropose
 		r.nextPropose++
 		m := &PrePrepare{View: r.view, Seq: seq, Batch: batch}
-		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		r.rt.Metrics.ProposedBatches.Add(1)
-		r.broadcastPrePrepare(m)
+		if r.adv == nil {
+			payload := m.SignedPayload() // memoizes the batch digest on the loop
+			r.rt.Egress.Enqueue(
+				func() { m.Auth = r.rt.AuthBroadcast(payload) },
+				func() { r.rt.Broadcast(m) },
+				nil)
+		} else {
+			// Byzantine variants sign inline: not the hot path.
+			m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
+			r.broadcastPrePrepare(m)
+		}
 		r.handlePrePrepare(r.rt.Cfg.ID, m)
 	}
 }
 
-// broadcastPrePrepare sends the proposal to every backup, applying the
-// Byzantine adversary spec if one is installed (equivocating variants are
-// re-signed with this replica's real keys, so honest verifiers accept them).
+// broadcastPrePrepare sends an adversarial proposal to every backup
+// (equivocating variants are re-signed with this replica's real keys, so
+// honest verifiers accept them).
 func (r *Replica) broadcastPrePrepare(m *PrePrepare) {
 	if r.adv == nil {
 		r.rt.Broadcast(m)
@@ -500,13 +514,29 @@ func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
 	d2 := share2Digest(s.digest)
 	r.rt.Pipeline.NoteDigest(kindSign, m.View, m.Seq, s.digest[:])
 	r.rt.Pipeline.NoteDigest(kindShare2, m.View, m.Seq, d2[:])
-	share := r.rt.TS.Share(s.digest[:])
-	ss := &SignShare{View: m.View, Seq: m.Seq, Share: share}
-	if r.isCollector() {
-		r.addSignShare(cfg.ID, ss, s)
-	} else {
-		r.rt.SendReplica(Collector(cfg, r.view), ss)
+	// The SIGN-SHARE is signed on the egress pool; the collector's own share
+	// loops back onto the event loop, re-checking view/status.
+	ss := &SignShare{View: m.View, Seq: m.Seq}
+	digest := s.digest
+	view := m.View
+	coll := Collector(cfg, r.view)
+	isColl := coll == cfg.ID
+	var local func()
+	if isColl {
+		local = func() {
+			if r.status == statusNormal && r.view == view {
+				r.addSignShare(cfg.ID, ss, s)
+			}
+		}
 	}
+	r.rt.Egress.Enqueue(
+		func() { ss.Share = r.rt.TS.Share(digest[:]) },
+		func() {
+			if !isColl {
+				r.rt.SendReplica(coll, ss)
+			}
+		},
+		local)
 }
 
 func (r *Replica) onSignShare(from types.ReplicaID, m *SignShare) {
@@ -589,12 +619,26 @@ func (r *Replica) onPrepare2(from types.ReplicaID, m *Prepare2) {
 		return
 	}
 	d2 := share2Digest(s.digest)
-	sh := &Share2{View: m.View, Seq: m.Seq, Share: r.rt.TS.Share(d2[:])}
-	if r.isCollector() {
-		r.addShare2(r.rt.Cfg.ID, sh, s)
-	} else {
-		r.rt.SendReplica(Collector(r.rt.Cfg, r.view), sh)
+	sh := &Share2{View: m.View, Seq: m.Seq}
+	view := m.View
+	coll := Collector(r.rt.Cfg, r.view)
+	isColl := coll == r.rt.Cfg.ID
+	var local func()
+	if isColl {
+		local = func() {
+			if r.status == statusNormal && r.view == view {
+				r.addShare2(r.rt.Cfg.ID, sh, s)
+			}
+		}
 	}
+	r.rt.Egress.Enqueue(
+		func() { sh.Share = r.rt.TS.Share(d2[:]) },
+		func() {
+			if !isColl {
+				r.rt.SendReplica(coll, sh)
+			}
+		},
+		local)
 }
 
 func (r *Replica) onShare2(from types.ReplicaID, m *Share2) {
@@ -682,15 +726,29 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 		}
 		head, _ := r.rt.Exec.Chain().Get(ev.Rec.Seq)
 		headHash := blockHash(head)
-		share := r.rt.TS.Share(ExecPayload(ev.Rec.Seq, headHash))
-		ss := &SignState{View: r.view, Seq: ev.Rec.Seq, Share: share}
-		if exec == r.rt.Cfg.ID {
-			r.noteExecution(ev, headHash)
-			r.addSignState(r.rt.Cfg.ID, ss)
-		} else {
-			r.noteExecution(ev, headHash)
-			r.rt.SendReplica(exec, ss)
+		r.noteExecution(ev, headHash)
+		// The SIGN-STATE share is signed on the egress pool; the executor
+		// replica's own share loops back onto the event loop.
+		payload := ExecPayload(ev.Rec.Seq, headHash)
+		ss := &SignState{View: r.view, Seq: ev.Rec.Seq}
+		view := r.view
+		isExec := exec == r.rt.Cfg.ID
+		var local func()
+		if isExec {
+			local = func() {
+				if r.status == statusNormal && r.view == view {
+					r.addSignState(r.rt.Cfg.ID, ss)
+				}
+			}
 		}
+		r.rt.Egress.Enqueue(
+			func() { ss.Share = r.rt.TS.Share(payload) },
+			func() {
+				if !isExec {
+					r.rt.SendReplica(exec, ss)
+				}
+			},
+			local)
 		r.rt.MaybeCheckpoint(ev.Rec.Seq)
 	}
 	r.proposeReady(false)
@@ -752,6 +810,9 @@ func (r *Replica) tryAck(seq types.SeqNum, s *slot) {
 	r.rt.Pipeline.ForgetDigests(r.view, seq)
 }
 
+// informClients stages the executor's aggregated replies: MACs are computed
+// on the egress pool and, on a durable replica, the sends are held until the
+// batch's WAL group is committed.
 func (r *Replica) informClients(s *slot, cert []byte) {
 	byKey := make(map[types.ClientID]map[uint64]types.Result, len(s.results))
 	for _, res := range s.results {
@@ -762,6 +823,7 @@ func (r *Replica) informClients(s *slot, cert []byte) {
 		}
 		inner[res.Seq] = res
 	}
+	replies := make([]protocol.Reply, 0, len(s.rec.Batch.Requests))
 	for i := range s.rec.Batch.Requests {
 		req := &s.rec.Batch.Requests[i]
 		res, ok := byKey[req.Txn.Client][req.Txn.Seq]
@@ -769,7 +831,7 @@ func (r *Replica) informClients(s *slot, cert []byte) {
 			r.rt.ReplayReply(req)
 			continue
 		}
-		msg := &protocol.Inform{
+		replies = append(replies, protocol.Reply{Client: req.Txn.Client, Msg: &protocol.Inform{
 			From:       r.rt.Cfg.ID,
 			Digest:     req.Digest(),
 			View:       s.rec.View,
@@ -778,11 +840,9 @@ func (r *Replica) informClients(s *slot, cert []byte) {
 			Values:     res.Values,
 			OrderProof: s.execHead,
 			Cert:       cert,
-		}
-		key := msg.Key()
-		msg.Tag = r.rt.Keys.MAC(types.ClientNode(req.Txn.Client), key.Digest[:])
-		r.rt.Net.Send(types.ClientNode(req.Txn.Client), msg)
+		}})
 	}
+	r.rt.SendReplies(s.rec.Seq, replies, false, nil)
 }
 
 // --- housekeeping ---

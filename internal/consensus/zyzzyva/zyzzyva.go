@@ -228,8 +228,11 @@ func (r *Replica) Runtime() *protocol.Runtime { return r.rt }
 func (r *Replica) View() types.View { return r.view }
 
 // Run processes messages until ctx is cancelled. Inbound messages pass
-// through the parallel authentication pipeline (verify.go), so the loop
-// below performs no asymmetric crypto of its own on the normal-case path.
+// through the parallel authentication pipeline (verify.go); outbound
+// order requests, speculative-response shares, checkpoint votes, and reply
+// MACs are signed on the egress pipeline, whose Local channel loops deferred
+// self-votes back onto the loop. The loop below performs no asymmetric
+// crypto of its own in either direction on the normal-case path.
 func (r *Replica) Run(ctx context.Context) {
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
@@ -244,6 +247,8 @@ func (r *Replica) Run(ctx context.Context) {
 			}
 			r.rt.Metrics.MessagesIn.Add(1)
 			r.dispatch(env)
+		case fn := <-r.rt.Egress.Local():
+			fn()
 		case <-ticker.C:
 			r.onTick()
 		}
@@ -341,9 +346,18 @@ func (r *Replica) proposeReady(force bool) {
 		hist := blockHash(ledgerBlock{Seq: seq, Digest: bd, View: r.view, PrevHash: prev})
 		r.primaryHistories[seq] = hist
 		m := &OrderReq{View: r.view, Seq: seq, History: hist, Batch: batch}
-		m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
 		r.rt.Metrics.ProposedBatches.Add(1)
-		r.broadcastOrderReq(m, prev)
+		if r.adv == nil {
+			payload := m.SignedPayload() // memoizes the batch digest on the loop
+			r.rt.Egress.Enqueue(
+				func() { m.Auth = r.rt.AuthBroadcast(payload) },
+				func() { r.rt.Broadcast(m) },
+				nil)
+		} else {
+			// Byzantine variants sign inline: not the hot path.
+			m.Auth = r.rt.AuthBroadcast(m.SignedPayload())
+			r.broadcastOrderReq(m, prev)
+		}
 		r.handleOrderReq(r.rt.Cfg.ID, m)
 	}
 }
@@ -452,12 +466,15 @@ func (r *Replica) historyDigest() types.Digest {
 	return blockHash(head)
 }
 
-// informSpeculative sends speculative responses carrying the history digest
+// informSpeculative stages speculative responses carrying the history digest
 // and this replica's share over the ordering (the client's commit
-// certificate material).
+// certificate material). The history digest is fixed on the event loop; the
+// threshold share — one Ed25519 sign per batch — and the per-reply MACs are
+// computed on the egress pool, and on a durable replica the sends wait for
+// the batch's WAL group.
 func (r *Replica) informSpeculative(ev protocol.Executed) {
 	hist := r.historyDigest()
-	share := r.rt.TS.Share(specPayload(ev.Rec.Seq, hist))
+	payload := specPayload(ev.Rec.Seq, hist)
 	byKey := make(map[types.ClientID]map[uint64]types.Result, len(ev.Results))
 	for _, res := range ev.Results {
 		inner, ok := byKey[res.Client]
@@ -467,6 +484,7 @@ func (r *Replica) informSpeculative(ev protocol.Executed) {
 		}
 		inner[res.Seq] = res
 	}
+	replies := make([]protocol.Reply, 0, len(ev.Rec.Batch.Requests))
 	for i := range ev.Rec.Batch.Requests {
 		req := &ev.Rec.Batch.Requests[i]
 		res, ok := byKey[req.Txn.Client][req.Txn.Seq]
@@ -474,7 +492,7 @@ func (r *Replica) informSpeculative(ev protocol.Executed) {
 			r.rt.ReplayReply(req)
 			continue
 		}
-		msg := &protocol.Inform{
+		replies = append(replies, protocol.Reply{Client: req.Txn.Client, Msg: &protocol.Inform{
 			From:        r.rt.Cfg.ID,
 			Digest:      req.Digest(),
 			View:        ev.Rec.View,
@@ -483,12 +501,14 @@ func (r *Replica) informSpeculative(ev protocol.Executed) {
 			Values:      res.Values,
 			Speculative: true,
 			OrderProof:  hist,
-			Share:       share,
-		}
-		key := msg.Key()
-		msg.Tag = r.rt.Keys.MAC(types.ClientNode(req.Txn.Client), key.Digest[:])
-		r.rt.Net.Send(types.ClientNode(req.Txn.Client), msg)
+		}})
 	}
+	r.rt.SendReplies(ev.Rec.Seq, replies, false, func() {
+		share := r.rt.TS.Share(payload)
+		for _, rp := range replies {
+			rp.Msg.Share = share
+		}
+	})
 }
 
 // --- slow path ---

@@ -199,7 +199,7 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 	for i := 0; i < opts.N; i++ {
 		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table}
 		if opts.DataDir != "" {
-			st, err := storage.Open(replicaDir(opts.DataDir, i), storage.Options{})
+			st, err := storage.Open(replicaDir(opts.DataDir, i), opts.storageOptions())
 			if err != nil {
 				return ChaosReport{}, err
 			}

@@ -112,7 +112,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 		}
 	}()
 	start := func(i int) (*runningReplica, error) {
-		st, err := storage.Open(replicaDir(opts.DataDir, i), storage.Options{})
+		st, err := storage.Open(replicaDir(opts.DataDir, i), opts.storageOptions())
 		if err != nil {
 			return nil, err
 		}

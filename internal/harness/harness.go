@@ -118,8 +118,20 @@ type Options struct {
 	// Required by the crash-restart scenarios (RunCrashRestart), optional
 	// everywhere else.
 	DataDir string
+	// Fsync makes durable replicas sync the WAL on every commit group
+	// (machine-crash durability). Meaningless without DataDir.
+	Fsync bool
+	// NoGroupCommit disables WAL group commit: every record is appended and
+	// synced individually, the pre-group-commit baseline the durable
+	// benchmarks compare against.
+	NoGroupCommit bool
 
 	Seed int64
+}
+
+// storageOptions derives the storage configuration of a durable run.
+func (o Options) storageOptions() storage.Options {
+	return storage.Options{Sync: o.Fsync, NoGroupCommit: o.NoGroupCommit}
 }
 
 func (o Options) withDefaults() Options {
@@ -219,13 +231,39 @@ type Result struct {
 	ViewChanges int64
 	Rollbacks   int64
 	Timeline    []TimelinePoint
+
+	// Egress pipeline saturation, summed (EgressSigned) and maxed
+	// (EgressMaxDepth) across replicas: authenticators computed off the
+	// event loops, and the deepest signing backlog any replica accumulated.
+	EgressSigned   int64
+	EgressMaxDepth int64
+	// WAL group commit (durable runs only): groups written and records they
+	// carried across all replicas; WALGroupMean = records/groups is the mean
+	// group size — how many fsyncs were amortized into one.
+	WALGroups         int64
+	WALGroupedRecords int64
 }
 
-// String formats the result as the paper's table rows do.
+// WALGroupMean is the mean WAL commit-group size across replicas (0 for
+// volatile runs).
+func (r Result) WALGroupMean() float64 {
+	if r.WALGroups == 0 {
+		return 0
+	}
+	return float64(r.WALGroupedRecords) / float64(r.WALGroups)
+}
+
+// String formats the result as the paper's table rows do, extended with the
+// pipeline-saturation counters bench runs watch.
 func (r Result) String() string {
-	return fmt.Sprintf("%-9s n=%-3d batch=%-4d %10.0f txn/s  %8.1fms  vc=%d",
+	s := fmt.Sprintf("%-9s n=%-3d batch=%-4d %10.0f txn/s  %8.1fms  vc=%d  egress=%d(maxq %d)",
 		r.Protocol, r.N, r.BatchSize, r.Throughput,
-		float64(r.AvgLatency.Microseconds())/1000, r.ViewChanges)
+		float64(r.AvgLatency.Microseconds())/1000, r.ViewChanges,
+		r.EgressSigned, r.EgressMaxDepth)
+	if r.WALGroups > 0 {
+		s += fmt.Sprintf("  wal-groups=%d(mean %.1f)", r.WALGroups, r.WALGroupMean())
+	}
+	return s
 }
 
 // replicaHandle abstracts the per-protocol replica for the harness.
@@ -278,7 +316,7 @@ func Run(opts Options) (Result, error) {
 	for i := 0; i < opts.N; i++ {
 		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table}
 		if opts.DataDir != "" {
-			st, err := storage.Open(replicaDir(opts.DataDir, i), storage.Options{})
+			st, err := storage.Open(replicaDir(opts.DataDir, i), opts.storageOptions())
 			if err != nil {
 				return Result{}, err
 			}
@@ -381,8 +419,15 @@ func Run(opts Options) (Result, error) {
 		res.AvgLatency = time.Duration(latencySum.Load() / total)
 	}
 	for _, h := range replicas {
-		res.ViewChanges += h.Runtime().Metrics.ViewChanges.Load()
-		res.Rollbacks += h.Runtime().Metrics.Rollbacks.Load()
+		m := h.Runtime().Metrics
+		res.ViewChanges += m.ViewChanges.Load()
+		res.Rollbacks += m.Rollbacks.Load()
+		res.EgressSigned += m.EgressSignedOffLoop.Load()
+		if d := m.EgressMaxDepth.Load(); d > res.EgressMaxDepth {
+			res.EgressMaxDepth = d
+		}
+		res.WALGroups += m.WALGroups.Load()
+		res.WALGroupedRecords += m.WALGroupedRecords.Load()
 	}
 	return res, nil
 }

@@ -11,7 +11,11 @@
 //
 //   - Every executed batch is appended to the WAL (as its types.ExecRecord,
 //     certificate included) before the replica answers clients, so the
-//     replied-to prefix always survives a crash.
+//     replied-to prefix always survives a crash. Appends flow through a
+//     group-commit queue (group.go): a burst of in-order executed batches is
+//     framed into one buffered write and one fsync, and each record's
+//     durability callback — which is what releases the batch's client
+//     replies — fires only after its group is on disk.
 //   - When a checkpoint becomes stable, the replica writes a Snapshot — the
 //     key-value table, the ledger head, the client-dedup history, all as of
 //     the checkpoint sequence number — and rotates the WAL, carrying the
@@ -43,16 +47,23 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/poexec/poe/internal/types"
 )
 
 // Options tune a Store.
 type Options struct {
-	// Sync fsyncs the WAL after every append and snapshot rotation. Without
-	// it durability is bounded by the OS page cache (process crashes are
-	// still fully recoverable; machine crashes may lose the cached suffix).
+	// Sync fsyncs the WAL after every commit group (or every append, with
+	// NoGroupCommit) and snapshot rotation. Without it durability is bounded
+	// by the OS page cache (process crashes are still fully recoverable;
+	// machine crashes may lose the cached suffix).
 	Sync bool
+	// NoGroupCommit makes AppendAsync degrade to a synchronous per-record
+	// append + sync on the caller. It exists as the baseline the
+	// group-commit benchmarks compare against; production durable replicas
+	// leave it off.
+	NoGroupCommit bool
 }
 
 // Recovered is the state Open rebuilt from disk.
@@ -82,6 +93,23 @@ type Store struct {
 	walSize   int64
 	recovered Recovered
 	closed    bool
+
+	// Group-commit queue (see group.go). gqMu guards the queue state; the
+	// committer goroutine takes s.mu only inside writeGroup, so queueing
+	// never blocks behind file I/O.
+	gqMu   sync.Mutex
+	gqCond *sync.Cond
+	gq     []queuedRec
+	gqBusy bool
+	gqStop bool
+	gqErr  error
+	gqDone chan struct{}
+	// gqHold, when set by a test, stalls the committer before each group
+	// write — the "crash between execute and group-sync" window.
+	gqHold chan struct{}
+
+	groups  atomic.Int64
+	grouped atomic.Int64
 }
 
 func walName(base types.SeqNum) string { return fmt.Sprintf("wal-%016x.log", uint64(base)) }
@@ -199,6 +227,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.wal = f
+	s.gqCond = sync.NewCond(&s.gqMu)
+	s.startCommitter()
 	return s, nil
 }
 
@@ -211,10 +241,14 @@ func (s *Store) Recovered() *Recovered {
 	return &s.recovered
 }
 
-// Append logs one executed batch. Records must arrive in execution order
-// (contiguous sequence numbers); the replica calls this before replying to
-// clients, so an acknowledged execution is always recoverable.
+// Append logs one executed batch synchronously. Records must arrive in
+// execution order (contiguous sequence numbers). Durable replicas use
+// AppendAsync (group commit) instead; Append remains for recovery tooling
+// and tests, and drains any queued group first so the two can be mixed.
 func (s *Store) Append(rec *types.ExecRecord) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -236,7 +270,8 @@ func (s *Store) Append(rec *types.ExecRecord) error {
 	return nil
 }
 
-// LastSeq returns the last durable sequence number.
+// LastSeq returns the last durable sequence number. Records still queued for
+// group commit are not durable and are not counted.
 func (s *Store) LastSeq() types.SeqNum {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -248,6 +283,12 @@ func (s *Store) LastSeq() types.SeqNum {
 // suffix the protocol abandoned. Truncating below the active WAL's base is
 // an error: that prefix is frozen by a stable checkpoint.
 func (s *Store) Truncate(toSeq types.SeqNum) error {
+	// Drain the commit queue first: queued records above the cut would
+	// otherwise be written after the truncation and resurrect the abandoned
+	// suffix.
+	if err := s.Flush(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -283,6 +324,11 @@ func (s *Store) Truncate(toSeq types.SeqNum) error {
 // snapshot generation is retained as a fallback; older generations are
 // removed.
 func (s *Store) WriteSnapshot(snap *Snapshot, tail []types.ExecRecord) error {
+	// Drain the commit queue first: the rotation must not interleave with
+	// group appends, and the tail passed in covers everything queued.
+	if err := s.Flush(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -364,13 +410,19 @@ func (s *Store) dropStaleLocked(prevBase types.SeqNum) {
 	}
 }
 
-// Close releases the WAL file handle. The directory remains recoverable.
+// Close drains the commit queue, stops the committer, and releases the WAL
+// file handle. The directory remains recoverable.
 func (s *Store) Close() error {
+	flushErr := s.Flush()
+	s.stopCommitter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil
+		return flushErr
 	}
 	s.closed = true
-	return s.wal.Close()
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	return flushErr
 }

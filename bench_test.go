@@ -11,14 +11,21 @@
 package poe
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/poexec/poe/internal/client"
+	poeimpl "github.com/poexec/poe/internal/consensus/poe"
 	"github.com/poexec/poe/internal/consensus/protocol"
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/harness"
+	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/sim"
+	"github.com/poexec/poe/internal/types"
 )
 
 // benchScales holds the scaled-down experiment dimensions.
@@ -345,6 +352,150 @@ func BenchmarkAblationCheckpointInterval(b *testing.B) {
 					Protocol: harness.PoE, N: 8,
 					BatchSize: 50, Clients: 32, Outstanding: 16,
 					CheckpointInterval: interval,
+				})
+				b.ReportMetric(res.Throughput, "txn/s")
+			}
+		})
+	}
+}
+
+// BenchmarkTCPLoopbackCluster runs a PoE cluster over real TCP connections
+// on localhost — wire-codec framing, marshal-once broadcast fan-out, and
+// write(2) syscalls included — so serialization wins are visible outside the
+// in-process ChanNet fabric (whose send-cost model they calibrate,
+// DESIGN.md §3). Reported txn/s is end-to-end client throughput.
+func BenchmarkTCPLoopbackCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(runTCPCluster(b), "txn/s")
+	}
+}
+
+func runTCPCluster(b *testing.B) float64 {
+	b.Helper()
+	const n, f, nClients, outstanding = 4, 1, 8, 8
+	ring := crypto.NewKeyRing(n, []byte("tcp-bench"))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Bind every node on an ephemeral port first, then rebuild the final
+	// transports over the shared address book (TCPNet dials lazily).
+	addrs := make(map[types.NodeID]string, n+nClients)
+	probe := make([]*network.TCPNet, 0, n+nClients)
+	nodes := make([]types.NodeID, 0, n+nClients)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	for i := 0; i < nClients; i++ {
+		nodes = append(nodes, types.NthClient(i))
+	}
+	for _, node := range nodes {
+		tn, err := network.NewTCPNet(node, map[types.NodeID]string{node: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe = append(probe, tn)
+		addrs[node] = tn.Addr()
+	}
+	for _, tn := range probe {
+		tn.Close()
+	}
+	book := func() map[types.NodeID]string {
+		m := make(map[types.NodeID]string, len(addrs))
+		for k, v := range addrs {
+			m[k] = v
+		}
+		return m
+	}
+
+	for i := 0; i < n; i++ {
+		tn, err := network.NewTCPNet(types.ReplicaNode(types.ReplicaID(i)), book())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tn.Close()
+		cfg := protocol.Config{
+			ID: types.ReplicaID(i), N: n, F: f, Scheme: crypto.SchemeMAC,
+			BatchSize: 50, BatchLinger: time.Millisecond,
+			Window: 64, CheckpointInterval: 64,
+			ViewTimeout: 2 * time.Second,
+		}
+		r, err := poeimpl.New(cfg, ring, tn, poeimpl.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go r.Run(ctx)
+	}
+
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < nClients; c++ {
+		cn, err := network.NewTCPNet(types.NthClient(c), book())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cn.Close()
+		cl, err := client.New(client.Config{
+			ID: types.ClientIDBase + types.ClientID(c), N: n, F: f,
+			Scheme: crypto.SchemeMAC, Timeout: 2 * time.Second,
+		}, ring, cn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.Start(ctx)
+		// Pipeline several submissions per client so the cluster is CPU-
+		// bound (where serialization shows) rather than round-trip-bound.
+		for o := 0; o < outstanding; o++ {
+			wg.Add(1)
+			go func(c, o int, cl *client.Client) {
+				defer wg.Done()
+				for j := 0; ; j++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ops := []types.Op{{Kind: types.OpWrite, Key: fmt.Sprintf("k%d-%d-%d", c, o, j%64), Value: []byte("value-payload-0123456789abcdef")}}
+					if _, err := cl.Submit(ctx, ops); err == nil {
+						completed.Add(1)
+					}
+				}
+			}(c, o, cl)
+		}
+	}
+
+	warmup := 500 * time.Millisecond
+	measure := 1500 * time.Millisecond
+	time.Sleep(warmup)
+	start := completed.Load()
+	time.Sleep(measure)
+	delta := completed.Load() - start
+	close(stop)
+	cancel()
+	wg.Wait()
+	return float64(delta) / measure.Seconds()
+}
+
+// BenchmarkSendCostModel contrasts ChanNet's two sender-cost models on the
+// PBFT quadratic fan-out at n=16: the flat 10 µs/message charge the
+// harness has used since PR 1, and the size-calibrated model (Options.
+// WireCost) in which every logical message pays one real wire-codec encode
+// plus a per-destination write cost scaled by its true encoded size —
+// ChanNet's analogue of TCPNet's marshal-once broadcast (DESIGN.md §3).
+// Under the calibrated model the small all-to-all share messages stop being
+// charged like full batches, which is the honest version of the cost
+// structure the flat model approximated.
+func BenchmarkSendCostModel(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		wire bool
+	}{{"flat", false}, {"wire-calibrated", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, harness.Options{
+					Protocol: harness.PBFT, N: 16,
+					BatchSize: 50, Clients: 32, Outstanding: 16,
+					WireCost: tc.wire,
 				})
 				b.ReportMetric(res.Throughput, "txn/s")
 			}

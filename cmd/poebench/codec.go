@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/poe"
+	"github.com/poexec/poe/internal/types"
+)
+
+// figCodec is the PR 5 serialization A/B: the hand-written wire codec
+// against the gob baseline it replaced, on the two payloads that dominate
+// real traffic — a 50-request PROPOSE (the broadcast body) and the matching
+// ExecRecord (the WAL payload). The gob baseline reuses persistent stream
+// encoders/decoders (dictionary amortized, like the long-lived peer
+// connections the old transport kept), so the ratio is steady-state against
+// gob's best case. It is cheap enough for CI, where the rows land in
+// BENCH_PR5.json next to the fig-11 snapshot.
+func figCodec() {
+	header("codec: wire vs gob (50-request batch)")
+
+	batch := types.Batch{}
+	for i := 0; i < 50; i++ {
+		batch.Requests = append(batch.Requests, types.Request{
+			Txn: types.Transaction{
+				Client: types.ClientIDBase + types.ClientID(i), Seq: uint64(i),
+				Ops: []types.Op{{Kind: types.OpWrite, Key: fmt.Sprintf("key-%d", i), Value: bytes.Repeat([]byte("v"), 16)}},
+			},
+			Sig: bytes.Repeat([]byte{7}, 64),
+		})
+	}
+	prop := &poe.Propose{View: 1, Seq: 2, Batch: batch, Auth: [][]byte{bytes.Repeat([]byte{1}, 64)}}
+	prop.Batch.MemoizeDigests()
+	rec := &types.ExecRecord{Seq: 2, View: 1, Digest: prop.Batch.Digest(), Proof: bytes.Repeat([]byte{2}, 64), Batch: batch}
+
+	fmt.Printf("%-24s %12s %12s %10s\n", "payload/codec/op", "ops/s", "MB/s", "vs gob")
+	report := func(payload string, wireEnc, wireDec, gobEnc, gobDec row) {
+		for _, r := range []struct {
+			name string
+			r    row
+			base row
+		}{
+			{payload + "/wire/encode", wireEnc, gobEnc},
+			{payload + "/gob/encode", gobEnc, gobEnc},
+			{payload + "/wire/decode", wireDec, gobDec},
+			{payload + "/gob/decode", gobDec, gobDec},
+		} {
+			snapshot.Benchmarks["codec/"+r.name] = benchEntry{OpsPerSec: r.r.ops, MBPerSec: r.r.mbs}
+			fmt.Printf("%-24s %12.0f %12.1f %9.1fx\n", r.name, r.r.ops, r.r.mbs, r.r.ops/r.base.ops)
+		}
+	}
+
+	report("propose",
+		timeIt(len(prop.MarshalTo(nil)), func(buf []byte) []byte { return prop.MarshalTo(buf[:0]) }),
+		timeDecode(prop.MarshalTo(nil), func(data []byte) error { var out poe.Propose; return out.Unmarshal(data) }),
+		timeGobEncode(prop),
+		timeGobDecode(prop, func() any { return &poe.Propose{} }),
+	)
+	report("execrecord",
+		timeIt(len(rec.MarshalTo(nil)), func(buf []byte) []byte { return rec.MarshalTo(buf[:0]) }),
+		timeDecode(rec.MarshalTo(nil), func(data []byte) error { var out types.ExecRecord; return out.Unmarshal(data) }),
+		timeGobEncode(rec),
+		timeGobDecode(rec, func() any { return &types.ExecRecord{} }),
+	)
+}
+
+type row struct {
+	ops float64
+	mbs float64
+}
+
+// runFor calibrates an op to ~200ms of wall time and returns ops/s.
+func runFor(op func()) float64 {
+	const target = 200 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= target/4 {
+			return float64(iters) / elapsed.Seconds()
+		}
+		iters *= 4
+	}
+}
+
+func timeIt(size int, enc func([]byte) []byte) row {
+	buf := make([]byte, 0, size)
+	ops := runFor(func() { buf = enc(buf) })
+	return row{ops: ops, mbs: ops * float64(size) / 1e6}
+}
+
+func timeDecode(data []byte, dec func([]byte) error) row {
+	ops := runFor(func() {
+		if err := dec(data); err != nil {
+			panic(err)
+		}
+	})
+	return row{ops: ops, mbs: ops * float64(len(data)) / 1e6}
+}
+
+// timeGobEncode measures steady-state encoding on one persistent stream:
+// the encoder survives across ops (dictionary sent once), only the byte
+// sink is reset.
+func timeGobEncode(v any) row {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil { // dictionary + first value
+		panic(err)
+	}
+	buf.Reset()
+	if err := enc.Encode(v); err != nil {
+		panic(err)
+	}
+	size := buf.Len() // steady-state per-message size
+	ops := runFor(func() {
+		buf.Reset()
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	})
+	return row{ops: ops, mbs: ops * float64(size) / 1e6}
+}
+
+// timeGobDecode measures steady-state decoding with the dictionary
+// amortized over a 64-message stream.
+func timeGobDecode(v any, fresh func() any) row {
+	const streamLen = 64
+	var stream bytes.Buffer
+	enc := gob.NewEncoder(&stream)
+	for i := 0; i < streamLen; i++ {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+	data := stream.Bytes()
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	cnt := 0
+	ops := runFor(func() {
+		if cnt == streamLen {
+			dec = gob.NewDecoder(bytes.NewReader(data))
+			cnt = 0
+		}
+		if err := dec.Decode(fresh()); err != nil {
+			panic(err)
+		}
+		cnt++
+	})
+	return row{ops: ops, mbs: ops * float64(len(data)/streamLen) / 1e6}
+}

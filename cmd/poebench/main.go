@@ -30,13 +30,16 @@ import (
 )
 
 // benchEntry is one row of the machine-readable -json snapshot
-// (BENCH_PR4.json schema): benchmark name → throughput and latency. Harness
-// rows fill TxnPerSec/LatencyMs; simulation rows (fig 11) fill
-// DecisionsPerSec.
+// (BENCH_PR5.json schema, superset of the PR 4 one): benchmark name →
+// throughput and latency. Harness rows fill TxnPerSec/LatencyMs; simulation
+// rows (fig 11) fill DecisionsPerSec; codec rows (fig codec) fill
+// OpsPerSec/MBPerSec.
 type benchEntry struct {
 	TxnPerSec       float64 `json:"txn_s,omitempty"`
 	LatencyMs       float64 `json:"latency_ms,omitempty"`
 	DecisionsPerSec float64 `json:"decisions_s,omitempty"`
+	OpsPerSec       float64 `json:"ops_s,omitempty"`
+	MBPerSec        float64 `json:"mb_s,omitempty"`
 }
 
 // benchSnapshot is the file the CI job uploads next to the fig-11 output so
@@ -162,6 +165,10 @@ func main() {
 	if run("chaos") && *fig != "all" {
 		any = true
 		figChaos(sc)
+	}
+	if run("codec") {
+		any = true
+		figCodec()
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)

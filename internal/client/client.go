@@ -175,9 +175,7 @@ func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Re
 	// First attempt goes to the presumed primary (or everywhere, for
 	// rotating-leader protocols); retries broadcast.
 	if c.cfg.BroadcastRequests {
-		for i := 0; i < c.cfg.N; i++ {
-			c.net.Send(types.ReplicaNode(types.ReplicaID(i)), &protocol.ClientRequest{Req: req})
-		}
+		network.Broadcast(c.net, c.cfg.N, &protocol.ClientRequest{Req: req}, false)
 	} else {
 		c.net.Send(c.primaryNode(), &protocol.ClientRequest{Req: req})
 	}
@@ -194,9 +192,7 @@ func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Re
 		case <-timer.C:
 			// §II-B: on timeout, broadcast so replicas forward to the
 			// primary and arm their failure detectors.
-			for i := 0; i < c.cfg.N; i++ {
-				c.net.Send(types.ReplicaNode(types.ReplicaID(i)), &protocol.ClientRequest{Req: req})
-			}
+			network.Broadcast(c.net, c.cfg.N, &protocol.ClientRequest{Req: req}, false)
 			timer.Reset(c.cfg.Timeout)
 		}
 	}

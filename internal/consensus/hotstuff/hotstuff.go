@@ -20,6 +20,7 @@ import (
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // QC is a quorum certificate: nf threshold shares over a node hash.
@@ -93,11 +94,11 @@ func u64(v uint64) []byte {
 }
 
 func init() {
-	network.Register(&Proposal{})
-	network.Register(&Vote{})
-	network.Register(&NewView{})
-	network.Register(&FetchNodes{})
-	network.Register(&NodeBundle{})
+	wire.Register(func() wire.Message { return &Proposal{} })
+	wire.Register(func() wire.Message { return &Vote{} })
+	wire.Register(func() wire.Message { return &NewView{} })
+	wire.Register(func() wire.Message { return &FetchNodes{} })
+	wire.Register(func() wire.Message { return &NodeBundle{} })
 }
 
 // Leader returns the leader of a round: the replica with id = round mod n.

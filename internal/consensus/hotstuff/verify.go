@@ -23,18 +23,22 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
 			return false
 		}
-		cp := *m
-		cp.Node.Batch = m.Node.Batch.Clone()
-		env.Msg = &cp
-		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+		p := m
+		if !env.Owned {
+			cp := *m
+			cp.Node.Batch = m.Node.Batch.Clone()
+			env.Msg = &cp
+			p = &cp
+		}
+		if !rt.VerifyBroadcast(env.From.Replica(), p.SignedPayload(), p.Auth) {
 			return false
 		}
-		if !rt.VerifyBatch(&cp.Node.Batch) {
+		if !rt.VerifyBatch(&p.Node.Batch) {
 			return false
 		}
 		// Prove the justifying QC here; the handler's verifyQC re-check is a
 		// certificate-memo hit.
-		return r.verifyQC(cp.Node.Justify)
+		return r.verifyQC(p.Node.Justify)
 	case *Vote:
 		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
 			return false
@@ -45,16 +49,22 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 	case *NewView:
 		return r.verifyQC(m.High)
 	case *NodeBundle:
-		cp := *m
-		cp.Nodes = append([]Node(nil), m.Nodes...)
-		for i := range cp.Nodes {
-			cp.Nodes[i].Batch = cp.Nodes[i].Batch.Clone()
-			cp.Nodes[i].Batch.MemoizeDigests()
+		b := m
+		if !env.Owned {
+			cp := *m
+			cp.Nodes = append([]Node(nil), m.Nodes...)
+			for i := range cp.Nodes {
+				cp.Nodes[i].Batch = cp.Nodes[i].Batch.Clone()
+			}
+			env.Msg = &cp
+			b = &cp
+		}
+		for i := range b.Nodes {
+			b.Nodes[i].Batch.MemoizeDigests()
 			// Warm the certificate memo; the handler skips nodes whose QC
 			// fails, so an invalid entry doesn't condemn the bundle.
-			r.verifyQC(cp.Nodes[i].Justify)
+			r.verifyQC(b.Nodes[i].Justify)
 		}
-		env.Msg = &cp
 		return true
 	}
 	return true

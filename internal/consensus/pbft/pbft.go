@@ -24,6 +24,7 @@ import (
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // PrePrepare is the primary's ordering proposal.
@@ -110,11 +111,11 @@ func commitDigest(h types.Digest) types.Digest {
 }
 
 func init() {
-	network.Register(&PrePrepare{})
-	network.Register(&Prepare{})
-	network.Register(&Commit{})
-	network.Register(&VCRequest{})
-	network.Register(&NVPropose{})
+	wire.Register(func() wire.Message { return &PrePrepare{} })
+	wire.Register(func() wire.Message { return &Prepare{} })
+	wire.Register(func() wire.Message { return &Commit{} })
+	wire.Register(func() wire.Message { return &VCRequest{} })
+	wire.Register(func() wire.Message { return &NVPropose{} })
 }
 
 type status int

@@ -1,0 +1,153 @@
+package pbft
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+// Hand-written wire codecs for PBFT's messages (ids in wire/ids.go).
+
+// WireID implements wire.Message.
+func (m *PrePrepare) WireID() uint16 { return wire.IDPbftPrePrepare }
+
+// MarshalTo implements wire.Message.
+func (m *PrePrepare) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = m.Batch.AppendWire(buf)
+	return wire.AppendBytesSlice(buf, m.Auth)
+}
+
+// Unmarshal implements wire.Message.
+func (m *PrePrepare) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.Batch.ReadWire(r)
+	m.Auth = r.BytesSlice()
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Prepare) WireID() uint16 { return wire.IDPbftPrepare }
+
+// MarshalTo implements wire.Message.
+func (m *Prepare) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	return crypto.AppendShare(buf, m.Share)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Prepare) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.Share = crypto.ReadShare(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Commit) WireID() uint16 { return wire.IDPbftCommit }
+
+// MarshalTo implements wire.Message.
+func (m *Commit) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	return crypto.AppendShare(buf, m.Share)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Commit) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.Share = crypto.ReadShare(r)
+	return r.Close()
+}
+
+func appendPreparedEntry(buf []byte, e *PreparedEntry) []byte {
+	buf = wire.AppendU64(buf, uint64(e.Seq))
+	buf = wire.AppendU64(buf, uint64(e.View))
+	buf = types.AppendDigest(buf, e.Digest)
+	buf = wire.AppendBytes(buf, e.Proof)
+	return e.Batch.AppendWire(buf)
+}
+
+func readPreparedEntry(r *wire.Reader, e *PreparedEntry) {
+	e.Seq = types.SeqNum(r.U64())
+	e.View = types.View(r.U64())
+	e.Digest = types.ReadDigest(r)
+	e.Proof = r.Bytes()
+	e.Batch.ReadWire(r)
+}
+
+func appendVCRequest(buf []byte, m *VCRequest) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.StableSeq))
+	buf = wire.AppendU32(buf, uint32(len(m.Prepared)))
+	for i := range m.Prepared {
+		buf = appendPreparedEntry(buf, &m.Prepared[i])
+	}
+	return wire.AppendBytes(buf, m.Sig)
+}
+
+func readVCRequest(r *wire.Reader, m *VCRequest) {
+	m.From = types.ReplicaID(r.I32())
+	m.View = types.View(r.U64())
+	m.StableSeq = types.SeqNum(r.U64())
+	n := r.Count(16 + 32 + 4 + 9)
+	if n > 0 {
+		m.Prepared = make([]PreparedEntry, n)
+		for i := range m.Prepared {
+			readPreparedEntry(r, &m.Prepared[i])
+		}
+	} else {
+		m.Prepared = nil
+	}
+	m.Sig = r.Bytes()
+}
+
+// WireID implements wire.Message.
+func (m *VCRequest) WireID() uint16 { return wire.IDPbftVCRequest }
+
+// MarshalTo implements wire.Message.
+func (m *VCRequest) MarshalTo(buf []byte) []byte { return appendVCRequest(buf, m) }
+
+// Unmarshal implements wire.Message.
+func (m *VCRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	readVCRequest(r, m)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *NVPropose) WireID() uint16 { return wire.IDPbftNVPropose }
+
+// MarshalTo implements wire.Message.
+func (m *NVPropose) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.NewView))
+	buf = wire.AppendU32(buf, uint32(len(m.Requests)))
+	for i := range m.Requests {
+		buf = appendVCRequest(buf, &m.Requests[i])
+	}
+	return buf
+}
+
+// Unmarshal implements wire.Message.
+func (m *NVPropose) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.NewView = types.View(r.U64())
+	n := r.Count(24)
+	if n > 0 {
+		m.Requests = make([]VCRequest, n)
+		for i := range m.Requests {
+			readVCRequest(r, &m.Requests[i])
+		}
+	} else {
+		m.Requests = nil
+	}
+	return r.Close()
+}

@@ -21,8 +21,8 @@ package poe
 
 import (
 	"github.com/poexec/poe/internal/crypto"
-	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // Propose is the primary's proposal of a batch as the k-th transaction of
@@ -105,9 +105,9 @@ func u64(v uint64) []byte {
 }
 
 func init() {
-	network.Register(&Propose{})
-	network.Register(&Support{})
-	network.Register(&Certify{})
-	network.Register(&VCRequest{})
-	network.Register(&NVPropose{})
+	wire.Register(func() wire.Message { return &Propose{} })
+	wire.Register(func() wire.Message { return &Support{} })
+	wire.Register(func() wire.Message { return &Certify{} })
+	wire.Register(func() wire.Message { return &VCRequest{} })
+	wire.Register(func() wire.Message { return &NVPropose{} })
 }

@@ -14,8 +14,8 @@ import (
 )
 
 // TestTCPCluster runs a full PoE cluster over real TCP connections on
-// localhost, exercising the gob wire encoding of every message type the
-// normal case uses.
+// localhost, exercising the wire-codec frame encoding of every message
+// type the normal case uses.
 func TestTCPCluster(t *testing.T) {
 	const n, f = 4, 1
 	ring := crypto.NewKeyRing(n, []byte("tcp-test"))

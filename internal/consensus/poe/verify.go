@@ -34,13 +34,19 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
 			return false
 		}
-		cp := *m
-		cp.Batch = m.Batch.Clone()
-		env.Msg = &cp
-		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+		p := m
+		if !env.Owned {
+			// In-process transports share the sender's pointer; clone before
+			// digest memoization. Wire-decoded envelopes are already owned.
+			cp := *m
+			cp.Batch = m.Batch.Clone()
+			env.Msg = &cp
+			p = &cp
+		}
+		if !rt.VerifyBroadcast(env.From.Replica(), p.SignedPayload(), p.Auth) {
 			return false
 		}
-		return rt.VerifyBatch(&cp.Batch)
+		return rt.VerifyBatch(&p.Batch)
 	case *Support:
 		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
 			return false
@@ -56,13 +62,24 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 	case *VCRequest:
 		// Signature and per-entry certificates are validated by the view-
 		// change path on the event loop (rare, off the normal case); clone so
-		// digest memoization stays replica-local.
+		// digest memoization stays replica-local — unless the envelope is
+		// already owned (wire-decoded), in which case memoize in place.
+		if env.Owned {
+			memoizeRecords(m.Executed)
+			return true
+		}
 		cp := *m
 		cp.Executed = types.CloneRecords(m.Executed)
 		memoizeRecords(cp.Executed)
 		env.Msg = &cp
 		return true
 	case *NVPropose:
+		if env.Owned {
+			for i := range m.Requests {
+				memoizeRecords(m.Requests[i].Executed)
+			}
+			return true
+		}
 		cp := *m
 		cp.Requests = append([]VCRequest(nil), m.Requests...)
 		for i := range cp.Requests {

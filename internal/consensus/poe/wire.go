@@ -1,0 +1,129 @@
+package poe
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+// Hand-written wire codecs for PoE's messages (ids in wire/ids.go).
+
+// WireID implements wire.Message.
+func (m *Propose) WireID() uint16 { return wire.IDPoePropose }
+
+// MarshalTo implements wire.Message.
+func (m *Propose) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = m.Batch.AppendWire(buf)
+	return wire.AppendBytesSlice(buf, m.Auth)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Propose) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.Batch.ReadWire(r)
+	m.Auth = r.BytesSlice()
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Support) WireID() uint16 { return wire.IDPoeSupport }
+
+// MarshalTo implements wire.Message.
+func (m *Support) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	return crypto.AppendShare(buf, m.Share)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Support) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.Share = crypto.ReadShare(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Certify) WireID() uint16 { return wire.IDPoeCertify }
+
+// MarshalTo implements wire.Message.
+func (m *Certify) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = types.AppendDigest(buf, m.Digest)
+	return wire.AppendBytes(buf, m.Cert)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Certify) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.Digest = types.ReadDigest(r)
+	m.Cert = r.Bytes()
+	return r.Close()
+}
+
+// appendVCRequest/readVCRequest are shared by VCRequest and NVPropose.
+func appendVCRequest(buf []byte, m *VCRequest) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.StableSeq))
+	buf = types.AppendRecords(buf, m.Executed)
+	return wire.AppendBytes(buf, m.Sig)
+}
+
+func readVCRequest(r *wire.Reader, m *VCRequest) {
+	m.From = types.ReplicaID(r.I32())
+	m.View = types.View(r.U64())
+	m.StableSeq = types.SeqNum(r.U64())
+	m.Executed = types.ReadRecords(r)
+	m.Sig = r.Bytes()
+}
+
+// WireID implements wire.Message.
+func (m *VCRequest) WireID() uint16 { return wire.IDPoeVCRequest }
+
+// MarshalTo implements wire.Message.
+func (m *VCRequest) MarshalTo(buf []byte) []byte { return appendVCRequest(buf, m) }
+
+// Unmarshal implements wire.Message.
+func (m *VCRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	readVCRequest(r, m)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *NVPropose) WireID() uint16 { return wire.IDPoeNVPropose }
+
+// MarshalTo implements wire.Message.
+func (m *NVPropose) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.NewView))
+	buf = wire.AppendU32(buf, uint32(len(m.Requests)))
+	for i := range m.Requests {
+		buf = appendVCRequest(buf, &m.Requests[i])
+	}
+	return buf
+}
+
+// Unmarshal implements wire.Message.
+func (m *NVPropose) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.NewView = types.View(r.U64())
+	n := r.Count(24)
+	if n > 0 {
+		m.Requests = make([]VCRequest, n)
+		for i := range m.Requests {
+			readVCRequest(r, &m.Requests[i])
+		}
+	} else {
+		m.Requests = nil
+	}
+	return r.Close()
+}

@@ -2,8 +2,8 @@ package protocol
 
 import (
 	"github.com/poexec/poe/internal/crypto"
-	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // ClientRequest carries a signed transaction 〈T〉c from a client to a
@@ -121,10 +121,10 @@ func uint64Bytes(v uint64) []byte {
 }
 
 func init() {
-	network.Register(&ClientRequest{})
-	network.Register(&ForwardRequest{})
-	network.Register(&Inform{})
-	network.Register(&Fetch{})
-	network.Register(&FetchReply{})
-	network.Register(&Checkpoint{})
+	wire.Register(func() wire.Message { return &ClientRequest{} })
+	wire.Register(func() wire.Message { return &ForwardRequest{} })
+	wire.Register(func() wire.Message { return &Inform{} })
+	wire.Register(func() wire.Message { return &Fetch{} })
+	wire.Register(func() wire.Message { return &FetchReply{} })
+	wire.Register(func() wire.Message { return &Checkpoint{} })
 }

@@ -240,7 +240,8 @@ func TestCheckpointQuorum(t *testing.T) {
 // fakeNet is a transport that swallows everything (for runtime unit tests).
 type fakeNet struct{}
 
-func (fakeNet) Node() types.NodeID             { return types.ReplicaNode(0) }
-func (fakeNet) Send(to types.NodeID, msg any)  {}
-func (fakeNet) Inbox() <-chan network.Envelope { return nil }
-func (fakeNet) Close() error                   { return nil }
+func (fakeNet) Node() types.NodeID                    { return types.ReplicaNode(0) }
+func (fakeNet) Send(to types.NodeID, msg any)         {}
+func (fakeNet) Broadcast(tos []types.NodeID, msg any) {}
+func (fakeNet) Inbox() <-chan network.Envelope        { return nil }
+func (fakeNet) Close() error                          { return nil }

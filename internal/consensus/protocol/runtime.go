@@ -81,6 +81,11 @@ type Runtime struct {
 	// past the recovered prefix instead of restarting at 1.
 	RecoveredSeq types.SeqNum
 
+	// peers is the fixed broadcast destination list (every replica but this
+	// one), built once so the hot path hands the transport a ready-made
+	// fan-out for its marshal-once Broadcast.
+	peers []types.NodeID
+
 	verifyWorkers int
 }
 
@@ -145,6 +150,11 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		lastReply:  make(map[types.ClientID]*Inform),
 		durPending: make(map[types.SeqNum][]func()),
 		cpVotes:    make(map[types.SeqNum]map[types.ReplicaID]types.Digest),
+	}
+	for i := 0; i < cfg.N; i++ {
+		if types.ReplicaID(i) != cfg.ID {
+			rt.peers = append(rt.peers, types.ReplicaNode(types.ReplicaID(i)))
+		}
 	}
 	rt.verifyWorkers = opts.VerifyWorkers
 	// The pipeline objects exist from construction so handlers may register
@@ -258,9 +268,11 @@ func (rt *Runtime) dropPendingReplies(toSeq types.SeqNum) {
 	rt.durMu.Unlock()
 }
 
-// Broadcast sends msg to every replica except this one.
+// Broadcast sends msg to every replica except this one, through the
+// transport's marshal-once fan-out: over TCP the message is encoded exactly
+// once and the same bytes are written to every peer.
 func (rt *Runtime) Broadcast(msg any) {
-	network.Broadcast(rt.Net, rt.Cfg.N, msg, true)
+	rt.Net.Broadcast(rt.peers, msg)
 }
 
 // SendReplica sends msg to one replica.
@@ -421,28 +433,39 @@ func (rt *Runtime) VerifyBatch(b *types.Batch) bool {
 func (rt *Runtime) VerifyCommonInbound(env *network.Envelope) (keep, handled bool) {
 	switch m := env.Msg.(type) {
 	case *ClientRequest:
-		cp := &ClientRequest{Req: types.CloneRequest(m.Req)}
+		// Wire-decoded (Owned) envelopes are exclusively ours; in-process
+		// deliveries are cloned before digest memoization (see types.Request).
+		cp := m
+		if !env.Owned {
+			cp = &ClientRequest{Req: types.CloneRequest(m.Req)}
+			env.Msg = cp
+		}
 		if !env.From.IsClient() || cp.Req.Txn.Client != env.From.Client() {
 			return false, true
 		}
 		if !rt.VerifyClientRequest(&cp.Req) {
 			return false, true
 		}
-		env.Msg = cp
 		return true, true
 	case *ForwardRequest:
-		cp := &ForwardRequest{Req: types.CloneRequest(m.Req)}
+		cp := m
+		if !env.Owned {
+			cp = &ForwardRequest{Req: types.CloneRequest(m.Req)}
+			env.Msg = cp
+		}
 		if !rt.VerifyClientRequest(&cp.Req) {
 			return false, true
 		}
-		env.Msg = cp
 		return true, true
 	case *FetchReply:
-		cp := &FetchReply{From: m.From, Records: types.CloneRecords(m.Records)}
+		cp := m
+		if !env.Owned {
+			cp = &FetchReply{From: m.From, Records: types.CloneRecords(m.Records)}
+			env.Msg = cp
+		}
 		for i := range cp.Records {
 			cp.Records[i].Batch.MemoizeDigests()
 		}
-		env.Msg = cp
 		return true, true
 	case *Checkpoint:
 		// Signatures are verified by OnCheckpoint (rare path), which skips

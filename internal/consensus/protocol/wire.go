@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+// Hand-written wire codecs for the shared runtime messages. Every message
+// the replicas or clients exchange implements wire.Message; registration in
+// init replaces the old gob registration, and the TCP transport refuses
+// anything unregistered.
+
+// WireID implements wire.Message.
+func (m *ClientRequest) WireID() uint16 { return wire.IDClientRequest }
+
+// MarshalTo implements wire.Message.
+func (m *ClientRequest) MarshalTo(buf []byte) []byte { return m.Req.AppendWire(buf) }
+
+// Unmarshal implements wire.Message.
+func (m *ClientRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.Req.ReadWire(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *ForwardRequest) WireID() uint16 { return wire.IDForwardRequest }
+
+// MarshalTo implements wire.Message.
+func (m *ForwardRequest) MarshalTo(buf []byte) []byte { return m.Req.AppendWire(buf) }
+
+// Unmarshal implements wire.Message.
+func (m *ForwardRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.Req.ReadWire(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Inform) WireID() uint16 { return wire.IDInform }
+
+// MarshalTo implements wire.Message.
+func (m *Inform) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = types.AppendDigest(buf, m.Digest)
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = wire.AppendU64(buf, m.ClientSeq)
+	buf = wire.AppendBytesSlice(buf, m.Values)
+	buf = wire.AppendBytes(buf, m.Tag)
+	buf = wire.AppendBool(buf, m.Speculative)
+	buf = types.AppendDigest(buf, m.OrderProof)
+	buf = crypto.AppendShare(buf, m.Share)
+	return wire.AppendBytes(buf, m.Cert)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Inform) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Digest = types.ReadDigest(r)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.ClientSeq = r.U64()
+	m.Values = r.BytesSlice()
+	m.Tag = r.Bytes()
+	m.Speculative = r.Bool()
+	m.OrderProof = types.ReadDigest(r)
+	m.Share = crypto.ReadShare(r)
+	m.Cert = r.Bytes()
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Fetch) WireID() uint16 { return wire.IDFetch }
+
+// MarshalTo implements wire.Message.
+func (m *Fetch) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.After))
+	return wire.AppendI64(buf, int64(m.Max))
+}
+
+// Unmarshal implements wire.Message.
+func (m *Fetch) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.After = types.SeqNum(r.U64())
+	m.Max = int(r.I64())
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *FetchReply) WireID() uint16 { return wire.IDFetchReply }
+
+// MarshalTo implements wire.Message.
+func (m *FetchReply) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	return types.AppendRecords(buf, m.Records)
+}
+
+// Unmarshal implements wire.Message.
+func (m *FetchReply) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Records = types.ReadRecords(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *Checkpoint) WireID() uint16 { return wire.IDCheckpoint }
+
+// MarshalTo implements wire.Message.
+func (m *Checkpoint) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = types.AppendDigest(buf, m.State)
+	buf = types.AppendDigest(buf, m.Ledger)
+	return wire.AppendBytes(buf, m.Sig)
+}
+
+// Unmarshal implements wire.Message.
+func (m *Checkpoint) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Seq = types.SeqNum(r.U64())
+	m.State = types.ReadDigest(r)
+	m.Ledger = types.ReadDigest(r)
+	m.Sig = r.Bytes()
+	return r.Close()
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // PrePrepare is the primary's proposal.
@@ -144,15 +145,15 @@ func u64(v uint64) []byte {
 }
 
 func init() {
-	network.Register(&PrePrepare{})
-	network.Register(&SignShare{})
-	network.Register(&Prepare2{})
-	network.Register(&Share2{})
-	network.Register(&FullCommitProof{})
-	network.Register(&SignState{})
-	network.Register(&ExecuteAck{})
-	network.Register(&VCRequest{})
-	network.Register(&NVPropose{})
+	wire.Register(func() wire.Message { return &PrePrepare{} })
+	wire.Register(func() wire.Message { return &SignShare{} })
+	wire.Register(func() wire.Message { return &Prepare2{} })
+	wire.Register(func() wire.Message { return &Share2{} })
+	wire.Register(func() wire.Message { return &FullCommitProof{} })
+	wire.Register(func() wire.Message { return &SignState{} })
+	wire.Register(func() wire.Message { return &ExecuteAck{} })
+	wire.Register(func() wire.Message { return &VCRequest{} })
+	wire.Register(func() wire.Message { return &NVPropose{} })
 }
 
 // Collector returns the collector replica of view v (the primary, per the

@@ -32,13 +32,17 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 		if !env.From.IsReplica() || env.From.Replica() == rt.Cfg.ID {
 			return false
 		}
-		cp := *m
-		cp.Batch = m.Batch.Clone()
-		env.Msg = &cp
-		if !rt.VerifyBroadcast(env.From.Replica(), cp.SignedPayload(), cp.Auth) {
+		p := m
+		if !env.Owned {
+			cp := *m
+			cp.Batch = m.Batch.Clone()
+			env.Msg = &cp
+			p = &cp
+		}
+		if !rt.VerifyBroadcast(env.From.Replica(), p.SignedPayload(), p.Auth) {
 			return false
 		}
-		return rt.VerifyBatch(&cp.Batch)
+		return rt.VerifyBatch(&p.Batch)
 	case *SignShare:
 		if !env.From.IsReplica() || m.Share.Signer != env.From.Replica() || m.Share.Signer == rt.Cfg.ID {
 			return false
@@ -61,13 +65,19 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 	case *FullCommitProof:
 		return rt.TS.Verify(m.Digest[:], m.Cert)
 	case *VCRequest:
-		env.Msg = cloneVCRequest(m)
+		env.Msg = ownVCRequest(m, env.Owned)
 		return true
 	case *NVPropose:
+		if env.Owned {
+			for i := range m.Requests {
+				ownVCRequest(&m.Requests[i], true)
+			}
+			return true
+		}
 		cp := *m
 		cp.Requests = make([]VCRequest, len(m.Requests))
 		for i := range m.Requests {
-			cp.Requests[i] = *cloneVCRequest(&m.Requests[i])
+			cp.Requests[i] = *ownVCRequest(&m.Requests[i], false)
 		}
 		env.Msg = &cp
 		return true
@@ -75,14 +85,18 @@ func (r *Replica) verifyInbound(env *network.Envelope) bool {
 	return true
 }
 
-// cloneVCRequest gives the replica its own copy of the execution records so
-// digest memoization stays local; signatures and certificates are validated
-// by the view-change path on the event loop (rare, off the normal case).
-func cloneVCRequest(m *VCRequest) *VCRequest {
-	cp := *m
-	cp.Executed = types.CloneRecords(m.Executed)
-	for i := range cp.Executed {
-		cp.Executed[i].Batch.MemoizeDigests()
+// ownVCRequest gives the replica its own copy of the execution records so
+// digest memoization stays local — wire-decoded (owned) requests memoize in
+// place. Signatures and certificates are validated by the view-change path
+// on the event loop (rare, off the normal case).
+func ownVCRequest(m *VCRequest, owned bool) *VCRequest {
+	if !owned {
+		cp := *m
+		cp.Executed = types.CloneRecords(m.Executed)
+		m = &cp
 	}
-	return &cp
+	for i := range m.Executed {
+		m.Executed[i].Batch.MemoizeDigests()
+	}
+	return m
 }

@@ -146,9 +146,7 @@ func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Re
 			// responses, enter the commit phase; otherwise broadcast the
 			// request so replicas forward it and arm failure detection.
 			if !c.tryCommitPhase(txn.Seq) {
-				for i := 0; i < c.cfg.N; i++ {
-					c.net.Send(types.ReplicaNode(types.ReplicaID(i)), &protocol.ClientRequest{Req: req})
-				}
+				network.Broadcast(c.net, c.cfg.N, &protocol.ClientRequest{Req: req}, false)
 			}
 			timer.Reset(c.cfg.RetryTimeout)
 		}
@@ -179,9 +177,7 @@ func (c *Client) tryCommitPhase(clientSeq uint64) bool {
 			History:   key.History,
 			Shares:    shares,
 		}
-		for i := 0; i < c.cfg.N; i++ {
-			c.net.Send(types.ReplicaNode(types.ReplicaID(i)), cr)
-		}
+		network.Broadcast(c.net, c.cfg.N, cr, false)
 		return true
 	}
 	return false

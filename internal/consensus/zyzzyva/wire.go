@@ -1,0 +1,134 @@
+package zyzzyva
+
+import (
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+// Hand-written wire codecs for Zyzzyva's messages (ids in wire/ids.go).
+
+// WireID implements wire.Message.
+func (m *OrderReq) WireID() uint16 { return wire.IDZyzOrderReq }
+
+// MarshalTo implements wire.Message.
+func (m *OrderReq) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = types.AppendDigest(buf, m.History)
+	buf = m.Batch.AppendWire(buf)
+	return wire.AppendBytesSlice(buf, m.Auth)
+}
+
+// Unmarshal implements wire.Message.
+func (m *OrderReq) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.History = types.ReadDigest(r)
+	m.Batch.ReadWire(r)
+	m.Auth = r.BytesSlice()
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *CommitReq) WireID() uint16 { return wire.IDZyzCommitReq }
+
+// MarshalTo implements wire.Message.
+func (m *CommitReq) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.Client))
+	buf = wire.AppendU64(buf, m.ClientSeq)
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = types.AppendDigest(buf, m.History)
+	return crypto.AppendShares(buf, m.Shares)
+}
+
+// Unmarshal implements wire.Message.
+func (m *CommitReq) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.Client = types.ClientID(r.I32())
+	m.ClientSeq = r.U64()
+	m.Seq = types.SeqNum(r.U64())
+	m.History = types.ReadDigest(r)
+	m.Shares = crypto.ReadShares(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *LocalCommit) WireID() uint16 { return wire.IDZyzLocalCommit }
+
+// MarshalTo implements wire.Message.
+func (m *LocalCommit) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, m.ClientSeq)
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	return wire.AppendBytes(buf, m.Tag)
+}
+
+// Unmarshal implements wire.Message.
+func (m *LocalCommit) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.ClientSeq = r.U64()
+	m.Seq = types.SeqNum(r.U64())
+	m.Tag = r.Bytes()
+	return r.Close()
+}
+
+func appendVCRequest(buf []byte, m *VCRequest) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.StableSeq))
+	buf = types.AppendRecords(buf, m.Executed)
+	return wire.AppendBytes(buf, m.Sig)
+}
+
+func readVCRequest(r *wire.Reader, m *VCRequest) {
+	m.From = types.ReplicaID(r.I32())
+	m.View = types.View(r.U64())
+	m.StableSeq = types.SeqNum(r.U64())
+	m.Executed = types.ReadRecords(r)
+	m.Sig = r.Bytes()
+}
+
+// WireID implements wire.Message.
+func (m *VCRequest) WireID() uint16 { return wire.IDZyzVCRequest }
+
+// MarshalTo implements wire.Message.
+func (m *VCRequest) MarshalTo(buf []byte) []byte { return appendVCRequest(buf, m) }
+
+// Unmarshal implements wire.Message.
+func (m *VCRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	readVCRequest(r, m)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *NVPropose) WireID() uint16 { return wire.IDZyzNVPropose }
+
+// MarshalTo implements wire.Message.
+func (m *NVPropose) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(m.NewView))
+	buf = wire.AppendU32(buf, uint32(len(m.Requests)))
+	for i := range m.Requests {
+		buf = appendVCRequest(buf, &m.Requests[i])
+	}
+	return buf
+}
+
+// Unmarshal implements wire.Message.
+func (m *NVPropose) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.NewView = types.View(r.U64())
+	n := r.Count(24)
+	if n > 0 {
+		m.Requests = make([]VCRequest, n)
+		for i := range m.Requests {
+			readVCRequest(r, &m.Requests[i])
+		}
+	} else {
+		m.Requests = nil
+	}
+	return r.Close()
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // ledgerBlock aliases ledger.Block; Zyzzyva's history digests are ledger
@@ -115,11 +116,11 @@ func u64(v uint64) []byte {
 }
 
 func init() {
-	network.Register(&OrderReq{})
-	network.Register(&CommitReq{})
-	network.Register(&LocalCommit{})
-	network.Register(&VCRequest{})
-	network.Register(&NVPropose{})
+	wire.Register(func() wire.Message { return &OrderReq{} })
+	wire.Register(func() wire.Message { return &CommitReq{} })
+	wire.Register(func() wire.Message { return &LocalCommit{} })
+	wire.Register(func() wire.Message { return &VCRequest{} })
+	wire.Register(func() wire.Message { return &NVPropose{} })
 }
 
 type status int

@@ -1,0 +1,44 @@
+package crypto
+
+import (
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+// Wire codec helpers for the crypto values embedded in protocol messages.
+
+// AppendShare appends a threshold share: signer, then share bytes.
+func AppendShare(buf []byte, s Share) []byte {
+	buf = wire.AppendI32(buf, int32(s.Signer))
+	return wire.AppendBytes(buf, s.Data)
+}
+
+// ReadShare decodes one threshold share.
+func ReadShare(r *wire.Reader) Share {
+	return Share{Signer: types.ReplicaID(r.I32()), Data: r.Bytes()}
+}
+
+// AppendShares appends a count-prefixed slice of shares.
+func AppendShares(buf []byte, shares []Share) []byte {
+	buf = wire.AppendU32(buf, uint32(len(shares)))
+	for _, s := range shares {
+		buf = AppendShare(buf, s)
+	}
+	return buf
+}
+
+// ReadShares decodes a count-prefixed slice of shares.
+func ReadShares(r *wire.Reader) []Share {
+	n := r.Count(8) // i32 signer + u32 length prefix
+	if n == 0 {
+		return nil
+	}
+	out := make([]Share, n)
+	for i := range out {
+		out[i] = ReadShare(r)
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return out
+}

@@ -142,11 +142,7 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	base := network.NewChanNet(
-		network.WithSeed(opts.Seed),
-		network.WithSendCost(opts.SendCost),
-		network.WithDelay(opts.NetDelay, 0),
-	)
+	base := network.NewChanNet(opts.netOptions()...)
 	defer base.Close()
 	fn := network.NewFaultNet(base, network.WithFaultSeed(opts.Seed))
 	defer fn.Close()

@@ -79,11 +79,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	net := network.NewChanNet(
-		network.WithSeed(opts.Seed),
-		network.WithSendCost(opts.SendCost),
-		network.WithDelay(opts.NetDelay, 0),
-	)
+	net := network.NewChanNet(opts.netOptions()...)
 	defer net.Close()
 	ring := crypto.NewKeyRing(opts.N, []byte(fmt.Sprintf("harness-%d", opts.Seed)))
 

@@ -107,6 +107,14 @@ type Options struct {
 	// that penalizes quadratic protocols). Negative disables it.
 	SendCost time.Duration
 
+	// WireCost replaces the flat SendCost with the size-calibrated model
+	// (network.WithWireCost, DESIGN.md §3): each logical message is encoded
+	// once through the real wire codec — so a broadcast pays serialization
+	// once, like TCPNet's marshal-once fan-out — and each destination is
+	// charged a per-write busy-wait scaled by the true encoded size. The
+	// flat default is kept for comparability with the PR 1–4 baselines.
+	WireCost bool
+
 	// NetDelay adds a one-way link delay to every message, turning the
 	// in-process network into a WAN-ish one. The out-of-order experiments
 	// (Fig 9k/l, window ablation) need it: with microsecond links the
@@ -279,17 +287,38 @@ type submitter interface {
 	Start(ctx context.Context)
 }
 
+// Calibration of the size-based send-cost model (Options.WireCost): one
+// write(2) on a loopback stream costs a few microseconds regardless of
+// size, plus a per-KB copy cost. The constants are chosen so a typical
+// 50-request PROPOSE frame (~7 KB) costs about what the flat model charged
+// per message (≈10 µs) while a 60-byte share message costs ~3 µs — the
+// size structure the flat model could not express.
+const (
+	wireWriteBase  = 3 * time.Microsecond
+	wireWritePerKB = time.Microsecond
+)
+
+// netOptions translates the harness cost/delay knobs into ChanNet options.
+func (o Options) netOptions() []network.ChanNetOption {
+	netOpts := []network.ChanNetOption{
+		network.WithSeed(o.Seed),
+		network.WithDelay(o.NetDelay, 0),
+	}
+	if o.WireCost {
+		netOpts = append(netOpts, network.WithWireCost(wireWriteBase, wireWritePerKB))
+	} else {
+		netOpts = append(netOpts, network.WithSendCost(o.SendCost))
+	}
+	return netOpts
+}
+
 // Run executes one experiment and reports its result.
 func Run(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	net := network.NewChanNet(
-		network.WithSeed(opts.Seed),
-		network.WithSendCost(opts.SendCost),
-		network.WithDelay(opts.NetDelay, 0),
-	)
+	net := network.NewChanNet(opts.netOptions()...)
 	defer net.Close()
 	// Scheduled faults route every send through the fault fabric; plain runs
 	// keep the bare ChanNet (no per-message fabric cost on benchmarks).

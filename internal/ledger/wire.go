@@ -1,0 +1,27 @@
+package ledger
+
+import (
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+// Wire codec for ledger blocks (embedded in checkpoint snapshots).
+
+// AppendWire appends the block's encoding: seq, digest, view, previous
+// hash, certificate.
+func (b *Block) AppendWire(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(b.Seq))
+	buf = types.AppendDigest(buf, b.Digest)
+	buf = wire.AppendU64(buf, uint64(b.View))
+	buf = types.AppendDigest(buf, b.PrevHash)
+	return wire.AppendBytes(buf, b.Proof)
+}
+
+// ReadWire decodes one block.
+func (b *Block) ReadWire(r *wire.Reader) {
+	b.Seq = types.SeqNum(r.U64())
+	b.Digest = types.ReadDigest(r)
+	b.View = types.View(r.U64())
+	b.PrevHash = types.ReadDigest(r)
+	b.Proof = r.Bytes()
+}

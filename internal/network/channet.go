@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // ChanNet is an in-process network: every joined node owns a buffered inbox
@@ -20,21 +21,24 @@ import (
 //
 // ChanNet is safe for concurrent use.
 type ChanNet struct {
-	mu        sync.RWMutex
-	inboxes   map[types.NodeID]chan Envelope
-	crashed   map[types.NodeID]bool
-	cut       map[linkKey]bool
-	delay     time.Duration
-	jitter    time.Duration
-	sendCost  time.Duration
-	dropProb  float64
-	rng       *rand.Rand
-	rngMu     sync.Mutex
-	buf       int
-	closed    bool
-	sent      atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64
+	mu         sync.RWMutex
+	inboxes    map[types.NodeID]chan Envelope
+	crashed    map[types.NodeID]bool
+	cut        map[linkKey]bool
+	delay      time.Duration
+	jitter     time.Duration
+	sendCost   time.Duration
+	wireCost   bool
+	writeBase  time.Duration
+	writePerKB time.Duration
+	dropProb   float64
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+	buf        int
+	closed     bool
+	sent       atomic.Int64
+	delivered  atomic.Int64
+	dropped    atomic.Int64
 }
 
 type linkKey struct{ from, to types.NodeID }
@@ -67,6 +71,21 @@ func WithSeed(seed int64) ChanNetOption {
 // restores that cost structure.
 func WithSendCost(d time.Duration) ChanNetOption {
 	return func(c *ChanNet) { c.sendCost = d }
+}
+
+// WithWireCost replaces the flat per-message charge with a model calibrated
+// from real encoded sizes (DESIGN.md §3): each logical message is wire-
+// encoded once through the actual codec (wire.EncodedSize — the sender pays
+// the true serialization CPU, once per broadcast, exactly like TCPNet's
+// marshal-once fan-out), and each destination is then charged
+// writeBase + writePerKB × size busy-wait, standing for the write(2) syscall
+// and kernel copy a real stream pays per peer. Messages that do not
+// implement wire.Message (test doubles) are charged writeBase alone.
+func WithWireCost(writeBase, writePerKB time.Duration) ChanNetOption {
+	return func(c *ChanNet) {
+		c.wireCost = true
+		c.writeBase, c.writePerKB = writeBase, writePerKB
+	}
 }
 
 // NewChanNet creates an empty in-process network.
@@ -168,15 +187,68 @@ func (c *ChanNet) randFloat() float64 {
 	return c.rng.Float64()
 }
 
+// busyWait burns d of the caller's CPU, modelling sender-side work the
+// in-process transport would otherwise skip.
+func busyWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// writeCost returns the modeled per-destination write cost of a message of
+// the given encoded size (wireCost mode).
+func (c *ChanNet) writeCost(size int) time.Duration {
+	d := c.writeBase
+	if size > 0 && c.writePerKB > 0 {
+		d += time.Duration(int64(c.writePerKB) * int64(size) / 1024)
+	}
+	return d
+}
+
+// payEncode charges the one-per-broadcast serialization cost and returns
+// the encoded size. In wireCost mode the charge is the real marshal itself.
+func (c *ChanNet) payEncode(msg any) int {
+	if !c.wireCost {
+		return 0
+	}
+	return wire.EncodedSize(msg)
+}
+
 func (c *ChanNet) send(from, to types.NodeID, msg any) {
-	c.sent.Add(1)
-	if c.sendCost > 0 {
+	if c.wireCost {
+		busyWait(c.writeCost(c.payEncode(msg)))
+	} else {
 		// Busy-wait on the sender's goroutine: outgoing messages consume
 		// the sender's CPU the way marshalling + write(2) would.
-		deadline := time.Now().Add(c.sendCost)
-		for time.Now().Before(deadline) {
-		}
+		busyWait(c.sendCost)
 	}
+	c.dispatch(from, to, msg)
+}
+
+// broadcast is the marshal-once fan-out: the serialization cost is paid
+// once, the per-destination write cost once per peer.
+func (c *ChanNet) broadcast(from types.NodeID, tos []types.NodeID, msg any) {
+	if c.wireCost {
+		size := c.payEncode(msg)
+		for _, to := range tos {
+			busyWait(c.writeCost(size))
+			c.dispatch(from, to, msg)
+		}
+		return
+	}
+	for _, to := range tos {
+		busyWait(c.sendCost)
+		c.dispatch(from, to, msg)
+	}
+}
+
+// dispatch runs the fault/routing pipeline for one message (cost already
+// paid by the caller).
+func (c *ChanNet) dispatch(from, to types.NodeID, msg any) {
+	c.sent.Add(1)
 	c.mu.RLock()
 	if c.closed || c.crashed[from] || c.crashed[to] || c.cut[linkKey{from, to}] {
 		c.mu.RUnlock()
@@ -251,6 +323,8 @@ type chanTransport struct {
 func (t *chanTransport) Node() types.NodeID { return t.node }
 
 func (t *chanTransport) Send(to types.NodeID, msg any) { t.net.send(t.node, to, msg) }
+
+func (t *chanTransport) Broadcast(tos []types.NodeID, msg any) { t.net.broadcast(t.node, tos, msg) }
 
 func (t *chanTransport) Inbox() <-chan Envelope { return t.inbox }
 

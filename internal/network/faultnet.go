@@ -406,35 +406,47 @@ func (f *FaultNet) emit(ev TraceEvent) {
 	}
 }
 
-// send runs the fault pipeline for one message. The decision order per link
-// is fixed — mutate, crash, cut, drop, delay, duplicate, reorder — so the
-// consumed randomness (and therefore the whole trace) is a function of the
-// rule schedule and the per-link send sequence alone.
-func (f *FaultNet) send(tr Transport, from, to types.NodeID, msg any) {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return
-	}
+// delivery is one post-decision transport action: what decideLocked chose
+// to actually put on the inner transport once the lock is released.
+type delivery struct {
+	tr    Transport
+	to    types.NodeID
+	msg   any
+	delay time.Duration
+	// orig marks a delivery whose message the fabric left untouched — the
+	// caller's own msg, not a mutation or duplicate. Broadcast batches orig
+	// deliveries of one fan-out into shared inner Broadcasts (immediate
+	// ones together, delayed ones grouped by delay), preserving the
+	// marshal-once path through the fabric even under WAN emulation.
+	orig bool
+}
+
+// decideLocked runs the fault pipeline for one message and appends the
+// resulting deliveries (main, then duplicate, then reorder-release — the
+// order the pre-refactor code delivered in) to ds. The decision order per
+// link is fixed — mutate, crash, cut, drop, delay, duplicate, reorder — so
+// the consumed randomness (and therefore the whole trace) is a function of
+// the rule schedule and the per-link send sequence alone. Caller holds f.mu.
+func (f *FaultNet) decideLocked(ds []delivery, tr Transport, from, to types.NodeID, msg any) []delivery {
 	f.stats.Sent++
+	orig := true
 
 	if mut, ok := f.mutators[from]; ok {
 		m2, keep := mut(to, msg)
 		if !keep {
 			f.emit(TraceEvent{From: from, To: to, Verdict: VerdictSilence})
-			f.mu.Unlock()
-			return
+			return ds
 		}
 		if !sameMsg(m2, msg) {
 			f.emit(TraceEvent{From: from, To: to, Verdict: VerdictMutate})
 			msg = m2
+			orig = false
 		}
 	}
 
 	if f.crashed[from] || f.crashed[to] {
 		f.emit(TraceEvent{From: from, To: to, Verdict: VerdictCrash})
-		f.mu.Unlock()
-		return
+		return ds
 	}
 
 	if cs, ok := f.cut[linkKey{from, to}]; ok {
@@ -446,8 +458,7 @@ func (f *FaultNet) send(tr Transport, from, to types.NodeID, msg any) {
 			f.stats.Dropped++
 			f.emit(TraceEvent{From: from, To: to, Verdict: VerdictCut})
 		}
-		f.mu.Unlock()
-		return
+		return ds
 	}
 
 	ls := f.link(from, to)
@@ -462,12 +473,20 @@ func (f *FaultNet) send(tr Transport, from, to types.NodeID, msg any) {
 	// the link, whatever happens to that message.
 	released := ls.held
 	ls.held = nil
+	releaseDelivery := func() []delivery {
+		if released == nil {
+			return ds
+		}
+		f.stats.Delivered++
+		f.stats.Reordered++
+		f.emit(TraceEvent{From: from, To: to, Index: released.idx, Verdict: VerdictRelease, Delay: released.delay})
+		return append(ds, delivery{tr: released.tr, to: released.to, msg: released.msg, delay: released.delay})
+	}
 
 	if lf.Drop > 0 && ls.rng.Float64() < lf.Drop {
 		f.stats.Dropped++
 		f.emit(TraceEvent{From: from, To: to, Index: idx, Verdict: VerdictDrop})
-		f.finishSend(from, to, released)
-		return
+		return releaseDelivery()
 	}
 
 	delay := lf.Delay
@@ -483,48 +502,103 @@ func (f *FaultNet) send(tr Transport, from, to types.NodeID, msg any) {
 	if lf.Reorder > 0 && released == nil && ls.rng.Float64() < lf.Reorder {
 		ls.held = &heldMsg{to: to, msg: msg, tr: tr, delay: delay, idx: idx}
 		f.emit(TraceEvent{From: from, To: to, Index: idx, Verdict: VerdictHold, Delay: delay})
-		f.mu.Unlock()
-		return
+		return ds
 	}
 
 	f.stats.Delivered++
 	f.emit(TraceEvent{From: from, To: to, Index: idx, Verdict: VerdictDeliver, Delay: delay})
+	ds = append(ds, delivery{tr: tr, to: to, msg: msg, delay: delay, orig: orig})
 	if dup {
 		f.stats.Duplicated++
 		f.emit(TraceEvent{From: from, To: to, Index: idx, Verdict: VerdictDuplicate, Delay: delay})
+		ds = append(ds, delivery{tr: tr, to: to, msg: msg, delay: delay})
 	}
-	f.finishSendLocked(from, to, released)
-	f.mu.Unlock()
+	return releaseDelivery()
+}
 
-	f.deliver(tr, to, msg, delay)
-	if dup {
-		f.deliver(tr, to, msg, delay)
+// send runs the fault pipeline for one message and dispatches the outcome.
+func (f *FaultNet) send(tr Transport, from, to types.NodeID, msg any) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
 	}
-	// The reorder swap: the held (earlier) message goes out after its
-	// successor.
-	if released != nil {
-		f.deliver(released.tr, released.to, released.msg, released.delay)
+	ds := f.decideLocked(make([]delivery, 0, 3), tr, from, to, msg)
+	f.mu.Unlock()
+	for _, d := range ds {
+		f.deliver(d.tr, d.to, d.msg, d.delay)
 	}
 }
 
-// finishSend releases a reorder-held message and unlocks. Caller holds f.mu.
-func (f *FaultNet) finishSend(from, to types.NodeID, released *heldMsg) {
-	f.finishSendLocked(from, to, released)
+// sendMany runs the fault pipeline for one message to many destinations.
+// Destinations whose message the fabric leaves unmutated forward as shared
+// inner Broadcasts — the undelayed ones in one immediate fan-out, delayed
+// ones grouped per delay value — so a serializing inner transport still
+// marshals once per broadcast even under -fault-delay WAN emulation.
+// Mutated messages, duplicates, and reorder releases dispatch singly.
+func (f *FaultNet) sendMany(tr Transport, from types.NodeID, tos []types.NodeID, msg any) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	ds := make([]delivery, 0, len(tos)+3)
+	for _, to := range tos {
+		ds = f.decideLocked(ds, tr, from, to, msg)
+	}
 	f.mu.Unlock()
-	if released != nil {
-		f.deliver(released.tr, released.to, released.msg, released.delay)
+
+	var batch []types.NodeID
+	var delayed map[time.Duration][]types.NodeID
+	for _, d := range ds {
+		switch {
+		case d.orig && d.delay <= 0:
+			batch = append(batch, d.to)
+		case d.orig:
+			if delayed == nil {
+				delayed = make(map[time.Duration][]types.NodeID)
+			}
+			delayed[d.delay] = append(delayed[d.delay], d.to)
+		}
+	}
+	if len(batch) > 0 {
+		tr.Broadcast(batch, msg)
+	}
+	for delay, group := range delayed {
+		f.deliverMany(tr, group, msg, delay)
+	}
+	for _, d := range ds {
+		if !d.orig {
+			f.deliver(d.tr, d.to, d.msg, d.delay)
+		}
 	}
 }
 
-// finishSendLocked emits the trace for a released message; the actual
-// delivery happens after unlock. Caller holds f.mu and must deliver
-// `released` itself after unlocking if it uses this variant.
-func (f *FaultNet) finishSendLocked(from, to types.NodeID, released *heldMsg) {
-	if released != nil {
-		f.stats.Delivered++
-		f.stats.Reordered++
-		f.emit(TraceEvent{From: from, To: to, Index: released.idx, Verdict: VerdictRelease, Delay: released.delay})
+// deliverMany hands a group of same-delay destinations to the inner
+// transport as one broadcast, now or after the delay — the fan-out analogue
+// of deliver, with the same at-fire-time liveness re-check per destination.
+func (f *FaultNet) deliverMany(tr Transport, tos []types.NodeID, msg any, delay time.Duration) {
+	if delay <= 0 {
+		tr.Broadcast(tos, msg)
+		return
 	}
+	time.AfterFunc(delay, func() {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		live := make([]types.NodeID, 0, len(tos))
+		for _, to := range tos {
+			if !f.crashed[to] {
+				live = append(live, to)
+			}
+		}
+		f.mu.Unlock()
+		if len(live) > 0 {
+			tr.Broadcast(live, msg)
+		}
+	})
 }
 
 // deliver hands the message to the inner transport, now or after a delay.
@@ -553,6 +627,10 @@ func (t *faultTransport) Node() types.NodeID { return t.inner.Node() }
 
 func (t *faultTransport) Send(to types.NodeID, msg any) {
 	t.net.send(t.inner, t.inner.Node(), to, msg)
+}
+
+func (t *faultTransport) Broadcast(tos []types.NodeID, msg any) {
+	t.net.sendMany(t.inner, t.inner.Node(), tos, msg)
 }
 
 func (t *faultTransport) Inbox() <-chan Envelope { return t.inner.Inbox() }

@@ -5,9 +5,23 @@ import (
 	"time"
 
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
+// ping is the test message; it carries a wire codec so it can cross TCPNet.
 type ping struct{ N int }
+
+func (p *ping) WireID() uint16 { return 65000 } // test-only id, far from ids.go
+
+func (p *ping) MarshalTo(buf []byte) []byte { return wire.AppendI64(buf, int64(p.N)) }
+
+func (p *ping) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	p.N = int(r.I64())
+	return r.Close()
+}
+
+func init() { wire.Register(func() wire.Message { return &ping{} }) }
 
 func TestChanNetDelivery(t *testing.T) {
 	net := NewChanNet()
@@ -107,7 +121,6 @@ func TestChanNetDrops(t *testing.T) {
 }
 
 func TestTCPNetRoundTrip(t *testing.T) {
-	Register(&ping{})
 	// Bootstrap two nodes on ephemeral ports: bind node 0 first, then node
 	// 1 with knowledge of 0's address, then reconstruct 0's peer table.
 	n0 := types.ReplicaNode(0)

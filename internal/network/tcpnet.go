@@ -2,19 +2,34 @@ package network
 
 import (
 	"bufio"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // TCPNet is a transport backed by real TCP connections, used by the cmd/
 // binaries to run a cluster across processes or machines. Each node listens
 // on one address; outgoing connections are dialed lazily and kept open.
-// Messages are gob-encoded wireEnvelopes; concrete message types must be
-// registered with Register.
+//
+// Messages travel as frames of the hand-written zero-reflection codec:
+//
+//	[u32 body length][i32 sender][u16 type id][body]
+//
+// (internal/wire; concrete message types must be wire.Register-ed). The
+// framing is stateless — unlike the gob streams it replaced, no per-stream
+// type dictionary exists, so any frame decodes on any connection (a
+// reconnecting client's first reply is as decodable as its hundredth) and a
+// broadcast marshals ONCE and writes the identical bytes to every peer
+// (Broadcast below; Encodes counts the marshals so tests can assert the
+// fan-out really is marshal-once). The destination is not in the frame: TCP
+// links are point-to-point, the receiver is the destination.
 type TCPNet struct {
 	node     types.NodeID
 	peers    map[types.NodeID]string
@@ -36,20 +51,28 @@ type TCPNet struct {
 	closedMu sync.Mutex
 	closed   bool
 	wg       sync.WaitGroup
+
+	encodes     atomic.Int64
+	unencodable atomic.Int64
+
+	// warned tracks message types already logged as unencodable, so a
+	// missing codec is loud exactly once per type instead of per message.
+	warnedMu sync.Mutex
+	warned   map[string]bool
 }
 
+// tcpPeer is one outgoing (or learned reply) stream. It carries no encoder
+// state — frames are self-contained — so the same encoded frame can be
+// written to any number of peers.
 type tcpPeer struct {
 	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
-	enc  *gob.Encoder
 }
 
-type wireEnvelope struct {
-	From types.NodeID
-	To   types.NodeID
-	Msg  any
-}
+// maxFrameSize bounds one decoded frame; a declared length beyond it is
+// treated as a corrupt or hostile stream and the connection is dropped.
+const maxFrameSize = 64 << 20
 
 // NewTCPNet starts a TCP transport for node, listening on peers[node] and
 // dialing the other entries on demand.
@@ -70,6 +93,7 @@ func NewTCPNet(node types.NodeID, peers map[types.NodeID]string) (*TCPNet, error
 		learned:  make(map[types.NodeID]*tcpPeer),
 		inbound:  make(map[net.Conn]struct{}),
 		inbox:    make(chan Envelope, 65536),
+		warned:   make(map[string]bool),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -84,6 +108,35 @@ func (t *TCPNet) Node() types.NodeID { return t.node }
 
 // Inbox implements Transport.
 func (t *TCPNet) Inbox() <-chan Envelope { return t.inbox }
+
+// Encodes returns the number of frame marshals this transport has performed
+// — the counter the marshal-once broadcast contract is asserted on.
+func (t *TCPNet) Encodes() int64 { return t.encodes.Load() }
+
+// Unencodable returns how many messages were dropped because their type
+// does not implement wire.Message (no codec, so nothing can go on the
+// wire). A nonzero value means some message type was never given a wire.go
+// implementation — a bug the in-process transports cannot surface, since
+// they pass pointers and need no codec.
+func (t *TCPNet) Unencodable() int64 { return t.unencodable.Load() }
+
+// noteUnencodable counts a dropped codec-less message and logs the type
+// once. The old gob path surfaced this class of bug as a per-type encode
+// error; silent dropping would make a missing codec a livelock with no
+// diagnostic.
+func (t *TCPNet) noteUnencodable(msg any) {
+	t.unencodable.Add(1)
+	name := fmt.Sprintf("%T", msg)
+	t.warnedMu.Lock()
+	seen := t.warned[name]
+	if !seen {
+		t.warned[name] = true
+	}
+	t.warnedMu.Unlock()
+	if !seen {
+		log.Printf("network: dropping %s: type does not implement wire.Message (missing wire codec)", name)
+	}
+}
 
 func (t *TCPNet) acceptLoop() {
 	defer t.wg.Done()
@@ -118,6 +171,25 @@ func (t *TCPNet) trackConn(conn net.Conn) bool {
 	return true
 }
 
+// readFrame reads one length-delimited frame body from br. The returned
+// buffer is freshly allocated per frame: the decoded message aliases it and
+// owns it (Envelope.Owned).
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length > maxFrameSize {
+		return nil, fmt.Errorf("network: frame declares %d bytes", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
 func (t *TCPNet) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	var routeFrom types.NodeID
@@ -137,19 +209,27 @@ func (t *TCPNet) readLoop(conn net.Conn) {
 			t.learnedMu.Unlock()
 		}
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
 	for {
-		var we wireEnvelope
-		if err := dec.Decode(&we); err != nil {
+		body, err := readFrame(br)
+		if err != nil {
 			return
 		}
+		from32, msg, err := wire.DecodeFrame(body)
+		if err != nil {
+			// A frame that does not decode poisons nothing after it — the
+			// framing is self-delimiting — but an undecodable peer is a
+			// version mismatch or an attack; drop the message and move on.
+			continue
+		}
+		from := types.NodeID(from32)
 		t.closedMu.Lock()
 		closed := t.closed
 		t.closedMu.Unlock()
 		if closed {
 			return
 		}
-		if _, known := t.peers[we.From]; !known && we.From != t.node {
+		if _, known := t.peers[from]; !known && from != t.node {
 			// A sender with no static address (a client) is reached back
 			// over its own connection. The From field is unauthenticated, so
 			// a spoofed connection can steal the route; re-asserting it on
@@ -158,16 +238,15 @@ func (t *TCPNet) readLoop(conn net.Conn) {
 			// spoofing a liveness nuisance, never a safety issue. One route
 			// per connection: the first unknown sender on this conn owns it.
 			if routePeer == nil {
-				bw := bufio.NewWriterSize(conn, 64*1024)
-				routeFrom = we.From
-				routePeer = &tcpPeer{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+				routeFrom = from
+				routePeer = &tcpPeer{conn: conn, bw: bufio.NewWriterSize(conn, 64*1024)}
 			}
-			if we.From == routeFrom {
+			if from == routeFrom {
 				t.relearnRoute(routeFrom, routePeer)
 			}
 		}
 		select {
-		case t.inbox <- Envelope(we):
+		case t.inbox <- Envelope{From: from, To: t.node, Msg: msg, Owned: true}:
 		default:
 			// Shed load rather than stall the connection; protocols
 			// retransmit.
@@ -219,47 +298,107 @@ func (t *TCPNet) peerConn(to types.NodeID) (*tcpPeer, error) {
 	}
 	go t.readLoop(conn)
 	p.conn = conn
-	// Gob emits several small writes per message (type sections, length
-	// prefixes, payload); buffering coalesces them so each Send costs one
-	// write(2) instead of several, and Flush keeps latency bounded.
+	// One frame is one buffered write; Flush per message keeps latency
+	// bounded while the buffer coalesces a frame's header and body into a
+	// single write(2).
 	p.bw = bufio.NewWriterSize(conn, 64*1024)
-	p.enc = gob.NewEncoder(p.bw)
 	return p, nil
 }
 
-// Send implements Transport. Failures (unreachable peer, encoding error)
-// drop the message; protocols tolerate loss.
+// writeFrame writes one pre-encoded frame to the peer, resetting the
+// connection on failure so the next Send re-dials (or, for a learned route,
+// waits for the peer to reconnect).
+func (t *TCPNet) writeFrame(to types.NodeID, p *tcpPeer, frame []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bw == nil {
+		return
+	}
+	_, err := p.bw.Write(frame)
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	if err != nil {
+		p.conn.Close()
+		p.conn, p.bw = nil, nil
+		t.learnedMu.Lock()
+		if t.learned[to] == p {
+			delete(t.learned, to)
+		}
+		t.learnedMu.Unlock()
+	}
+}
+
+// loopback delivers a self-addressed message without serialization.
+func (t *TCPNet) loopback(msg any) {
+	select {
+	case t.inbox <- Envelope{From: t.node, To: t.node, Msg: msg}:
+	default:
+	}
+}
+
+// encodeFrame marshals one frame into a pooled buffer. Callers must PutBuf.
+func (t *TCPNet) encodeFrame(m wire.Message) []byte {
+	t.encodes.Add(1)
+	return wire.AppendFrame(wire.GetBuf(), int32(t.node), m)
+}
+
+// Send implements Transport. Failures (unreachable peer, encoding error,
+// unregistered message type) drop the message; protocols tolerate loss.
 func (t *TCPNet) Send(to types.NodeID, msg any) {
 	if to == t.node {
-		select {
-		case t.inbox <- Envelope{From: t.node, To: to, Msg: msg}:
-		default:
-		}
+		t.loopback(msg)
+		return
+	}
+	m, ok := msg.(wire.Message)
+	if !ok {
+		t.noteUnencodable(msg)
 		return
 	}
 	p, err := t.route(to)
 	if err != nil {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.enc == nil {
+	frame := t.encodeFrame(m)
+	t.writeFrame(to, p, frame)
+	wire.PutBuf(frame)
+}
+
+// Broadcast implements Transport: the message is marshaled exactly once and
+// the same frame bytes are written to every resolvable peer. A self
+// destination short-circuits through the loopback without serialization.
+func (t *TCPNet) Broadcast(tos []types.NodeID, msg any) {
+	m, ok := msg.(wire.Message)
+	if !ok {
+		sent := false
+		for _, to := range tos {
+			if to == t.node {
+				t.loopback(msg)
+				sent = true
+			}
+		}
+		if !sent {
+			t.noteUnencodable(msg)
+		}
 		return
 	}
-	err = p.enc.Encode(wireEnvelope{From: t.node, To: to, Msg: msg})
-	if err == nil {
-		err = p.bw.Flush()
-	}
-	if err != nil {
-		// Reset the connection so the next Send re-dials (or, for a learned
-		// route, waits for the peer to reconnect).
-		p.conn.Close()
-		p.conn, p.bw, p.enc = nil, nil, nil
-		t.learnedMu.Lock()
-		if t.learned[to] == p {
-			delete(t.learned, to)
+	var frame []byte
+	for _, to := range tos {
+		if to == t.node {
+			t.loopback(msg)
+			continue
 		}
-		t.learnedMu.Unlock()
+		p, err := t.route(to)
+		if err != nil {
+			continue
+		}
+		if frame == nil {
+			frame = t.encodeFrame(m)
+		}
+		t.writeFrame(to, p, frame)
+	}
+	if frame != nil {
+		wire.PutBuf(frame)
 	}
 }
 

@@ -5,9 +5,12 @@
 //   - ChanNet, the in-process channel network used by tests, benchmarks,
 //     and the harness: direct channel writes, an optional per-message
 //     send cost (restoring the serialization/syscall cost broadcasts pay
-//     in a real deployment — DESIGN.md §3), and basic built-in faults.
-//   - TCPNet, the gob-over-TCP transport the cmd/ binaries use to spread a
-//     cluster across processes and machines.
+//     in a real deployment — DESIGN.md §3; WithWireCost calibrates it from
+//     real wire-codec encoded sizes), and basic built-in faults.
+//   - TCPNet, the wire-codec-over-TCP transport the cmd/ binaries use to
+//     spread a cluster across processes and machines. Messages travel as
+//     length-delimited frames of the hand-written zero-reflection codec
+//     (internal/wire); concrete message types must be wire.Register-ed.
 //   - FaultNet, the composable chaos fabric (DESIGN.md §6): it wraps any
 //     Net (or, via Wrap, any bare Transport, including TCPNet) and applies
 //     deterministic seeded fault rules on the sender side — per-link
@@ -29,8 +32,6 @@
 package network
 
 import (
-	"encoding/gob"
-
 	"github.com/poexec/poe/internal/types"
 )
 
@@ -39,6 +40,12 @@ type Envelope struct {
 	From types.NodeID
 	To   types.NodeID
 	Msg  any
+	// Owned marks a message the receiver owns exclusively — one freshly
+	// decoded from wire bytes (TCPNet), never a pointer shared with the
+	// sender or other replicas. The authentication pipeline skips its
+	// defensive ingress clone for owned envelopes: digest memoization on
+	// them can race nobody.
+	Owned bool
 }
 
 // Transport is one node's connection to the network.
@@ -49,6 +56,11 @@ type Transport interface {
 	// indefinitely; delivery is best-effort (messages may be dropped or
 	// delayed by fault injection or by the wire).
 	Send(to types.NodeID, msg any)
+	// Broadcast delivers msg to every node in tos, encoding the message at
+	// most once: a transport that serializes (TCPNet) marshals one frame
+	// and writes the same bytes to every peer. Delivery semantics per
+	// destination are identical to Send. The transport does not retain tos.
+	Broadcast(tos []types.NodeID, msg any)
 	// Inbox is the stream of messages addressed to this node. It is closed
 	// when the transport is closed.
 	Inbox() <-chan Envelope
@@ -57,18 +69,17 @@ type Transport interface {
 }
 
 // Broadcast sends msg to the replicas [0, n) via t, excluding self if
-// skipSelf is set. It mirrors the paper's "broadcast to all replicas".
+// skipSelf is set. It mirrors the paper's "broadcast to all replicas",
+// funneling into the transport's marshal-once Broadcast path.
 func Broadcast(t Transport, n int, msg any, skipSelf bool) {
 	self := t.Node()
+	tos := make([]types.NodeID, 0, n)
 	for i := 0; i < n; i++ {
 		to := types.ReplicaNode(types.ReplicaID(i))
 		if skipSelf && to == self {
 			continue
 		}
-		t.Send(to, msg)
+		tos = append(tos, to)
 	}
+	t.Broadcast(tos, msg)
 }
-
-// Register makes a message type encodable on the TCP transport. In-process
-// transports pass values directly and do not need registration.
-func Register(v any) { gob.Register(v) }

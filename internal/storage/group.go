@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // Group commit: the write-side batching that lets a durable replica keep its
@@ -125,33 +126,31 @@ func (s *Store) commitLoop() {
 	}
 }
 
-// writeGroup frames the batch into one buffer, appends it with a single
-// write (and at most one fsync), and advances the log index.
+// writeGroup frames the batch into one pooled buffer, appends it with a
+// single write (and at most one fsync), and advances the log index. The
+// frames are built off the store lock — the committer is the only encoder —
+// so queueing executors never wait behind serialization, and the pooled
+// buffer means a steady-state group commit allocates only its offset
+// bookkeeping, never a fresh encode buffer per record (the allocation
+// benchmark in group_test.go pins this down).
 func (s *Store) writeGroup(batch []queuedRec) error {
-	payloads := make([][]byte, len(batch))
-	total := 0
+	buf := wire.GetBuf()
+	defer func() { wire.PutBuf(buf) }()
+	offs := make([]int64, len(batch))
 	for i, q := range batch {
-		p, err := encodeRecord(q.rec)
-		if err != nil {
-			return err
-		}
-		payloads[i] = p
-		total += walHeaderSize + len(p)
+		offs[i] = int64(len(buf))
+		buf = appendFramedRecord(buf, q.rec)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("storage: group append on closed store")
 	}
-	buf := make([]byte, 0, total)
 	next := s.next
-	index := make([]walEntry, 0, len(batch))
-	for i, q := range batch {
+	for _, q := range batch {
 		if q.rec.Seq != next {
 			return fmt.Errorf("storage: group append out of order: want seq %d, got %d", next, q.rec.Seq)
 		}
-		index = append(index, walEntry{seq: q.rec.Seq, off: s.walSize + int64(len(buf))})
-		buf = frameRecord(buf, payloads[i])
 		next++
 	}
 	if _, err := s.wal.Write(buf); err != nil {
@@ -162,7 +161,9 @@ func (s *Store) writeGroup(batch []queuedRec) error {
 			return fmt.Errorf("storage: group sync: %w", err)
 		}
 	}
-	s.index = append(s.index, index...)
+	for i, q := range batch {
+		s.index = append(s.index, walEntry{seq: q.rec.Seq, off: s.walSize + offs[i]})
+	}
 	s.walSize += int64(len(buf))
 	s.next = next
 	s.groups.Add(1)

@@ -1,0 +1,42 @@
+package storage
+
+// Version-0 recovery fallback. Before the wire codec (internal/wire), WAL
+// record payloads and snapshots were gob-encoded. The append path never
+// writes that format anymore — this file is the only remaining gob use in
+// the durability subsystem, and it runs exclusively during Open, so a
+// replica that carries a pre-codec data directory across the upgrade still
+// recovers its full durable prefix. The first post-upgrade snapshot rotation
+// then retires the old generations naturally.
+//
+// Format discrimination: wire payloads open with the formatWire byte (0x01).
+// A gob stream opens with a type-definition message, and gob frames every
+// message with its byte length in gob's unsigned encoding — a single literal
+// byte for lengths below 128, a 0x80+ count marker above. A type definition
+// for these structs is always tens of bytes long, so a version-0 payload's
+// first byte is ≥ 2 and can never collide with formatWire.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// decodeRecordGob decodes a version-0 (gob) WAL record payload.
+func decodeRecordGob(payload []byte) (types.ExecRecord, error) {
+	var rec types.ExecRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return types.ExecRecord{}, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
+	}
+	return rec, nil
+}
+
+// decodeSnapshotGob decodes a version-0 (gob) snapshot payload.
+func decodeSnapshotGob(path string, payload []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: %s: snapshot decode: %v", ErrCorrupt, path, err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// writeGobWAL writes a version-0 (pre-codec) WAL file: gob payloads, no
+// format byte — exactly what an upgraded replica finds on disk.
+func writeGobWAL(t *testing.T, path string, recs []types.ExecRecord) {
+	t.Helper()
+	var buf []byte
+	for i := range recs {
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		buf = frameRecord(buf, payload.Bytes())
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeGobSnapshot writes a version-0 snapshot file.
+func writeGobSnapshot(t *testing.T, path string, snap *Snapshot) {
+	t.Helper()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [walHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload.Bytes(), crcTable))
+	if err := os.WriteFile(path, append(hdr[:], payload.Bytes()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func legacyRec(seq types.SeqNum) types.ExecRecord {
+	b := types.Batch{Requests: []types.Request{{Txn: types.Transaction{
+		Client: types.ClientIDBase, Seq: uint64(seq),
+		Ops: []types.Op{{Kind: types.OpWrite, Key: "k", Value: []byte{byte(seq)}}},
+	}, Sig: []byte{1, 2}}}}
+	return types.ExecRecord{Seq: seq, View: 0, Digest: b.Digest(), Proof: []byte("proof"), Batch: b}
+}
+
+// TestRecoverVersionZeroLog: a directory written entirely by the gob era —
+// gob snapshot plus gob WAL records above it — recovers through the
+// fallback; subsequent appends are wire-format and a reopened store reads
+// the mixed log.
+func TestRecoverVersionZeroLog(t *testing.T) {
+	dir := t.TempDir()
+
+	snap := &Snapshot{
+		Seq:     2,
+		Data:    map[string][]byte{"k": {2}},
+		LastCli: map[types.ClientID]uint64{types.ClientIDBase: 2},
+	}
+	writeGobSnapshot(t, filepath.Join(dir, snapName(2)), snap)
+	writeGobWAL(t, filepath.Join(dir, walName(2)), []types.ExecRecord{legacyRec(3), legacyRec(4)})
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Recovered()
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 2 {
+		t.Fatalf("snapshot not recovered: %+v", rec.Snapshot)
+	}
+	if string(rec.Snapshot.Data["k"]) != string([]byte{2}) {
+		t.Fatal("snapshot data lost")
+	}
+	if len(rec.Records) != 2 || rec.Records[0].Seq != 3 || rec.Records[1].Seq != 4 {
+		t.Fatalf("wal records not recovered: %+v", rec.Records)
+	}
+	if rec.LastSeq != 4 {
+		t.Fatalf("last seq %d", rec.LastSeq)
+	}
+	// Continue the log in the new format: the same file now holds gob
+	// records followed by wire records.
+	r5 := legacyRec(5)
+	if err := s.Append(&r5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec2 := s2.Recovered()
+	if len(rec2.Records) != 3 || rec2.Records[2].Seq != 5 {
+		t.Fatalf("mixed-format log did not recover: %+v", rec2.Records)
+	}
+	if rec2.Records[2].Batch.Digest() != r5.Batch.Digest() {
+		t.Fatal("wire-appended record corrupted")
+	}
+}
+
+// TestWireRecordRoundTripOnDisk pins the new on-disk format: records
+// written by the codec recover with identical digests and certificates.
+func TestWireRecordRoundTripOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]types.ExecRecord, 0, 5)
+	for seq := types.SeqNum(1); seq <= 5; seq++ {
+		r := legacyRec(seq)
+		want = append(want, r)
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Recovered().Records
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records", len(got))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Batch.Digest() != want[i].Batch.Digest() ||
+			string(got[i].Proof) != string(want[i].Proof) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestGroupCommitAllocs guards the pooled encode path: once the buffer pool
+// is warm, appending a record must not allocate a fresh encode buffer per
+// record. The bound is deliberately loose (map/index bookkeeping varies) —
+// the pre-pool baseline was one bytes.Buffer plus one gob encoder state per
+// record, far above it.
+func TestGroupCommitAllocs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	seq := types.SeqNum(0)
+	// Warm the pool and the file.
+	for i := 0; i < 8; i++ {
+		seq++
+		r := legacyRec(seq)
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		seq++
+		r := legacyRec(seq)
+		r.Batch.MemoizeDigests()
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// legacyRec itself allocates (batch, request, digest memo); the append
+	// path on top of it must stay within a handful of allocations — no
+	// per-record encode buffer.
+	if avg > 25 {
+		t.Fatalf("Append allocates %.1f objects per record; encode buffers are not pooled", avg)
+	}
+}
+
+// BenchmarkGroupCommitEncode measures the framed-append path the committer
+// runs per group: with pooled buffers and the in-place wire encoder it
+// reports zero allocations per record at steady state (the satellite guard
+// TestGroupCommitAllocs enforces the bound; this benchmark tracks it).
+func BenchmarkGroupCommitEncode(b *testing.B) {
+	rec := legacyRec(1)
+	rec.Batch.MemoizeDigests()
+	buf := appendFramedRecord(nil, &rec)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendFramedRecord(buf[:0], &rec)
+	}
+}

@@ -1,16 +1,16 @@
 package storage
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // Snapshot is the durable image of a replica's executed state at a stable
@@ -34,14 +34,75 @@ type Snapshot struct {
 	LastCli map[types.ClientID]uint64
 }
 
+// AppendWire appends the snapshot's wire encoding. Both maps are emitted in
+// sorted key order so the encoding is canonical (encode → decode → encode is
+// byte-identical); snapshots are written once per checkpoint, so the sort is
+// far off the hot path.
+func (s *Snapshot) AppendWire(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(s.Seq))
+	buf = s.Head.AppendWire(buf)
+
+	keys := make([]string, 0, len(s.Data))
+	for k := range s.Data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = wire.AppendU32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = wire.AppendString(buf, k)
+		buf = wire.AppendBytes(buf, s.Data[k])
+	}
+
+	clients := make([]types.ClientID, 0, len(s.LastCli))
+	for c := range s.LastCli {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf = wire.AppendU32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = wire.AppendI32(buf, int32(c))
+		buf = wire.AppendU64(buf, s.LastCli[c])
+	}
+	return buf
+}
+
+// ReadWire decodes one snapshot.
+func (s *Snapshot) ReadWire(r *wire.Reader) {
+	s.Seq = types.SeqNum(r.U64())
+	s.Head.ReadWire(r)
+	n := r.Count(8) // two u32 length prefixes per entry
+	s.Data = make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		v := r.Bytes()
+		if r.Err() != nil {
+			return
+		}
+		s.Data[k] = v
+	}
+	m := r.Count(12) // i32 client + u64 seq
+	s.LastCli = make(map[types.ClientID]uint64, m)
+	for i := 0; i < m; i++ {
+		c := types.ClientID(r.I32())
+		v := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		s.LastCli[c] = v
+	}
+}
+
 // writeSnapshotFile writes the snapshot to path atomically, framed with the
 // same length+CRC header as WAL records so corruption is detectable at load.
+// The payload is the format byte plus the wire encoding; the encode buffer
+// is pooled.
 func writeSnapshotFile(path string, snap *Snapshot) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return fmt.Errorf("storage: encode snapshot seq %d: %w", snap.Seq, err)
-	}
-	payload := buf.Bytes()
+	wire.CountMarshal()
+	buf := wire.GetBuf()
+	defer func() { wire.PutBuf(buf) }()
+	buf = append(buf, formatWire)
+	buf = snap.AppendWire(buf)
+	payload := buf
 	return writeFileAtomic(path, func(w io.Writer) error {
 		var hdr [walHeaderSize]byte
 		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -54,7 +115,9 @@ func writeSnapshotFile(path string, snap *Snapshot) error {
 	})
 }
 
-// readSnapshotFile loads and validates a snapshot file.
+// readSnapshotFile loads and validates a snapshot file. Wire-format
+// snapshots (format byte 0x01) decode through the zero-reflection codec;
+// anything else is a version-0 gob snapshot and takes the recovery fallback.
 func readSnapshotFile(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -72,9 +135,14 @@ func readSnapshotFile(path string) (*Snapshot, error) {
 	if crc32.Checksum(payload, crcTable) != crc {
 		return nil, fmt.Errorf("%w: %s: snapshot CRC mismatch", ErrCorrupt, path)
 	}
-	var snap Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("%w: %s: snapshot decode: %v", ErrCorrupt, path, err)
+	if len(payload) > 0 && payload[0] == formatWire {
+		var snap Snapshot
+		r := wire.NewReader(payload[1:])
+		snap.ReadWire(r)
+		if err := r.Close(); err != nil {
+			return nil, fmt.Errorf("%w: %s: snapshot decode: %v", ErrCorrupt, path, err)
+		}
+		return &snap, nil
 	}
-	return &snap, nil
+	return decodeSnapshotGob(path, payload)
 }

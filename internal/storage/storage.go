@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // Options tune a Store.
@@ -257,16 +258,19 @@ func (s *Store) Append(rec *types.ExecRecord) error {
 	if rec.Seq != s.next {
 		return fmt.Errorf("storage: append out of order: want seq %d, got %d", s.next, rec.Seq)
 	}
-	payload, err := encodeRecord(rec)
-	if err != nil {
-		return err
+	frame := appendFramedRecord(wire.GetBuf(), rec)
+	_, err := s.wal.Write(frame)
+	if err == nil && s.opts.Sync {
+		err = s.wal.Sync()
 	}
-	if err := appendFramed(s.wal, payload, s.opts.Sync); err != nil {
+	if err != nil {
+		wire.PutBuf(frame)
 		return fmt.Errorf("storage: append seq %d: %w", rec.Seq, err)
 	}
 	s.index = append(s.index, walEntry{seq: rec.Seq, off: s.walSize})
-	s.walSize += int64(walHeaderSize) + int64(len(payload))
+	s.walSize += int64(len(frame))
 	s.next = rec.Seq + 1
+	wire.PutBuf(frame)
 	return nil
 }
 
@@ -346,6 +350,9 @@ func (s *Store) WriteSnapshot(snap *Snapshot, tail []types.ExecRecord) error {
 	var index []walEntry
 	var size int64
 	err := writeFileAtomic(newPath, func(w io.Writer) error {
+		// Frame the whole tail into one pooled buffer and issue one write.
+		buf := wire.GetBuf()
+		defer func() { wire.PutBuf(buf) }()
 		next := snap.Seq + 1
 		for i := range tail {
 			rec := &tail[i]
@@ -355,18 +362,13 @@ func (s *Store) WriteSnapshot(snap *Snapshot, tail []types.ExecRecord) error {
 			if rec.Seq != next {
 				return fmt.Errorf("storage: snapshot tail out of order: want seq %d, got %d", next, rec.Seq)
 			}
-			payload, err := encodeRecord(rec)
-			if err != nil {
-				return err
-			}
-			if _, err := w.Write(frameRecord(nil, payload)); err != nil {
-				return err
-			}
-			index = append(index, walEntry{seq: rec.Seq, off: size})
-			size += int64(walHeaderSize) + int64(len(payload))
+			index = append(index, walEntry{seq: rec.Seq, off: int64(len(buf))})
+			buf = appendFramedRecord(buf, rec)
 			next++
 		}
-		return nil
+		size = int64(len(buf))
+		_, err := w.Write(buf)
+		return err
 	})
 	if err != nil {
 		return err

@@ -1,9 +1,7 @@
 package storage
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -11,14 +9,21 @@ import (
 	"os"
 
 	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
 )
 
 // WAL record framing: every record is
 //
 //	[4-byte big-endian payload length][4-byte CRC-32C of payload][payload]
 //
-// where the payload is one gob-encoded types.ExecRecord. The framing gives
-// the log two properties crash recovery depends on:
+// where the payload is one format byte followed by the record body:
+// formatWire (0x01) marks the hand-written wire codec of types.ExecRecord
+// (types/wire.go) — the only format the append path writes. Payloads whose
+// first byte is anything else are the version-0 gob encoding from before the
+// codec existed and are decoded by the recovery fallback (legacy.go); the
+// discrimination is sound because a gob stream opens with a type-definition
+// message whose leading length byte is never 0x01 (see legacy.go). The
+// framing gives the log two properties crash recovery depends on:
 //
 //   - A torn final record — the tail the process was writing when it died,
 //     cut at an arbitrary byte — is recognized (the remaining bytes are
@@ -29,6 +34,10 @@ import (
 //     the CRC and is reported as ErrCorrupt; the replica must not silently
 //     replay damaged history.
 const walHeaderSize = 8
+
+// formatWire is the payload format byte of wire-codec records and
+// snapshots. Version-0 (gob) payloads carry no format byte.
+const formatWire = 0x01
 
 // maxRecordSize bounds a single WAL record. A declared length beyond it is
 // treated as corruption rather than as an enormous torn tail.
@@ -49,21 +58,35 @@ func frameRecord(buf []byte, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// encodeRecord gob-encodes one execution record.
-func encodeRecord(rec *types.ExecRecord) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
-		return nil, fmt.Errorf("storage: encode record seq %d: %w", rec.Seq, err)
-	}
-	return buf.Bytes(), nil
+// appendFramedRecord appends one complete frame — header, format byte, wire
+// body — to buf in place: the header is reserved up front and patched once
+// the payload length and CRC are known, so framing a record performs no
+// intermediate allocation. This is the only encoder on the append path
+// (group commit pools buf, so steady-state appends allocate nothing).
+func appendFramedRecord(buf []byte, rec *types.ExecRecord) []byte {
+	wire.CountMarshal()
+	hdrAt := len(buf)
+	buf = append(buf, make([]byte, walHeaderSize)...)
+	buf = append(buf, formatWire)
+	buf = rec.AppendWire(buf)
+	payload := buf[hdrAt+walHeaderSize:]
+	binary.BigEndian.PutUint32(buf[hdrAt:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[hdrAt+4:], crc32.Checksum(payload, crcTable))
+	return buf
 }
 
+// decodeRecord decodes one framed payload, dispatching on the format byte:
+// wire-codec records decode through the zero-reflection path; anything else
+// falls back to the version-0 gob decoder kept for pre-codec logs.
 func decodeRecord(payload []byte) (types.ExecRecord, error) {
-	var rec types.ExecRecord
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-		return types.ExecRecord{}, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
+	if len(payload) > 0 && payload[0] == formatWire {
+		var rec types.ExecRecord
+		if err := rec.Unmarshal(payload[1:]); err != nil {
+			return types.ExecRecord{}, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
+		}
+		return rec, nil
 	}
-	return rec, nil
+	return decodeRecordGob(payload)
 }
 
 // walEntry is the file offset one record's frame starts at, kept so
@@ -118,18 +141,6 @@ func readWAL(path string) (recs []walRec, good int64, err error) {
 		recs = append(recs, walRec{rec: rec, off: off})
 		off += int64(walHeaderSize) + int64(length)
 	}
-}
-
-// appendFramed writes one framed payload to the file and optionally syncs.
-func appendFramed(f *os.File, payload []byte, sync bool) error {
-	frame := frameRecord(make([]byte, 0, walHeaderSize+len(payload)), payload)
-	if _, err := f.Write(frame); err != nil {
-		return err
-	}
-	if sync {
-		return f.Sync()
-	}
-	return nil
 }
 
 // writeFileAtomic writes data to path via a temp file + rename so readers

@@ -11,6 +11,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+
+	"github.com/poexec/poe/internal/wire"
 )
 
 // ReplicaID identifies a replica. IDs are dense: 0 ≤ id < n.
@@ -119,25 +121,16 @@ type Transaction struct {
 	TimeNanos int64 // client send time; carried through for latency accounting
 }
 
-// Digest returns a collision-resistant identifier of the transaction.
+// Digest returns a collision-resistant identifier of the transaction: the
+// SHA-256 of its canonical wire encoding (types/wire.go). Hashing the
+// encoding — rather than walking the fields a second time with bespoke
+// framing — is what lets a Request feed the same bytes to its digest, its
+// PROPOSE marshal, and its WAL record.
 func (t *Transaction) Digest() Digest {
-	h := sha256.New()
-	var buf [8]byte
-	binary.BigEndian.PutUint32(buf[:4], uint32(t.Client))
-	h.Write(buf[:4])
-	binary.BigEndian.PutUint64(buf[:], t.Seq)
-	h.Write(buf[:])
-	for _, op := range t.Ops {
-		h.Write([]byte{byte(op.Kind)})
-		binary.BigEndian.PutUint64(buf[:], uint64(len(op.Key)))
-		h.Write(buf[:])
-		h.Write([]byte(op.Key))
-		binary.BigEndian.PutUint64(buf[:], uint64(len(op.Value)))
-		h.Write(buf[:])
-		h.Write(op.Value)
-	}
-	var d Digest
-	h.Sum(d[:0])
+	buf := wire.GetBuf()
+	buf = t.AppendWire(buf)
+	d := digestOf(buf)
+	wire.PutBuf(buf)
 	return d
 }
 
@@ -145,11 +138,11 @@ func (t *Transaction) Digest() Digest {
 // signature over its digest. Signatures assure that malicious primaries
 // cannot forge transactions (§II-B).
 //
-// Request memoizes its digest in unexported fields (ignored by gob; carried
-// by value copies). Memoization mutates the struct, so a Request received
-// from an in-process transport — whose pointer may be shared with the sender
-// and with other replicas — must be cloned (Batch.Clone, CloneRequest)
-// before its digest is first taken. The authentication pipeline does this at
+// Request memoizes its digest and canonical encoding in unexported fields
+// (never serialized; carried by value copies). Memoization mutates the
+// struct, so a Request received from an in-process transport — whose pointer
+// may be shared with the sender and with other replicas — must be cloned
+// (Batch.Clone, CloneRequest) before its digest is first taken. The authentication pipeline does this at
 // ingress; after that, a replica's event loop owns its copies exclusively.
 type Request struct {
 	Txn Transaction
@@ -157,13 +150,20 @@ type Request struct {
 
 	digest    Digest
 	hasDigest bool
+	// txnEnc memoizes the transaction's canonical wire encoding (shared by
+	// value copies, immutable once set): the single serialization pass the
+	// digest, the proposal marshal, and the WAL record all reuse.
+	txnEnc []byte
 }
 
 // Digest returns the digest of the wrapped transaction, computing it on
-// first use and memoizing it.
+// first use and memoizing it. The computation memoizes the transaction's
+// wire encoding as a side effect, so a later marshal of this request is a
+// plain copy.
 func (r *Request) Digest() Digest {
 	if !r.hasDigest {
-		r.digest = r.Txn.Digest()
+		r.ensureEnc()
+		r.digest = digestOf(r.txnEnc)
 		r.hasDigest = true
 	}
 	return r.digest

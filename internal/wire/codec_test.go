@@ -1,0 +1,221 @@
+package wire_test
+
+// Cross-package codec conformance: every registered message type must
+// survive encode → decode → encode byte-identically (the canonical-form
+// contract the digest-from-encoding optimization relies on), including
+// zero values and oversized edge cases, and the decoder must never panic on
+// arbitrary bytes (FuzzWireDecode).
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/poexec/poe/internal/consensus/hotstuff"
+	"github.com/poexec/poe/internal/consensus/pbft"
+	"github.com/poexec/poe/internal/consensus/poe"
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/consensus/sbft"
+	"github.com/poexec/poe/internal/consensus/zyzzyva"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/wire"
+)
+
+func sampleRequest(i int) types.Request {
+	return types.Request{
+		Txn: types.Transaction{
+			Client:    types.ClientIDBase + types.ClientID(i),
+			Seq:       uint64(i),
+			TimeNanos: int64(1000 * i),
+			Ops: []types.Op{
+				{Kind: types.OpWrite, Key: fmt.Sprintf("key-%d", i), Value: []byte("value")},
+				{Kind: types.OpRead, Key: "other"},
+				{Kind: types.OpNoop},
+			},
+		},
+		Sig: []byte{byte(i), 2, 3},
+	}
+}
+
+func sampleBatch(n int) types.Batch {
+	b := types.Batch{}
+	for i := 0; i < n; i++ {
+		b.Requests = append(b.Requests, sampleRequest(i))
+	}
+	return b
+}
+
+func sampleRecord(seq int) types.ExecRecord {
+	return types.ExecRecord{
+		Seq:    types.SeqNum(seq),
+		View:   2,
+		Digest: types.DigestBytes([]byte("batch")),
+		Proof:  []byte("certificate"),
+		Batch:  sampleBatch(2),
+	}
+}
+
+func share(i int) crypto.Share {
+	return crypto.Share{Signer: types.ReplicaID(i), Data: []byte{9, 9, byte(i)}}
+}
+
+// samples returns, per message type, a zero value and a populated value.
+// maxSize adds a deliberately large case for the batch-carrying types.
+func samples() []wire.Message {
+	big := sampleBatch(256)
+	big.Requests[0].Txn.Ops[0].Value = bytes.Repeat([]byte("x"), 1<<16)
+	auth := [][]byte{[]byte("sig-a"), nil, []byte("sig-b")}
+	return []wire.Message{
+		// shared
+		&protocol.ClientRequest{}, &protocol.ClientRequest{Req: sampleRequest(1)},
+		&protocol.ForwardRequest{}, &protocol.ForwardRequest{Req: sampleRequest(2)},
+		&protocol.Inform{}, &protocol.Inform{
+			From: 3, Digest: types.DigestBytes([]byte("d")), View: 1, Seq: 9,
+			ClientSeq: 4, Values: [][]byte{[]byte("v"), nil}, Tag: []byte("mac"),
+			Speculative: true, OrderProof: types.DigestBytes([]byte("h")),
+			Share: share(3), Cert: []byte("cert"),
+		},
+		&protocol.Fetch{}, &protocol.Fetch{From: 1, After: 7, Max: 64},
+		&protocol.FetchReply{}, &protocol.FetchReply{From: 2, Records: []types.ExecRecord{sampleRecord(1), sampleRecord(2)}},
+		&protocol.Checkpoint{}, &protocol.Checkpoint{From: 1, Seq: 100, State: types.DigestBytes([]byte("s")), Ledger: types.DigestBytes([]byte("l")), Sig: []byte("sig")},
+		&types.ExecRecord{}, func() wire.Message { r := sampleRecord(5); return &r }(),
+		// poe
+		&poe.Propose{}, &poe.Propose{View: 1, Seq: 2, Batch: sampleBatch(3), Auth: auth},
+		&poe.Propose{View: 1, Seq: 2, Batch: big, Auth: auth},
+		&poe.Support{}, &poe.Support{View: 1, Seq: 2, Share: share(1)},
+		&poe.Certify{}, &poe.Certify{View: 1, Seq: 2, Digest: types.DigestBytes([]byte("h")), Cert: []byte("c")},
+		&poe.VCRequest{}, &poe.VCRequest{From: 1, View: 2, StableSeq: 3, Executed: []types.ExecRecord{sampleRecord(4)}, Sig: []byte("s")},
+		&poe.NVPropose{}, &poe.NVPropose{NewView: 3, Requests: []poe.VCRequest{{From: 1, View: 2, Executed: []types.ExecRecord{sampleRecord(4)}}}},
+		// pbft
+		&pbft.PrePrepare{}, &pbft.PrePrepare{View: 1, Seq: 2, Batch: sampleBatch(3), Auth: auth},
+		&pbft.Prepare{}, &pbft.Prepare{View: 1, Seq: 2, Share: share(2)},
+		&pbft.Commit{}, &pbft.Commit{View: 1, Seq: 2, Share: share(3)},
+		&pbft.VCRequest{}, &pbft.VCRequest{From: 1, View: 2, StableSeq: 3, Prepared: []pbft.PreparedEntry{{Seq: 4, View: 2, Digest: types.DigestBytes([]byte("d")), Proof: []byte("p"), Batch: sampleBatch(1)}}, Sig: []byte("s")},
+		&pbft.NVPropose{}, &pbft.NVPropose{NewView: 3, Requests: []pbft.VCRequest{{From: 0, View: 2}}},
+		// sbft
+		&sbft.PrePrepare{}, &sbft.PrePrepare{View: 1, Seq: 2, Batch: sampleBatch(3), Auth: auth},
+		&sbft.SignShare{}, &sbft.SignShare{View: 1, Seq: 2, Share: share(1)},
+		&sbft.Prepare2{}, &sbft.Prepare2{View: 1, Seq: 2, Digest: types.DigestBytes([]byte("h")), Cert: []byte("c")},
+		&sbft.Share2{}, &sbft.Share2{View: 1, Seq: 2, Share: share(2)},
+		&sbft.FullCommitProof{}, &sbft.FullCommitProof{View: 1, Seq: 2, Digest: types.DigestBytes([]byte("h")), Cert: []byte("c")},
+		&sbft.SignState{}, &sbft.SignState{View: 1, Seq: 2, Share: share(3)},
+		&sbft.ExecuteAck{}, &sbft.ExecuteAck{View: 1, Seq: 2, Head: types.DigestBytes([]byte("h")), Cert: []byte("c")},
+		&sbft.VCRequest{}, &sbft.VCRequest{From: 1, View: 2, StableSeq: 3, Executed: []types.ExecRecord{sampleRecord(4)}, Sig: []byte("s")},
+		&sbft.NVPropose{}, &sbft.NVPropose{NewView: 3, Requests: []sbft.VCRequest{{From: 1}}},
+		// zyzzyva
+		&zyzzyva.OrderReq{}, &zyzzyva.OrderReq{View: 1, Seq: 2, History: types.DigestBytes([]byte("h")), Batch: sampleBatch(3), Auth: auth},
+		&zyzzyva.CommitReq{}, &zyzzyva.CommitReq{Client: types.ClientIDBase, ClientSeq: 7, Seq: 9, History: types.DigestBytes([]byte("h")), Shares: []crypto.Share{share(0), share(1), share(2)}},
+		&zyzzyva.LocalCommit{}, &zyzzyva.LocalCommit{From: 1, ClientSeq: 7, Seq: 9, Tag: []byte("t")},
+		&zyzzyva.VCRequest{}, &zyzzyva.VCRequest{From: 1, View: 2, StableSeq: 3, Executed: []types.ExecRecord{sampleRecord(4)}, Sig: []byte("s")},
+		&zyzzyva.NVPropose{}, &zyzzyva.NVPropose{NewView: 3, Requests: []zyzzyva.VCRequest{{From: 1}}},
+		// hotstuff
+		&hotstuff.Proposal{}, &hotstuff.Proposal{Node: hotstuff.Node{Round: 4, ParentHash: types.DigestBytes([]byte("p")), Batch: sampleBatch(2), Justify: hotstuff.QC{Round: 3, Node: types.DigestBytes([]byte("n")), Cert: []byte("c")}}, Auth: auth},
+		&hotstuff.Vote{}, &hotstuff.Vote{Round: 4, Node: types.DigestBytes([]byte("n")), Share: share(1)},
+		&hotstuff.NewView{}, &hotstuff.NewView{From: 2, Round: 5, High: hotstuff.QC{Round: 4, Node: types.DigestBytes([]byte("n")), Cert: []byte("c")}},
+		&hotstuff.FetchNodes{}, &hotstuff.FetchNodes{From: 1, Hash: types.DigestBytes([]byte("n")), Max: 32},
+		&hotstuff.NodeBundle{}, &hotstuff.NodeBundle{Nodes: []hotstuff.Node{{Round: 1, Batch: sampleBatch(1)}, {Round: 2}}},
+	}
+}
+
+// TestCanonicalRoundTrip: encode → decode (via the registry) → encode must
+// be byte-identical for every message type, zero and populated.
+func TestCanonicalRoundTrip(t *testing.T) {
+	seen := map[uint16]bool{}
+	for i, msg := range samples() {
+		enc1 := msg.MarshalTo(nil)
+		seen[msg.WireID()] = true
+		decoded, err := wire.Unmarshal(msg.WireID(), enc1)
+		if err != nil {
+			t.Fatalf("sample %d (%T): decode: %v", i, msg, err)
+		}
+		enc2 := decoded.MarshalTo(nil)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("sample %d (%T): re-encode differs (%d vs %d bytes)", i, msg, len(enc1), len(enc2))
+		}
+	}
+	// Every registered protocol id must have been exercised (test-local ids
+	// ≥ 65000 excluded).
+	for _, id := range wire.RegisteredIDs() {
+		if id >= 65000 {
+			continue
+		}
+		if !seen[id] {
+			t.Errorf("registered id %d has no round-trip sample", id)
+		}
+	}
+}
+
+// TestFrameRoundTripAllTypes runs each sample through the full transport
+// frame path.
+func TestFrameRoundTripAllTypes(t *testing.T) {
+	for i, msg := range samples() {
+		frame := wire.AppendFrame(nil, 42, msg)
+		from, decoded, err := wire.DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("sample %d (%T): %v", i, msg, err)
+		}
+		if from != 42 {
+			t.Fatalf("sample %d: from %d", i, from)
+		}
+		if decoded.WireID() != msg.WireID() {
+			t.Fatalf("sample %d: id %d != %d", i, decoded.WireID(), msg.WireID())
+		}
+	}
+}
+
+// TestDigestMatchesEncoding pins the digest-from-canonical-bytes contract:
+// a request's digest equals the SHA-256 of its transaction's wire encoding,
+// whether the request was built locally or decoded from the wire.
+func TestDigestMatchesEncoding(t *testing.T) {
+	req := sampleRequest(7)
+	enc := req.Txn.AppendWire(nil)
+	want := types.DigestBytes(enc)
+	if got := req.Digest(); got != want {
+		t.Fatalf("local digest %v != hash of encoding %v", got, want)
+	}
+	cr := &protocol.ClientRequest{Req: sampleRequest(7)}
+	body := wire.Marshal(cr)
+	decoded, err := wire.Unmarshal(cr.WireID(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decoded.(*protocol.ClientRequest).Req.Digest(); got != want {
+		t.Fatalf("decoded digest %v != %v", got, want)
+	}
+}
+
+// FuzzWireDecode: arbitrary bytes must never panic any decoder — not the
+// frame decoder, and not any registered message type's Unmarshal.
+func FuzzWireDecode(f *testing.F) {
+	for _, msg := range samples() {
+		f.Add(wire.AppendFrame(nil, 1, msg)[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	ids := wire.RegisteredIDs()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = wire.DecodeFrame(data)
+		for _, id := range ids {
+			m, _ := wire.New(id)
+			if m == nil {
+				continue
+			}
+			if err := m.Unmarshal(data); err != nil {
+				continue
+			}
+			// Whatever parsed must re-encode canonically: encode → decode →
+			// encode is byte-identical even for adversarial input that
+			// happens to decode.
+			enc := m.MarshalTo(nil)
+			m2, _ := wire.New(id)
+			if err := m2.Unmarshal(enc); err != nil {
+				t.Fatalf("id %d: re-decode of canonical encoding failed: %v", id, err)
+			}
+			if !bytes.Equal(enc, m2.MarshalTo(nil)) {
+				t.Fatalf("id %d: non-canonical re-encode", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package wire
+
+// Central wire-id assignment. Ids are part of the on-the-wire and on-disk
+// contract: they must never be reused, and new types take fresh numbers at
+// the end of their block. Each consensus package owns one block of 16 so a
+// frame's id alone names the protocol it belongs to.
+const (
+	// 1–15: shared runtime messages (internal/consensus/protocol) and
+	// storage payloads (internal/types, internal/storage).
+	IDClientRequest  uint16 = 1
+	IDForwardRequest uint16 = 2
+	IDInform         uint16 = 3
+	IDFetch          uint16 = 4
+	IDFetchReply     uint16 = 5
+	IDCheckpoint     uint16 = 6
+	IDExecRecord     uint16 = 7
+	IDSnapshot       uint16 = 8
+
+	// 16–31: PoE.
+	IDPoePropose   uint16 = 16
+	IDPoeSupport   uint16 = 17
+	IDPoeCertify   uint16 = 18
+	IDPoeVCRequest uint16 = 19
+	IDPoeNVPropose uint16 = 20
+
+	// 32–47: PBFT.
+	IDPbftPrePrepare uint16 = 32
+	IDPbftPrepare    uint16 = 33
+	IDPbftCommit     uint16 = 34
+	IDPbftVCRequest  uint16 = 35
+	IDPbftNVPropose  uint16 = 36
+
+	// 48–63: SBFT.
+	IDSbftPrePrepare      uint16 = 48
+	IDSbftSignShare       uint16 = 49
+	IDSbftPrepare2        uint16 = 50
+	IDSbftShare2          uint16 = 51
+	IDSbftFullCommitProof uint16 = 52
+	IDSbftSignState       uint16 = 53
+	IDSbftExecuteAck      uint16 = 54
+	IDSbftVCRequest       uint16 = 55
+	IDSbftNVPropose       uint16 = 56
+
+	// 64–79: Zyzzyva.
+	IDZyzOrderReq    uint16 = 64
+	IDZyzCommitReq   uint16 = 65
+	IDZyzLocalCommit uint16 = 66
+	IDZyzVCRequest   uint16 = 67
+	IDZyzNVPropose   uint16 = 68
+
+	// 80–95: HotStuff.
+	IDHsProposal   uint16 = 80
+	IDHsVote       uint16 = 81
+	IDHsNewView    uint16 = 82
+	IDHsFetchNodes uint16 = 83
+	IDHsNodeBundle uint16 = 84
+)

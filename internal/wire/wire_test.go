@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendU8(buf, 7)
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendU16(buf, 0xbeef)
+	buf = AppendU32(buf, 0xdeadbeef)
+	buf = AppendU64(buf, 1<<62)
+	buf = AppendI32(buf, -5)
+	buf = AppendI64(buf, -1)
+	buf = AppendBytes(buf, []byte("payload"))
+	buf = AppendBytes(buf, nil)
+	buf = AppendString(buf, "key")
+	buf = AppendBytesSlice(buf, [][]byte{[]byte("a"), nil, []byte("ccc")})
+
+	r := NewReader(buf)
+	if r.U8() != 7 || !r.Bool() || r.Bool() {
+		t.Fatal("u8/bool mismatch")
+	}
+	if r.U16() != 0xbeef || r.U32() != 0xdeadbeef || r.U64() != 1<<62 {
+		t.Fatal("uint mismatch")
+	}
+	if r.I32() != -5 || r.I64() != -1 {
+		t.Fatal("int mismatch")
+	}
+	if string(r.Bytes()) != "payload" || r.Bytes() != nil || r.String() != "key" {
+		t.Fatal("bytes/string mismatch")
+	}
+	bs := r.BytesSlice()
+	if len(bs) != 3 || string(bs[0]) != "a" || bs[1] != nil || string(bs[2]) != "ccc" {
+		t.Fatalf("bytes slice mismatch: %q", bs)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	buf := AppendU64(nil, 42)
+	for cut := 0; cut < len(buf); cut++ {
+		r := NewReader(buf[:cut])
+		r.U64()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("cut %d: err = %v", cut, r.Err())
+		}
+	}
+	// A declared byte-string length beyond the input is truncation, not an
+	// allocation.
+	r := NewReader(AppendU32(nil, 1<<31))
+	if r.Bytes() != nil || !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.U8()
+	if err := r.Close(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReaderNonCanonicalBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestCountBoundsAllocation(t *testing.T) {
+	// A count claiming 2^31 elements of ≥8 bytes each cannot fit in a
+	// 12-byte input; Count must reject it before any allocation happens.
+	buf := AppendU32(nil, 1<<31)
+	buf = append(buf, make([]byte, 8)...)
+	r := NewReader(buf)
+	if n := r.Count(8); n != 0 || !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("count %d err %v", n, r.Err())
+	}
+}
+
+func TestReaderSince(t *testing.T) {
+	buf := AppendU64(AppendU32(nil, 9), 7)
+	r := NewReader(buf)
+	start := r.Off()
+	r.U32()
+	if !bytes.Equal(r.Since(start), buf[:4]) {
+		t.Fatal("Since did not capture the consumed range")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	// ping-like local message registered under a test id.
+	frame := AppendFrame(nil, -3, testMsg{payload: []byte("hi")})
+	// Strip the u32 length word, as the transport does.
+	from, m, err := DecodeFrame(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != -3 {
+		t.Fatalf("from = %d", from)
+	}
+	got := m.(*testMsgPtr)
+	if string(got.payload) != "hi" {
+		t.Fatalf("payload %q", got.payload)
+	}
+}
+
+func TestDecodeFrameUnknownType(t *testing.T) {
+	body := AppendU16(AppendI32(nil, 1), 0x7fff)
+	if _, _, err := DecodeFrame(body); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatal("pooled buffer not empty")
+	}
+	b = append(b, 1, 2, 3)
+	PutBuf(b)
+	// Oversized buffers are dropped silently.
+	PutBuf(make([]byte, 0, maxPooledBuf+1))
+}
+
+// testMsg is a by-value message used by the frame test; it decodes into
+// *testMsgPtr through the registry.
+type testMsg struct{ payload []byte }
+
+func (m testMsg) WireID() uint16              { return 65100 }
+func (m testMsg) MarshalTo(buf []byte) []byte { return AppendBytes(buf, m.payload) }
+func (m testMsg) Unmarshal(data []byte) error { return nil }
+
+type testMsgPtr struct{ payload []byte }
+
+func (m *testMsgPtr) WireID() uint16              { return 65100 }
+func (m *testMsgPtr) MarshalTo(buf []byte) []byte { return AppendBytes(buf, m.payload) }
+func (m *testMsgPtr) Unmarshal(data []byte) error {
+	r := NewReader(data)
+	m.payload = r.Bytes()
+	return r.Close()
+}
+
+func init() { Register(func() Message { return &testMsgPtr{} }) }

@@ -54,6 +54,11 @@ type Config struct {
 	// instead of to the presumed primary. Rotating-leader protocols
 	// (HotStuff) need this: any replica may become the proposer.
 	BroadcastRequests bool
+	// MaxRetryInterval caps the retransmission backoff. Retries double the
+	// wait starting from Timeout — with ±25% jitter so a fleet of clients
+	// that timed out together does not re-broadcast in lockstep — up to
+	// this cap. Zero defaults to 8×Timeout.
+	MaxRetryInterval time.Duration
 }
 
 // Client is a protocol client. One Client may have many Submit calls in
@@ -100,6 +105,9 @@ func New(cfg Config, ring *crypto.KeyRing, net network.Transport) (*Client, erro
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 500 * time.Millisecond
+	}
+	if cfg.MaxRetryInterval == 0 {
+		cfg.MaxRetryInterval = 8 * cfg.Timeout
 	}
 	if cfg.Scheme != crypto.SchemeNone {
 		cfg.VerifyReplyMAC = true
@@ -179,9 +187,10 @@ func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Re
 	} else {
 		c.net.Send(c.primaryNode(), &protocol.ClientRequest{Req: req})
 	}
-	timer := time.NewTimer(c.cfg.Timeout)
+	backoff := c.cfg.Timeout
+	timer := time.NewTimer(c.retryWait(backoff, txn.Seq, 0))
 	defer timer.Stop()
-	for {
+	for attempt := 1; ; attempt++ {
 		select {
 		case <-ctx.Done():
 			return types.Result{}, ctx.Err()
@@ -191,11 +200,34 @@ func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Re
 			return res, nil
 		case <-timer.C:
 			// §II-B: on timeout, broadcast so replicas forward to the
-			// primary and arm their failure detectors.
+			// primary and arm their failure detectors. Backoff doubles up
+			// to MaxRetryInterval: during a view change (or while this
+			// client is partitioned) constant-rate re-broadcasts from the
+			// whole closed-loop fleet only add load to the recovery.
 			network.Broadcast(c.net, c.cfg.N, &protocol.ClientRequest{Req: req}, false)
-			timer.Reset(c.cfg.Timeout)
+			if backoff < c.cfg.MaxRetryInterval {
+				backoff *= 2
+				if backoff > c.cfg.MaxRetryInterval {
+					backoff = c.cfg.MaxRetryInterval
+				}
+			}
+			timer.Reset(c.retryWait(backoff, txn.Seq, attempt))
 		}
 	}
+}
+
+// retryWait jitters a backoff interval by ±25%. The jitter is derived from
+// the (client, txn seq, attempt) tuple rather than a shared RNG so no lock
+// is taken on the submit path.
+func (c *Client) retryWait(backoff time.Duration, seq uint64, attempt int) time.Duration {
+	h := types.DigestConcat(
+		[]byte("client-retry"),
+		[]byte{byte(c.cfg.ID), byte(seq), byte(seq >> 8), byte(seq >> 16), byte(attempt)},
+	)
+	// Map 16 digest bits onto [-25%, +25%].
+	frac := int64(h[0])<<8 | int64(h[1]) // 0..65535
+	delta := backoff / 4 * time.Duration(frac-32768) / 32768
+	return backoff + delta
 }
 
 func (c *Client) primaryNode() types.NodeID {

@@ -19,6 +19,7 @@ import (
 	"github.com/poexec/poe/internal/consensus/protocol"
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/wire"
 )
@@ -141,10 +142,20 @@ type Replica struct {
 	newViews map[types.View]map[types.ReplicaID]QC
 	sentNV   map[types.View]bool
 
-	// recoverSkip counts decisions recovered from durable state whose nodes
-	// the commit walk may re-visit after a restart: the walk marks them
-	// committed but must not re-execute them or consume sequence numbers.
-	recoverSkip types.SeqNum
+	// anchorRound is the round of the newest block executed outside the
+	// live node chain — durable recovery or an installed snapshot. The
+	// commit walk treats nodes at or below it as already executed: it stops
+	// there instead of needing ancestry back to genesis.
+	anchorRound types.View
+
+	// lastFetch/lastFetchAt throttle ancestry fetches from the commit walk
+	// so a burst of tryCommit calls asks for one gap once per timeout.
+	lastFetch   types.Digest
+	lastFetchAt time.Time
+
+	// timedOut marks that the current disruption started with a round
+	// expiry; the first commit after it counts as a completed view change.
+	timedOut bool
 
 	roundStart time.Time
 	curTimeout time.Duration
@@ -190,23 +201,18 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 	r.committed[r.genesisHash] = true
 	r.highQC = QC{Round: 0, Node: r.genesisHash}
 	r.lockedQC = r.highQC
+	rt.Sync.AfterInstall = r.afterInstall
 	if rt.RecoveredSeq > 0 {
 		// Crash-restart: the executor already holds the recovered prefix,
 		// so new decisions continue at execSeq+1. The node chain itself is
 		// not persisted — it is re-fetched from peers (FetchNodes) — and
-		// the first commit walk will re-visit the recovered ancestry;
-		// recoverSkip makes that walk mark those nodes committed without
-		// re-executing them. Rejoin one round past the last executed one;
-		// the pacemaker's new-view synchronization covers the rest.
-		//
-		// Known limitation: the walk needs the full ancestry back to
-		// genesis, which peers prune past ~4096 nodes, so recovery after a
-		// very long run can stall until peers still hold the history (or a
-		// future node-chain snapshot closes the gap). The harness
-		// crash-restart scenarios stay well inside that horizon.
+		// the recovered head's round anchors the commit walk so it never
+		// re-executes (or needs the ancestry of) the recovered prefix.
+		// Rejoin one round past the last executed one; the pacemaker's
+		// new-view synchronization covers the rest.
 		r.execSeq = rt.Exec.LastExecuted()
-		r.recoverSkip = rt.Exec.LastExecuted()
 		head := rt.Exec.Chain().Head()
+		r.anchorRound = head.View
 		r.curRound = head.View + 1
 	}
 	return r, nil
@@ -271,6 +277,12 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.onNodeBundle(m)
 	case *protocol.Checkpoint:
 		r.rt.OnCheckpoint(m)
+	case *protocol.SnapshotRequest:
+		r.rt.HandleSnapshotRequest(m)
+	case *protocol.SnapshotOffer:
+		r.rt.Sync.OnOffer(m)
+	case *protocol.SnapshotChunk:
+		r.rt.Sync.OnChunk(m)
 	}
 }
 
@@ -607,8 +619,22 @@ func (r *Replica) commitChain(tip *Node) {
 		}
 		node, ok := r.nodes[h]
 		if !ok {
-			// Cannot execute with missing ancestry; fetch and retry later.
+			// Cannot execute with missing ancestry: ask a rotating peer
+			// for the gap (throttled — a bundle triggers many walks) and
+			// retry when the bundle arrives.
+			if h != r.lastFetch || time.Since(r.lastFetchAt) > r.curTimeout {
+				r.lastFetch, r.lastFetchAt = h, time.Now()
+				if peer, ok := r.rt.NextPeer(); ok {
+					r.rt.SendReplica(peer, &FetchNodes{From: r.rt.Cfg.ID, Hash: h, Max: 256})
+				}
+			}
 			return
+		}
+		if node.Round <= r.anchorRound {
+			// At or below the anchor: executed via durable recovery or an
+			// installed snapshot — the commit boundary, not a gap.
+			r.committed[h] = true
+			break
 		}
 		chain = append(chain, node)
 		h = node.ParentHash
@@ -617,12 +643,6 @@ func (r *Replica) commitChain(tip *Node) {
 	for _, node := range chain {
 		nh := node.Hash()
 		r.committed[nh] = true
-		if r.recoverSkip > 0 {
-			// Ancestry below the durably recovered prefix: already
-			// executed before the restart.
-			r.recoverSkip--
-			continue
-		}
 		r.execSeq++
 		events := r.rt.Exec.Commit(r.execSeq, node.Round, node.Batch, node.Justify.Cert)
 		for _, ev := range events {
@@ -632,12 +652,54 @@ func (r *Replica) commitChain(tip *Node) {
 			r.rt.MaybeCheckpoint(ev.Rec.Seq)
 		}
 	}
+	if len(chain) > 0 && r.timedOut {
+		// Progress resumed after a round expiry: the rotating pacemaker
+		// completed its leader change.
+		r.timedOut = false
+		r.rt.Metrics.ViewChangesDone.Add(1)
+	}
 	r.pruneNodes()
+}
+
+// afterInstall resumes the protocol around an installed snapshot: the
+// decision counter jumps to the snapshot sequence, the snapshot head's
+// round becomes the commit-walk anchor (the live chain above it is fetched
+// from peers on demand), and the pacemaker rejoins one round past it.
+func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Executed) {
+	r.execSeq = snap.Seq
+	r.anchorRound = snap.Head.View
+	if r.curRound <= r.anchorRound {
+		r.curRound = r.anchorRound + 1
+		r.roundStart = time.Now()
+		r.curTimeout = r.rt.Cfg.ViewTimeout
+	}
+	for _, ev := range events {
+		r.rt.Metrics.ExecutedBatches.Add(1)
+		r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
+		r.rt.InformBatch(ev.Rec, ev.Results, false, types.ZeroDigest)
+		r.rt.MaybeCheckpoint(ev.Rec.Seq)
+	}
 }
 
 // pruneNodes bounds the in-memory chain: committed nodes far behind the
 // high QC are dropped (their effects live in the store and ledger).
 func (r *Replica) pruneNodes() {
+	// Retention mirrors the executor's record horizon: execution records
+	// below stable-RetainSlack are discarded, so a peer that far behind can
+	// only recover via snapshot transfer anyway — serving it the node chain
+	// would replay batches whose records no longer exist. The ledger block
+	// at the record cutoff maps that sequence horizon to a round cutoff.
+	// The count cap below stays as a backstop for uncommitted clutter.
+	if stable := r.rt.Exec.StableCheckpointSeq(); stable > r.rt.Exec.RetainSlack {
+		if blk, ok := r.rt.Exec.Chain().Get(stable - r.rt.Exec.RetainSlack); ok {
+			for h, node := range r.nodes {
+				if node.Round > 0 && node.Round < blk.View && r.committed[h] {
+					delete(r.nodes, h)
+					delete(r.committed, h)
+				}
+			}
+		}
+	}
 	if len(r.nodes) < 4096 {
 		return
 	}
@@ -660,6 +722,9 @@ func (r *Replica) pruneNodes() {
 func (r *Replica) onTick() {
 	now := time.Now()
 	cfg := r.rt.Cfg
+	// Snapshot state transfer runs on every tick: a replica whose node-chain
+	// gap has been pruned by every peer needs it to rejoin at all.
+	r.rt.Sync.Tick(now)
 	if Leader(cfg.N, r.curRound) == cfg.ID && r.rt.Batcher.Ripe(now) {
 		r.maybePropose(true)
 	}
@@ -670,6 +735,7 @@ func (r *Replica) onTick() {
 		// replicas would drift apart one round at a time).
 		r.roundStart = now
 		r.curTimeout *= 2
+		r.timedOut = true
 		r.rt.Metrics.ViewChanges.Add(1)
 		r.broadcastNewView(r.curRound + 1)
 	}

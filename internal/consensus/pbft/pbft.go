@@ -23,6 +23,7 @@ import (
 	"github.com/poexec/poe/internal/consensus/protocol"
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/wire"
 )
@@ -150,12 +151,12 @@ type Replica struct {
 	lastProgress time.Time
 	curTimeout   time.Duration
 
-	vcTarget   types.View
-	vcStarted  time.Time
-	vcVotes    map[types.View]map[types.ReplicaID]*VCRequest
-	sentVC     map[types.View]bool
-	lastNV     *NVPropose
-	fetchRound int
+	vcTarget  types.View
+	vcStarted time.Time
+	vcResent  time.Time
+	vcVotes   map[types.View]map[types.ReplicaID]*VCRequest
+	sentVC    map[types.View]bool
+	lastNV    *NVPropose
 
 	// catchup marks a replica restarted from durable state: the first tick
 	// proactively fetches past the recovered prefix.
@@ -209,6 +210,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		sentVC:       make(map[types.View]bool),
 		tick:         tick,
 	}
+	rt.Sync.AfterInstall = r.afterInstall
 	if rt.RecoveredSeq > 0 {
 		// Crash-restart: resume after the recovered prefix, rejoin in the
 		// last durably executed view (view-change catch-up handles any
@@ -277,6 +279,12 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.rt.HandleFetch(m)
 	case *protocol.FetchReply:
 		r.onFetchReply(m)
+	case *protocol.SnapshotRequest:
+		r.rt.HandleSnapshotRequest(m)
+	case *protocol.SnapshotOffer:
+		r.rt.Sync.OnOffer(m)
+	case *protocol.SnapshotChunk:
+		r.rt.Sync.OnChunk(m)
 	case *VCRequest:
 		r.onVCRequest(m)
 	case *NVPropose:
@@ -564,6 +572,9 @@ func (r *Replica) onTick() {
 		r.catchup = false
 		r.fetchFrom(r.rt.Exec.LastExecuted())
 	}
+	// Snapshot state transfer runs in every status: a replica too far behind
+	// for Fetch needs it exactly when it cannot follow the normal case.
+	r.rt.Sync.Tick(now)
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
@@ -576,6 +587,9 @@ func (r *Replica) onTick() {
 	case statusViewChange:
 		if now.Sub(r.vcStarted) > r.curTimeout {
 			r.startViewChange(r.vcTarget + 1)
+		} else if now.Sub(r.vcResent) > r.rt.Cfg.ViewTimeout {
+			r.broadcastVC(r.vcTarget)
+			r.maybeProposeNewView(r.vcTarget)
 		}
 	}
 }
@@ -609,16 +623,29 @@ func (r *Replica) maybeFetch() {
 
 // fetchFrom asks the next peer (round-robin) for executed records above after.
 func (r *Replica) fetchFrom(after types.SeqNum) {
-	n := r.rt.Cfg.N
-	for i := 0; i < n; i++ {
-		r.fetchRound++
-		peer := types.ReplicaID(r.fetchRound % n)
-		if peer == r.rt.Cfg.ID {
-			continue
+	r.rt.FetchFrom(after)
+}
+
+// afterInstall resumes the protocol around an installed snapshot: per-slot
+// state the snapshot superseded is discarded, sequencing and view jump
+// forward, and the ordinary record fetch bridges snapshot → live head.
+func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Executed) {
+	for seq := range r.slots {
+		if seq <= snap.Seq {
+			delete(r.slots, seq)
 		}
-		r.rt.SendReplica(peer, &protocol.Fetch{From: r.rt.Cfg.ID, After: after, Max: 4 * r.rt.Cfg.Window})
-		return
 	}
+	if r.nextPropose <= snap.Seq {
+		r.nextPropose = snap.Seq + 1
+	}
+	if snap.Head.View > r.view {
+		r.view = snap.Head.View
+		r.status = statusNormal
+	}
+	r.lastProgress = time.Now()
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.afterExecution(events)
+	r.fetchFrom(r.rt.Exec.LastExecuted())
 }
 
 func (r *Replica) onFetchReply(m *protocol.FetchReply) {
@@ -641,6 +668,8 @@ func (r *Replica) onFetchReply(m *protocol.FetchReply) {
 		events := r.rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
 		r.afterExecution(events)
 	}
+	// Paginated transfer: a server whose head is still ahead has more pages.
+	r.rt.FetchContinue(m.Head)
 }
 
 // --- view change ---
@@ -661,10 +690,20 @@ func (r *Replica) startViewChange(target types.View) {
 		return
 	}
 	r.sentVC[target] = true
+	r.broadcastVC(target)
+	r.maybeProposeNewView(target)
+}
+
+// broadcastVC signs and broadcasts this replica's view-change request for
+// target. Called on entry and then periodically while the view change is
+// pending: VIEW-CHANGE messages lost to a partition are not otherwise
+// retransmitted, and the new-view primary cannot assemble its quorum
+// without them.
+func (r *Replica) broadcastVC(target types.View) {
+	r.vcResent = time.Now()
 	req := r.buildVCRequest(target)
 	r.recordVCVote(req)
 	r.rt.Broadcast(req)
-	r.maybeProposeNewView(target)
 }
 
 // buildVCRequest collects this replica's prepared entries above its stable
@@ -766,7 +805,44 @@ func (r *Replica) onVCRequest(m *VCRequest) {
 			r.startViewChange(target)
 		}
 	}
+	r.joinDivergedViewChange()
 	r.maybeProposeNewView(target)
+}
+
+// joinDivergedViewChange applies the Castro-Liskov liveness rule: when f+1
+// distinct replicas are view-changing to views beyond this replica's own
+// target, at least one of them is honest — adopt the smallest such view
+// immediately instead of waiting out the (exponentially backed-off) local
+// timer. Without it a storm of staggered leader failures can strand the
+// replicas on pairwise-different targets, none of which ever gathers a
+// quorum.
+func (r *Replica) joinDivergedViewChange() {
+	cur := r.view
+	if r.status == statusViewChange && r.vcTarget > cur {
+		cur = r.vcTarget
+	}
+	voters := make(map[types.ReplicaID]types.View)
+	for target, votes := range r.vcVotes {
+		if target <= cur {
+			continue
+		}
+		for id := range votes {
+			if t, ok := voters[id]; !ok || target < t {
+				voters[id] = target
+			}
+		}
+	}
+	if len(voters) < r.rt.Cfg.FPlus1() {
+		return
+	}
+	join := types.View(0)
+	for _, target := range voters {
+		if join == 0 || target < join {
+			join = target
+		}
+	}
+	r.startViewChange(join)
+	r.maybeProposeNewView(join)
 }
 
 func (r *Replica) maybeProposeNewView(target types.View) {
@@ -910,6 +986,7 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.status = statusNormal
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
+	r.rt.Metrics.ViewChangesDone.Add(1)
 	r.slots = make(map[types.SeqNum]*slot)
 	// Every share payload in the pipeline's digest table belongs to the old
 	// view's slots; drop them with the slots.

@@ -7,6 +7,7 @@ import (
 	"github.com/poexec/poe/internal/consensus/protocol"
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 )
 
@@ -85,11 +86,11 @@ type Replica struct {
 	// view-change state
 	vcTarget   types.View // view we are trying to move to while in statusViewChange
 	vcStarted  time.Time
+	vcResent   time.Time
 	vcExecMark types.SeqNum // last executed seq when the view change started
 	vcVotes    map[types.View]map[types.ReplicaID]*VCRequest
 	sentVC     map[types.View]bool
 	lastNV     *NVPropose // cached by the new primary for late joiners
-	fetchRound int
 
 	// catchup marks a replica restarted from durable state: the first tick
 	// proactively fetches past the recovered prefix.
@@ -146,6 +147,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		sentVC:       make(map[types.View]bool),
 		tick:         tick,
 	}
+	rt.Sync.AfterInstall = r.afterInstall
 	if rt.RecoveredSeq > 0 {
 		// Crash-restart: resume sequencing after the recovered prefix and
 		// rejoin in the view of the last durably executed batch — the
@@ -217,6 +219,12 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.rt.HandleFetch(m)
 	case *protocol.FetchReply:
 		r.onFetchReply(m)
+	case *protocol.SnapshotRequest:
+		r.rt.HandleSnapshotRequest(m)
+	case *protocol.SnapshotOffer:
+		r.rt.Sync.OnOffer(m)
+	case *protocol.SnapshotChunk:
+		r.rt.Sync.OnChunk(m)
 	case *VCRequest:
 		r.onVCRequest(m)
 	case *NVPropose:
@@ -555,6 +563,9 @@ func (r *Replica) onTick() {
 		r.catchup = false
 		r.fetchFrom(r.rt.Exec.LastExecuted())
 	}
+	// Snapshot state transfer runs in every status: a replica too far behind
+	// for Fetch needs it exactly when it cannot follow the normal case.
+	r.rt.Sync.Tick(now)
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
@@ -583,6 +594,9 @@ func (r *Replica) onTick() {
 			// faulty or unreachable): move one view further with a doubled
 			// timeout (exponential backoff, Theorem 7).
 			r.startViewChange(r.vcTarget + 1)
+		} else if now.Sub(r.vcResent) > r.rt.Cfg.ViewTimeout {
+			r.broadcastVC(r.vcTarget)
+			r.maybeProposeNewView(r.vcTarget)
 		}
 	}
 }
@@ -621,16 +635,7 @@ func (r *Replica) maybeFetch() {
 // fetchFrom asks the next peer (round-robin) for executed records above
 // after.
 func (r *Replica) fetchFrom(after types.SeqNum) {
-	n := r.rt.Cfg.N
-	for i := 0; i < n; i++ {
-		r.fetchRound++
-		peer := types.ReplicaID(r.fetchRound % n)
-		if peer == r.rt.Cfg.ID {
-			continue
-		}
-		r.rt.SendReplica(peer, &protocol.Fetch{From: r.rt.Cfg.ID, After: after, Max: 4 * r.rt.Cfg.Window})
-		return
-	}
+	r.rt.FetchFrom(after)
 }
 
 func (r *Replica) onFetchReply(m *protocol.FetchReply) {
@@ -646,4 +651,28 @@ func (r *Replica) onFetchReply(m *protocol.FetchReply) {
 		events := r.rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
 		r.afterExecution(events)
 	}
+	// Paginated transfer: a server whose head is still ahead has more pages.
+	r.rt.FetchContinue(m.Head)
+}
+
+// afterInstall resumes the protocol around an installed snapshot: per-slot
+// state the snapshot superseded is discarded, sequencing and view jump
+// forward, and the ordinary record fetch bridges snapshot → live head.
+func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Executed) {
+	for seq := range r.slots {
+		if seq <= snap.Seq {
+			delete(r.slots, seq)
+		}
+	}
+	if r.nextPropose <= snap.Seq {
+		r.nextPropose = snap.Seq + 1
+	}
+	if snap.Head.View > r.view {
+		r.view = snap.Head.View
+		r.status = statusNormal
+	}
+	r.lastProgress = time.Now()
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.afterExecution(events)
+	r.fetchFrom(r.rt.Exec.LastExecuted())
 }

@@ -39,6 +39,17 @@ func (r *Replica) startViewChange(target types.View) {
 		return
 	}
 	r.sentVC[target] = true
+	r.broadcastVC(target)
+	r.maybeProposeNewView(target)
+}
+
+// broadcastVC signs and broadcasts this replica's view-change request for
+// target. Called on entry and then periodically while the view change is
+// pending: VIEW-CHANGE messages lost to a partition are not otherwise
+// retransmitted, and the new-view primary cannot assemble its quorum
+// without them.
+func (r *Replica) broadcastVC(target types.View) {
+	r.vcResent = time.Now()
 	stable := r.rt.Exec.StableCheckpointSeq()
 	req := &VCRequest{
 		From:      r.rt.Cfg.ID,
@@ -49,7 +60,6 @@ func (r *Replica) startViewChange(target types.View) {
 	req.Sig = r.rt.Keys.Sign(req.SignedPayload())
 	r.recordVCVote(req)
 	r.rt.Broadcast(req)
-	r.maybeProposeNewView(target)
 }
 
 func (r *Replica) recordVCVote(m *VCRequest) {
@@ -113,7 +123,44 @@ func (r *Replica) onVCRequest(m *VCRequest) {
 			r.startViewChange(target)
 		}
 	}
+	r.joinDivergedViewChange()
 	r.maybeProposeNewView(target)
+}
+
+// joinDivergedViewChange applies the Castro-Liskov liveness rule: when f+1
+// distinct replicas are view-changing to views beyond this replica's own
+// target, at least one of them is honest — adopt the smallest such view
+// immediately instead of waiting out the (exponentially backed-off) local
+// timer. Without it a storm of staggered leader failures can strand the
+// replicas on pairwise-different targets, none of which ever gathers a
+// quorum.
+func (r *Replica) joinDivergedViewChange() {
+	cur := r.view
+	if r.status == statusViewChange && r.vcTarget > cur {
+		cur = r.vcTarget
+	}
+	voters := make(map[types.ReplicaID]types.View)
+	for target, votes := range r.vcVotes {
+		if target <= cur {
+			continue
+		}
+		for id := range votes {
+			if t, ok := voters[id]; !ok || target < t {
+				voters[id] = target
+			}
+		}
+	}
+	if len(voters) < r.rt.Cfg.FPlus1() {
+		return
+	}
+	join := types.View(0)
+	for _, target := range voters {
+		if join == 0 || target < join {
+			join = target
+		}
+	}
+	r.startViewChange(join)
+	r.maybeProposeNewView(join)
 }
 
 // maybeProposeNewView broadcasts NV-PROPOSE once this replica is the next
@@ -262,6 +309,7 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.status = statusNormal
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
+	r.rt.Metrics.ViewChangesDone.Add(1)
 	r.slots = make(map[types.SeqNum]*slot)
 	// Every share payload in the pipeline's digest table belongs to the old
 	// view's slots; drop them with the slots.

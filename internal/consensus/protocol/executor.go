@@ -34,6 +34,14 @@ type Executor struct {
 	log     map[types.SeqNum]*types.ExecRecord // executed, above the stable checkpoint
 	lastCli map[types.ClientID]uint64
 
+	// digests records, per executed sequence number, the (state, ledger-head)
+	// digest pair exactly as of that sequence number. Checkpoint votes must
+	// quote the digests at the checkpoint boundary — not at broadcast time,
+	// when the executor may already have drained past it — or two honest
+	// replicas that drained differently would vote different digests for the
+	// same checkpoint. Pruned alongside log.
+	digests map[types.SeqNum]digestPair
+
 	// cliJournal is the undo log for lastCli, one entry per raised client
 	// sequence number, in execution order. Rollback reverts the exact
 	// entries above the rollback point, and durable checkpoints use it to
@@ -81,6 +89,12 @@ type decided struct {
 	proof []byte
 }
 
+// digestPair is the checkpoint digest material at one sequence number.
+type digestPair struct {
+	state  types.Digest
+	ledger types.Digest
+}
+
 // cliMark records that executing seq raised a client's dedup sequence
 // number from prev (0 = client unseen before).
 type cliMark struct {
@@ -97,6 +111,7 @@ func NewExecutor(kv *store.KV, chain *ledger.Chain) *Executor {
 		pending: make(map[types.SeqNum]*decided),
 		log:     make(map[types.SeqNum]*types.ExecRecord),
 		lastCli: make(map[types.ClientID]uint64),
+		digests: make(map[types.SeqNum]digestPair),
 	}
 }
 
@@ -173,6 +188,8 @@ func (e *Executor) executeLocked(seq types.SeqNum, d *decided) Executed {
 	}
 	rec := &types.ExecRecord{Seq: seq, View: d.view, Digest: digest, Proof: d.proof, Batch: d.batch}
 	e.log[seq] = rec
+	head := e.chain.Head()
+	e.digests[seq] = digestPair{state: e.kv.StateDigest(), ledger: head.Hash()}
 	// Log before reply: the record enters the group-commit queue inside
 	// Commit, in execution order, before the replica sees the Executed
 	// event. The replies themselves are held by the runtime's durability
@@ -292,6 +309,11 @@ func (e *Executor) Rollback(toSeq types.SeqNum) error {
 			delete(e.log, seq)
 		}
 	}
+	for seq := range e.digests {
+		if seq > toSeq {
+			delete(e.digests, seq)
+		}
+	}
 	// Revert the client dedup history through its undo journal: entries
 	// from rolled-back batches must not suppress re-execution, while
 	// history from surviving batches — including batches older than the
@@ -356,6 +378,21 @@ func (e *Executor) MarkStable(seq types.SeqNum) {
 			delete(e.log, s)
 		}
 	}
+	for s := range e.digests {
+		if s <= cut {
+			delete(e.digests, s)
+		}
+	}
+}
+
+// DigestsAt returns the (state, ledger-head) digest pair recorded when seq
+// executed, the material a checkpoint vote for seq must quote. ok is false
+// when seq has not executed or its digests were pruned with the record log.
+func (e *Executor) DigestsAt(seq types.SeqNum) (state, ledgerHead types.Digest, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.digests[seq]
+	return p.state, p.ledger, ok
 }
 
 // persistCheckpointLocked snapshots the executed state as of seq and rotates
@@ -370,13 +407,31 @@ func (e *Executor) MarkStable(seq types.SeqNum) {
 // shows up in profiles, the copy can be taken under the lock and the
 // encode/write moved off it.
 func (e *Executor) persistCheckpointLocked(seq types.SeqNum) error {
-	data, err := e.kv.SnapshotAt(seq)
+	snap, err := e.snapshotAtLocked(seq)
 	if err != nil {
 		return err
 	}
+	var tail []types.ExecRecord
+	for s, rec := range e.log {
+		if s > seq {
+			tail = append(tail, *rec)
+		}
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Seq < tail[j].Seq })
+	return e.wal.WriteSnapshot(snap, tail)
+}
+
+// snapshotAtLocked assembles the checkpoint snapshot exactly as of seq: the
+// table rewound through the undo log, the ledger block at seq, and the client
+// dedup history rewound through the journal.
+func (e *Executor) snapshotAtLocked(seq types.SeqNum) (*storage.Snapshot, error) {
+	data, err := e.kv.SnapshotAt(seq)
+	if err != nil {
+		return nil, err
+	}
 	head, ok := e.chain.Get(seq)
 	if !ok {
-		return fmt.Errorf("ledger block at %d not retained", seq)
+		return nil, fmt.Errorf("ledger block at %d not retained", seq)
 	}
 	lastCli := make(map[types.ClientID]uint64, len(e.lastCli))
 	for c, s := range e.lastCli {
@@ -393,15 +448,114 @@ func (e *Executor) persistCheckpointLocked(seq types.SeqNum) error {
 			lastCli[m.client] = m.prev
 		}
 	}
-	snap := &storage.Snapshot{Seq: seq, Head: head, Data: data, LastCli: lastCli}
-	var tail []types.ExecRecord
-	for s, rec := range e.log {
-		if s > seq {
-			tail = append(tail, *rec)
+	return &storage.Snapshot{Seq: seq, Head: head, Data: data, LastCli: lastCli}, nil
+}
+
+// BuildSnapshot assembles a snapshot of the current stable checkpoint for
+// state transfer to a lagging peer. It fails when the replica has no stable
+// checkpoint yet, or is itself lagging (stabilized on others' votes without
+// having executed to the checkpoint).
+func (e *Executor) BuildSnapshot() (*storage.Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stable == 0 {
+		return nil, fmt.Errorf("protocol: no stable checkpoint to snapshot")
+	}
+	if e.stable > e.kv.LastApplied() {
+		return nil, fmt.Errorf("protocol: stable checkpoint %d beyond executed head %d", e.stable, e.kv.LastApplied())
+	}
+	return e.snapshotAtLocked(e.stable)
+}
+
+// InstallSnapshot replaces the executor's state with a verified checkpoint
+// snapshot received from a peer, exactly as if the replica had taken it
+// locally: it is persisted first (snapshot file + rotated WAL), then the
+// store, ledger, dedup history, and stable checkpoint jump to the snapshot.
+// Pending decisions above the snapshot are drained afterwards, so executions
+// they unblock are returned like any Commit. The caller must have verified
+// the snapshot against a checkpoint certificate before installing.
+func (e *Executor) InstallSnapshot(snap *storage.Snapshot) ([]Executed, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// A replica can have stabilized seq on others' votes without the state in
+	// hand (stable == snap.Seq, LastApplied < snap.Seq); installing is then
+	// exactly what it needs. Only installs that go backwards are rejected.
+	if snap.Seq <= e.kv.LastApplied() || snap.Seq < e.stable {
+		return nil, fmt.Errorf("protocol: snapshot at %d not ahead of executed %d / stable %d",
+			snap.Seq, e.kv.LastApplied(), e.stable)
+	}
+	if snap.Head.Seq != snap.Seq {
+		return nil, fmt.Errorf("protocol: snapshot head seq %d != snapshot seq %d", snap.Head.Seq, snap.Seq)
+	}
+	if e.wal != nil {
+		// Durability first, mirroring a local checkpoint: if the install
+		// lands, a crash recovers from the installed snapshot; if the write
+		// fails, volatile state is untouched.
+		if err := e.wal.WriteSnapshot(snap, nil); err != nil {
+			return nil, err
 		}
 	}
-	sort.Slice(tail, func(i, j int) bool { return tail[i].Seq < tail[j].Seq })
-	return e.wal.WriteSnapshot(snap, tail)
+	e.kv.Restore(snap.Data, snap.Seq)
+	e.chain.Reset(snap.Head)
+	e.lastCli = make(map[types.ClientID]uint64, len(snap.LastCli))
+	for c, s := range snap.LastCli {
+		e.lastCli[c] = s
+	}
+	e.cliJournal = nil
+	e.stable = snap.Seq
+	for s := range e.log {
+		delete(e.log, s)
+	}
+	for s := range e.digests {
+		delete(e.digests, s)
+	}
+	for s := range e.pending {
+		if s <= snap.Seq {
+			delete(e.pending, s)
+		}
+	}
+	return e.drainLocked(), nil
+}
+
+// ExecutedRange returns one page of executed records for a Fetch: contiguous
+// records starting at after+1, bounded by maxCount and (approximately)
+// maxBytes — at least one record is returned if after+1 is retained,
+// whatever its size. head is the server's last executed sequence number, so
+// the fetcher can tell a short page from the end of history and re-request
+// from its new head. An empty page means the records just above after are no
+// longer retained and the fetcher needs snapshot state transfer instead.
+func (e *Executor) ExecutedRange(after types.SeqNum, maxCount, maxBytes int) (recs []types.ExecRecord, head types.SeqNum) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	head = e.kv.LastApplied()
+	bytes := 0
+	for seq := after + 1; seq <= head; seq++ {
+		rec, ok := e.log[seq]
+		if !ok {
+			break
+		}
+		recs = append(recs, *rec)
+		bytes += recordSizeEstimate(rec)
+		if (maxCount > 0 && len(recs) >= maxCount) || bytes >= maxBytes {
+			break
+		}
+	}
+	return recs, head
+}
+
+// recordSizeEstimate approximates one record's wire size cheaply (framing
+// overhead is rounded up; payload lengths are exact), for the fetch page
+// byte cap.
+func recordSizeEstimate(rec *types.ExecRecord) int {
+	n := 64 + len(rec.Proof)
+	for i := range rec.Batch.Requests {
+		req := &rec.Batch.Requests[i]
+		n += 32 + len(req.Sig)
+		for _, op := range req.Txn.Ops {
+			n += 16 + len(op.Key) + len(op.Value)
+		}
+	}
+	return n
 }
 
 // AttachStorage arms the executor with a durable store: subsequent

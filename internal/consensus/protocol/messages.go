@@ -82,10 +82,46 @@ type Fetch struct {
 }
 
 // FetchReply returns executed records. Each record carries the certificate
-// that justified it, so the receiver can validate before applying.
+// that justified it, so the receiver can validate before applying. Head is
+// the server's last executed sequence number: a reply whose records end
+// below it is one page of a longer transfer, and the fetcher re-requests
+// from its new head.
 type FetchReply struct {
 	From    types.ReplicaID
+	Head    types.SeqNum
 	Records []types.ExecRecord
+}
+
+// SnapshotRequest asks a peer for its stable checkpoint snapshot, provided
+// it is newer than Have (the requester's last executed sequence number).
+// Replicas send it when checkpoint certificates prove the cluster's stable
+// checkpoint is beyond Fetch's retained-record horizon — a freshly wiped
+// replica, or one partitioned away for longer than the retention window.
+type SnapshotRequest struct {
+	From types.ReplicaID
+	Have types.SeqNum
+}
+
+// SnapshotOffer announces an incoming snapshot transfer: the checkpoint
+// sequence number, total encoded size, chunk count, and the checkpoint
+// certificate (f+1 or more signed Checkpoint votes with matching digests)
+// that lets the fetcher verify the installed state before trusting it. The
+// chunks themselves are unauthenticated; all trust derives from the cert.
+type SnapshotOffer struct {
+	From   types.ReplicaID
+	Seq    types.SeqNum
+	Size   int64
+	Chunks int
+	Cert   []Checkpoint
+}
+
+// SnapshotChunk carries one size-capped slice of the snapshot's canonical
+// wire encoding.
+type SnapshotChunk struct {
+	From  types.ReplicaID
+	Seq   types.SeqNum
+	Index int
+	Data  []byte
 }
 
 // Checkpoint announces that the sender executed every batch up to Seq and
@@ -127,4 +163,7 @@ func init() {
 	wire.Register(func() wire.Message { return &Fetch{} })
 	wire.Register(func() wire.Message { return &FetchReply{} })
 	wire.Register(func() wire.Message { return &Checkpoint{} })
+	wire.Register(func() wire.Message { return &SnapshotRequest{} })
+	wire.Register(func() wire.Message { return &SnapshotOffer{} })
+	wire.Register(func() wire.Message { return &SnapshotChunk{} })
 }

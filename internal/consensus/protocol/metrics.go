@@ -31,6 +31,24 @@ type Metrics struct {
 	WALGroups         atomic.Int64
 	WALGroupedRecords atomic.Int64
 
+	// ViewChangesDone counts view changes that completed — the replica
+	// entered the new view and resumed progress — as opposed to ViewChanges,
+	// which counts attempts started. The soak harness asserts on completions.
+	ViewChangesDone atomic.Int64
+
+	// Snapshot state transfer: snapshots served to lagging peers and
+	// installed from peers, chunks and bytes moved in each direction, extra
+	// pages pulled by the paginated record fetch, and state-sync attempts
+	// abandoned (timeout, invalid offer, corrupt chunk) before converging.
+	SnapshotsServed    atomic.Int64
+	SnapshotsInstalled atomic.Int64
+	SnapshotChunksSent atomic.Int64
+	SnapshotChunksRecv atomic.Int64
+	SnapshotBytesSent  atomic.Int64
+	SnapshotBytesRecv  atomic.Int64
+	FetchPages         atomic.Int64
+	StateSyncRetries   atomic.Int64
+
 	startNanos atomic.Int64
 }
 

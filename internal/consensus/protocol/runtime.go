@@ -72,8 +72,32 @@ type Runtime struct {
 	durWater   types.SeqNum
 	durPending map[types.SeqNum][]func()
 
-	// checkpoint vote bookkeeping
-	cpVotes map[types.SeqNum]map[types.ReplicaID]types.Digest
+	// checkpoint vote bookkeeping. The full signed votes are retained (not
+	// just their digests): when a checkpoint stabilizes, the matching-digest
+	// subset becomes stableCert — the self-contained proof a snapshot server
+	// attaches to offers so a fetcher that never saw the votes can still
+	// verify the state it installs.
+	cpVotes       map[types.SeqNum]map[types.ReplicaID]*Checkpoint
+	stableCert    []Checkpoint
+	stableCertSeq types.SeqNum
+
+	// snapCache caches the encoded snapshot last served for state transfer,
+	// keyed by its checkpoint sequence number, so a burst of lagging peers
+	// does not rebuild and re-encode the table per request. Event-loop owned.
+	snapCache struct {
+		seq  types.SeqNum
+		data []byte
+	}
+
+	// fetchRound rotates record-fetch and snapshot requests across peers so
+	// one slow or Byzantine server cannot wedge catch-up. Event-loop owned.
+	fetchRound int
+
+	// Sync is the snapshot state-transfer manager (statesync.go): it watches
+	// checkpoint certificates for proof the cluster's stable checkpoint has
+	// outrun Fetch's retention horizon and then drives chunked snapshot
+	// transfer. Event-loop owned; protocols route its messages and tick it.
+	Sync *StateSync
 
 	// RecoveredSeq is the last sequence number rebuilt from durable state
 	// (snapshot + WAL replay) at construction; 0 for a fresh replica.
@@ -149,8 +173,9 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		reqSeen:    make(map[types.Digest]types.SeqNum),
 		lastReply:  make(map[types.ClientID]*Inform),
 		durPending: make(map[types.SeqNum][]func()),
-		cpVotes:    make(map[types.SeqNum]map[types.ReplicaID]types.Digest),
+		cpVotes:    make(map[types.SeqNum]map[types.ReplicaID]*Checkpoint),
 	}
+	rt.Sync = newStateSync(rt)
 	for i := 0; i < cfg.N; i++ {
 		if types.ReplicaID(i) != cfg.ID {
 			rt.peers = append(rt.peers, types.ReplicaNode(types.ReplicaID(i)))
@@ -475,20 +500,87 @@ func (rt *Runtime) VerifyCommonInbound(env *network.Envelope) (keep, handled boo
 	case *Fetch:
 		// Unauthenticated by design.
 		return true, true
+	case *SnapshotRequest:
+		// Unauthenticated like Fetch, but the claimed sender must match the
+		// transport identity: the reply fan-out goes to m.From.
+		return env.From.IsReplica() && env.From.Replica() == m.From, true
+	case *SnapshotOffer:
+		// The certificate inside is verified by StateSync on the event loop
+		// (rare path); here only the sender identity is pinned so a peer
+		// cannot spoof offers from the server the fetcher selected.
+		return env.From.IsReplica() && env.From.Replica() == m.From, true
+	case *SnapshotChunk:
+		return env.From.IsReplica() && env.From.Replica() == m.From, true
 	}
 	return true, false
 }
 
-// HandleFetch answers a state-transfer request with retained records.
+// Fetch pagination caps: whatever the requester asked for, one reply never
+// carries more than maxFetchRecords records or (approximately)
+// maxFetchBytes of payload — a far-behind peer pulls pages instead of
+// triggering one giant allocation and frame on the server.
+const (
+	maxFetchRecords = 512
+	maxFetchBytes   = 1 << 20
+)
+
+// HandleFetch answers a state-transfer request with one page of retained
+// records. The reply carries the server's executed head so the fetcher knows
+// a full page is not the end of history and re-requests from its new head.
 func (rt *Runtime) HandleFetch(f *Fetch) {
-	recs := rt.Exec.ExecutedSince(f.After)
-	if f.Max > 0 && len(recs) > f.Max {
-		recs = recs[:f.Max]
+	max := f.Max
+	if max <= 0 || max > maxFetchRecords {
+		max = maxFetchRecords
 	}
+	recs, head := rt.Exec.ExecutedRange(f.After, max, maxFetchBytes)
 	if len(recs) == 0 {
 		return
 	}
-	rt.SendReplica(f.From, &FetchReply{From: rt.Cfg.ID, Records: recs})
+	rt.SendReplica(f.From, &FetchReply{From: rt.Cfg.ID, Head: head, Records: recs})
+}
+
+// FetchFrom requests the records above after from the next peer in the
+// rotation. Rotating per request keeps catch-up alive when some peers are
+// crashed, partitioned away, or Byzantine-silent.
+func (rt *Runtime) FetchFrom(after types.SeqNum) {
+	peer, ok := rt.NextPeer()
+	if !ok {
+		return
+	}
+	rt.SendReplica(peer, &Fetch{From: rt.Cfg.ID, After: after, Max: 4 * rt.Cfg.Window})
+}
+
+// FetchContinue re-requests immediately when a paginated fetch made progress
+// but the server's head is still ahead; protocols call it after applying a
+// FetchReply. It reports whether another page was requested.
+func (rt *Runtime) FetchContinue(head types.SeqNum) bool {
+	last := rt.Exec.LastExecuted()
+	if head <= last {
+		return false
+	}
+	if _, _, gapped := rt.Exec.Gap(); gapped {
+		// The reply didn't connect to our head (stale page after rotation);
+		// the regular tick-driven fetch retries.
+		return false
+	}
+	rt.Metrics.FetchPages.Add(1)
+	rt.FetchFrom(last)
+	return true
+}
+
+// NextPeer returns the next replica in the round-robin rotation, skipping
+// this one. ok is false in a single-replica system.
+func (rt *Runtime) NextPeer() (types.ReplicaID, bool) {
+	if rt.Cfg.N <= 1 {
+		return 0, false
+	}
+	rt.fetchRound++
+	peer := types.ReplicaID(rt.fetchRound % rt.Cfg.N)
+	if peer == rt.Cfg.ID {
+		rt.fetchRound++
+		peer = types.ReplicaID(rt.fetchRound % rt.Cfg.N)
+	}
+	return peer, true
 }
 
 // --- checkpoint sub-protocol (§II-D) ---
@@ -502,11 +594,19 @@ func (rt *Runtime) MaybeCheckpoint(seq types.SeqNum) {
 	if seq == 0 || seq%rt.Cfg.CheckpointInterval != 0 {
 		return
 	}
+	// Vote the digests recorded when seq executed, not the current ones: the
+	// executor may have drained several batches in the Commit that crossed
+	// the boundary, and votes for the same checkpoint must match across
+	// replicas that drained differently.
+	state, ledgerHead, ok := rt.Exec.DigestsAt(seq)
+	if !ok {
+		return
+	}
 	cp := &Checkpoint{
 		From:   rt.Cfg.ID,
 		Seq:    seq,
-		State:  rt.Exec.StateDigest(),
-		Ledger: headHash(rt.Exec.Chain()),
+		State:  state,
+		Ledger: ledgerHead,
 	}
 	payload := cp.SignedPayload()
 	rt.Egress.Enqueue(
@@ -524,23 +624,36 @@ func (rt *Runtime) OnCheckpoint(cp *Checkpoint) (types.SeqNum, bool) {
 	if cp.From != rt.Cfg.ID && !rt.Keys.VerifyFrom(types.ReplicaNode(cp.From), cp.SignedPayload(), cp.Sig) {
 		return 0, false
 	}
+	// Feed the state-sync detector before any short-circuit: a replica that
+	// is far behind needs the evidence precisely when it cannot participate
+	// in the vote itself.
+	rt.Sync.OnVote(cp)
 	if cp.Seq <= rt.Exec.StableCheckpointSeq() {
 		return 0, false
 	}
 	votes, ok := rt.cpVotes[cp.Seq]
 	if !ok {
-		votes = make(map[types.ReplicaID]types.Digest)
+		votes = make(map[types.ReplicaID]*Checkpoint)
 		rt.cpVotes[cp.Seq] = votes
 	}
-	votes[cp.From] = types.DigestConcat(cp.State[:], cp.Ledger[:])
+	votes[cp.From] = cp
 	// Count the plurality digest; non-faulty replicas agree, so requiring
 	// nf matching votes tolerates f liars.
 	counts := make(map[types.Digest]int, len(votes))
-	for _, d := range votes {
-		counts[d]++
+	for _, v := range votes {
+		counts[types.DigestConcat(v.State[:], v.Ledger[:])]++
 	}
-	for _, c := range counts {
+	for d, c := range counts {
 		if c >= rt.Cfg.NF() {
+			// Stash the matching votes as the certificate snapshot offers
+			// will carry: ≥ nf ≥ f+1 signed votes for one digest pair.
+			cert := make([]Checkpoint, 0, c)
+			for _, v := range votes {
+				if types.DigestConcat(v.State[:], v.Ledger[:]) == d {
+					cert = append(cert, *v)
+				}
+			}
+			rt.stableCert, rt.stableCertSeq = cert, cp.Seq
 			rt.Exec.MarkStable(cp.Seq)
 			rt.Metrics.Checkpoints.Add(1)
 			for s := range rt.cpVotes {
@@ -596,9 +709,4 @@ func (rt *Runtime) PruneAtStable(stable types.SeqNum) {
 	rt.Batcher.PruneProposed(func(c types.ClientID, seq uint64) bool {
 		return rt.Exec.AlreadyExecuted(c, seq)
 	})
-}
-
-func headHash(c *ledger.Chain) types.Digest {
-	head := c.Head()
-	return head.Hash()
 }

@@ -97,6 +97,7 @@ func (m *FetchReply) WireID() uint16 { return wire.IDFetchReply }
 // MarshalTo implements wire.Message.
 func (m *FetchReply) MarshalTo(buf []byte) []byte {
 	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.Head))
 	return types.AppendRecords(buf, m.Records)
 }
 
@@ -104,6 +105,7 @@ func (m *FetchReply) MarshalTo(buf []byte) []byte {
 func (m *FetchReply) Unmarshal(data []byte) error {
 	r := wire.NewReader(data)
 	m.From = types.ReplicaID(r.I32())
+	m.Head = types.SeqNum(r.U64())
 	m.Records = types.ReadRecords(r)
 	return r.Close()
 }
@@ -128,5 +130,95 @@ func (m *Checkpoint) Unmarshal(data []byte) error {
 	m.State = types.ReadDigest(r)
 	m.Ledger = types.ReadDigest(r)
 	m.Sig = r.Bytes()
+	return r.Close()
+}
+
+// appendCheckpoint appends one checkpoint vote's fields (shared between the
+// Checkpoint codec above and the certificate inside SnapshotOffer).
+func appendCheckpoint(buf []byte, c *Checkpoint) []byte {
+	buf = wire.AppendI32(buf, int32(c.From))
+	buf = wire.AppendU64(buf, uint64(c.Seq))
+	buf = types.AppendDigest(buf, c.State)
+	buf = types.AppendDigest(buf, c.Ledger)
+	return wire.AppendBytes(buf, c.Sig)
+}
+
+func readCheckpoint(r *wire.Reader, c *Checkpoint) {
+	c.From = types.ReplicaID(r.I32())
+	c.Seq = types.SeqNum(r.U64())
+	c.State = types.ReadDigest(r)
+	c.Ledger = types.ReadDigest(r)
+	c.Sig = r.Bytes()
+}
+
+// WireID implements wire.Message.
+func (m *SnapshotRequest) WireID() uint16 { return wire.IDSnapshotRequest }
+
+// MarshalTo implements wire.Message.
+func (m *SnapshotRequest) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	return wire.AppendU64(buf, uint64(m.Have))
+}
+
+// Unmarshal implements wire.Message.
+func (m *SnapshotRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Have = types.SeqNum(r.U64())
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *SnapshotOffer) WireID() uint16 { return wire.IDSnapshotOffer }
+
+// MarshalTo implements wire.Message.
+func (m *SnapshotOffer) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = wire.AppendI64(buf, m.Size)
+	buf = wire.AppendI64(buf, int64(m.Chunks))
+	buf = wire.AppendU32(buf, uint32(len(m.Cert)))
+	for i := range m.Cert {
+		buf = appendCheckpoint(buf, &m.Cert[i])
+	}
+	return buf
+}
+
+// Unmarshal implements wire.Message.
+func (m *SnapshotOffer) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Seq = types.SeqNum(r.U64())
+	m.Size = r.I64()
+	m.Chunks = int(r.I64())
+	n := r.Count(4 + 8 + 64 + 4) // per-vote floor: i32 + u64 + two digests + sig length
+	m.Cert = make([]Checkpoint, n)
+	for i := 0; i < n; i++ {
+		readCheckpoint(r, &m.Cert[i])
+		if r.Err() != nil {
+			break
+		}
+	}
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *SnapshotChunk) WireID() uint16 { return wire.IDSnapshotChunk }
+
+// MarshalTo implements wire.Message.
+func (m *SnapshotChunk) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = wire.AppendI64(buf, int64(m.Index))
+	return wire.AppendBytes(buf, m.Data)
+}
+
+// Unmarshal implements wire.Message.
+func (m *SnapshotChunk) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Seq = types.SeqNum(r.U64())
+	m.Index = int(r.I64())
+	m.Data = r.Bytes()
 	return r.Close()
 }

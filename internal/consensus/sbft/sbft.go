@@ -33,6 +33,7 @@ import (
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/wire"
 )
@@ -206,11 +207,11 @@ type Replica struct {
 
 	vcTarget  types.View
 	vcStarted time.Time
+	vcResent  time.Time
 	vcVotes   map[types.View]map[types.ReplicaID]*VCRequest
 	sentVC    map[types.View]bool
 	lastNV    *NVPropose
 
-	fetchRound int
 	// catchup marks a replica restarted from durable state: the first tick
 	// proactively fetches past the recovered prefix.
 	catchup bool
@@ -282,6 +283,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		tick:         tick,
 		collTimeout:  ct,
 	}
+	rt.Sync.AfterInstall = r.afterInstall
 	if rt.RecoveredSeq > 0 {
 		// Crash-restart: resume after the recovered prefix, rejoin in the
 		// last durably executed view (view-change catch-up handles any
@@ -363,6 +365,12 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.rt.HandleFetch(m)
 	case *protocol.FetchReply:
 		r.onFetchReply(m)
+	case *protocol.SnapshotRequest:
+		r.rt.HandleSnapshotRequest(m)
+	case *protocol.SnapshotOffer:
+		r.rt.Sync.OnOffer(m)
+	case *protocol.SnapshotChunk:
+		r.rt.Sync.OnChunk(m)
 	case *VCRequest:
 		r.onVCRequest(m)
 	case *NVPropose:
@@ -854,6 +862,9 @@ func (r *Replica) onTick() {
 		r.catchup = false
 		r.fetchFrom(r.rt.Exec.LastExecuted())
 	}
+	// Snapshot state transfer runs in every status: a replica too far behind
+	// for Fetch needs it exactly when it cannot follow the normal case.
+	r.rt.Sync.Tick(now)
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
@@ -869,6 +880,9 @@ func (r *Replica) onTick() {
 	case statusViewChange:
 		if now.Sub(r.vcStarted) > r.curTimeout {
 			r.startViewChange(r.vcTarget + 1)
+		} else if now.Sub(r.vcResent) > r.rt.Cfg.ViewTimeout {
+			r.broadcastVC(r.vcTarget)
+			r.maybeProposeNewView(r.vcTarget)
 		}
 	}
 }
@@ -885,16 +899,29 @@ func (r *Replica) maybeFetch() {
 
 // fetchFrom asks the next peer (round-robin) for executed records above after.
 func (r *Replica) fetchFrom(after types.SeqNum) {
-	n := r.rt.Cfg.N
-	for i := 0; i < n; i++ {
-		r.fetchRound++
-		peer := types.ReplicaID(r.fetchRound % n)
-		if peer == r.rt.Cfg.ID {
-			continue
+	r.rt.FetchFrom(after)
+}
+
+// afterInstall resumes the protocol around an installed snapshot: per-slot
+// state the snapshot superseded is discarded, sequencing and view jump
+// forward, and the ordinary record fetch bridges snapshot → live head.
+func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Executed) {
+	for seq := range r.slots {
+		if seq <= snap.Seq {
+			delete(r.slots, seq)
 		}
-		r.rt.SendReplica(peer, &protocol.Fetch{From: r.rt.Cfg.ID, After: after, Max: 4 * r.rt.Cfg.Window})
-		return
 	}
+	if r.nextPropose <= snap.Seq {
+		r.nextPropose = snap.Seq + 1
+	}
+	if snap.Head.View > r.view {
+		r.view = snap.Head.View
+		r.status = statusNormal
+	}
+	r.lastProgress = time.Now()
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.afterExecution(events)
+	r.fetchFrom(r.rt.Exec.LastExecuted())
 }
 
 // checkCollectorTimeouts moves stalled fast-path slots to the slow path.
@@ -941,6 +968,8 @@ func (r *Replica) onFetchReply(m *protocol.FetchReply) {
 		events := r.rt.Exec.Commit(rec.Seq, rec.View, rec.Batch, rec.Proof)
 		r.afterExecution(events)
 	}
+	// Paginated transfer: a server whose head is still ahead has more pages.
+	r.rt.FetchContinue(m.Head)
 }
 
 func blockHash(b ledger.Block) types.Digest { return b.Hash() }

@@ -24,6 +24,7 @@ import (
 	"github.com/poexec/poe/internal/crypto"
 	"github.com/poexec/poe/internal/ledger"
 	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/storage"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/wire"
 )
@@ -168,6 +169,7 @@ type Replica struct {
 
 	vcTarget  types.View
 	vcStarted time.Time
+	vcResent  time.Time
 	vcVotes   map[types.View]map[types.ReplicaID]*VCRequest
 	sentVC    map[types.View]bool
 	lastNV    *NVPropose
@@ -209,6 +211,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		sentVC:           make(map[types.View]bool),
 		tick:             tick,
 	}
+	rt.Sync.AfterInstall = r.afterInstall
 	if rt.RecoveredSeq > 0 {
 		// Crash-restart: resume sequencing after the durably recovered
 		// prefix and rejoin in the view it was executed in. Zyzzyva's
@@ -274,6 +277,12 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.rt.OnCheckpoint(m)
 	case *protocol.Fetch:
 		r.rt.HandleFetch(m)
+	case *protocol.SnapshotRequest:
+		r.rt.HandleSnapshotRequest(m)
+	case *protocol.SnapshotOffer:
+		r.rt.Sync.OnOffer(m)
+	case *protocol.SnapshotChunk:
+		r.rt.Sync.OnChunk(m)
 	case *VCRequest:
 		r.onVCRequest(m)
 	case *NVPropose:
@@ -446,18 +455,61 @@ func (r *Replica) drainOrders() {
 		}
 		r.lastProgress = time.Now()
 		events := r.rt.Exec.Commit(m.Seq, m.View, m.Batch, nil)
-		for _, ev := range events {
-			r.rt.Metrics.ExecutedBatches.Add(1)
-			r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
-			r.informSpeculative(ev)
-			for i := range ev.Rec.Batch.Requests {
-				delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
-			}
-			delete(r.primaryHistories, ev.Rec.Seq)
-			r.rt.MaybeCheckpoint(ev.Rec.Seq)
-		}
+		r.afterExecution(events)
 		r.proposeReady(false)
 	}
+}
+
+// afterExecution performs the per-event bookkeeping shared by the normal
+// case, fetched records, and snapshot installs.
+func (r *Replica) afterExecution(events []protocol.Executed) {
+	for _, ev := range events {
+		r.rt.Metrics.ExecutedBatches.Add(1)
+		r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
+		r.informSpeculative(ev)
+		for i := range ev.Rec.Batch.Requests {
+			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
+		}
+		delete(r.primaryHistories, ev.Rec.Seq)
+		r.rt.MaybeCheckpoint(ev.Rec.Seq)
+	}
+}
+
+// afterInstall resumes the protocol around an installed snapshot: buffered
+// order requests the snapshot superseded are discarded, and sequencing and
+// view jump forward. The history digest needs no explicit repair — it is
+// derived from the ledger head, which InstallSnapshot re-rooted at the
+// certified block. No record fetch bridges snapshot → live head: fetched
+// records are uncertified speculative history, and adopting a suffix a peer
+// later rolls back would leave this replica divergent if it misses that
+// view change. Zyzzyva's own catch-up is the view change — the NV-PROPOSE
+// carries the executed records a lagging replica is missing — which the
+// order-gap suspicion timer reaches on its own.
+func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Executed) {
+	for seq := range r.orders {
+		if seq <= snap.Seq {
+			delete(r.orders, seq)
+		}
+	}
+	for seq := range r.primaryHistories {
+		if seq <= snap.Seq {
+			delete(r.primaryHistories, seq)
+		}
+	}
+	if r.nextPropose <= snap.Seq {
+		r.nextPropose = snap.Seq + 1
+	}
+	if r.committedStable < snap.Seq {
+		r.committedStable = snap.Seq
+	}
+	if snap.Head.View > r.view {
+		r.view = snap.Head.View
+		r.status = statusNormal
+	}
+	r.lastProgress = time.Now()
+	r.curTimeout = r.rt.Cfg.ViewTimeout
+	r.afterExecution(events)
+	r.drainOrders()
 }
 
 // history returns the current speculative history digest: the ledger head's
@@ -542,6 +594,10 @@ func (r *Replica) onCommitReq(m *CommitReq) {
 
 func (r *Replica) onTick() {
 	now := time.Now()
+	// Snapshot state transfer runs in every status: a replica too far behind
+	// to receive in-window ORDER-REQs needs it exactly when the normal case
+	// (and Zyzzyva's view-change catch-up) cannot reach it.
+	r.rt.Sync.Tick(now)
 	switch r.status {
 	case statusNormal:
 		if r.isPrimary() && r.rt.Batcher.Ripe(now) {
@@ -553,6 +609,9 @@ func (r *Replica) onTick() {
 	case statusViewChange:
 		if now.Sub(r.vcStarted) > r.curTimeout {
 			r.startViewChange(r.vcTarget + 1)
+		} else if now.Sub(r.vcResent) > r.rt.Cfg.ViewTimeout {
+			r.broadcastVC(r.vcTarget)
+			r.maybeProposeNewView(r.vcTarget)
 		}
 	}
 }
@@ -580,6 +639,17 @@ func (r *Replica) startViewChange(target types.View) {
 		return
 	}
 	r.sentVC[target] = true
+	r.broadcastVC(target)
+	r.maybeProposeNewView(target)
+}
+
+// broadcastVC signs and broadcasts this replica's view-change request for
+// target. Called on entry and then periodically while the view change is
+// pending: VIEW-CHANGE messages lost to a partition are not otherwise
+// retransmitted, and the new-view primary cannot assemble its quorum
+// without them.
+func (r *Replica) broadcastVC(target types.View) {
+	r.vcResent = time.Now()
 	stable := r.rt.Exec.StableCheckpointSeq()
 	req := &VCRequest{
 		From:      r.rt.Cfg.ID,
@@ -590,7 +660,6 @@ func (r *Replica) startViewChange(target types.View) {
 	req.Sig = r.rt.Keys.Sign(req.SignedPayload())
 	r.recordVCVote(req)
 	r.rt.Broadcast(req)
-	r.maybeProposeNewView(target)
 }
 
 func (r *Replica) recordVCVote(m *VCRequest) {
@@ -642,7 +711,44 @@ func (r *Replica) onVCRequest(m *VCRequest) {
 			r.startViewChange(target)
 		}
 	}
+	r.joinDivergedViewChange()
 	r.maybeProposeNewView(target)
+}
+
+// joinDivergedViewChange applies the Castro-Liskov liveness rule: when f+1
+// distinct replicas are view-changing to views beyond this replica's own
+// target, at least one of them is honest — adopt the smallest such view
+// immediately instead of waiting out the (exponentially backed-off) local
+// timer. Without it a storm of staggered leader failures can strand the
+// replicas on pairwise-different targets, none of which ever gathers a
+// quorum.
+func (r *Replica) joinDivergedViewChange() {
+	cur := r.view
+	if r.status == statusViewChange && r.vcTarget > cur {
+		cur = r.vcTarget
+	}
+	voters := make(map[types.ReplicaID]types.View)
+	for target, votes := range r.vcVotes {
+		if target <= cur {
+			continue
+		}
+		for id := range votes {
+			if t, ok := voters[id]; !ok || target < t {
+				voters[id] = target
+			}
+		}
+	}
+	if len(voters) < r.rt.Cfg.FPlus1() {
+		return
+	}
+	join := types.View(0)
+	for _, target := range voters {
+		if join == 0 || target < join {
+			join = target
+		}
+	}
+	r.startViewChange(join)
+	r.maybeProposeNewView(join)
 }
 
 func (r *Replica) maybeProposeNewView(target types.View) {
@@ -749,6 +855,7 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.status = statusNormal
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
+	r.rt.Metrics.ViewChangesDone.Add(1)
 	r.orders = make(map[types.SeqNum]*OrderReq)
 	r.primaryHistories = make(map[types.SeqNum]types.Digest)
 	for target := range r.vcVotes {

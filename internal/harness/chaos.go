@@ -82,6 +82,14 @@ type ChaosOptions struct {
 	// Plan appends extra scheduled fabric steps (offsets from measurement
 	// start, like PartitionAt).
 	Plan *network.Plan
+
+	// CompareStable caps the final prefix-agreement check at each replica
+	// pair's lowest stable checkpoint (the nf-certified prefix). Zyzzyva
+	// needs it under view-change storms: its speculative suffix is
+	// uncertified by design, and a replica that missed the repairing view
+	// change can legitimately end the run with a divergent tail — the
+	// quorum-certified checkpoints are its actual agreement guarantee.
+	CompareStable bool
 }
 
 // ChaosReport is the outcome of a chaos run.
@@ -283,8 +291,7 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 		report.Result.AvgLatency = time.Duration(latencySum.Load() / total)
 	}
 	for _, h := range replicas {
-		report.Result.ViewChanges += h.Runtime().Metrics.ViewChanges.Load()
-		report.Result.Rollbacks += h.Runtime().Metrics.Rollbacks.Load()
+		report.Result.addReplicaMetrics(h.Runtime().Metrics)
 	}
 	report.Net = fn.Stats()
 
@@ -315,13 +322,45 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 			if opts.Attack != AttackNone && j == opts.Faulty {
 				continue
 			}
-			if ok, why := comparePrefix(replicas[i], replicas[j]); !ok && report.PrefixMatch {
+			limit := types.SeqNum(^uint64(0))
+			if opts.CompareStable {
+				limit = replicas[i].Runtime().Exec.StableCheckpointSeq()
+				if s := replicas[j].Runtime().Exec.StableCheckpointSeq(); s < limit {
+					limit = s
+				}
+			}
+			if ok, why := comparePrefixUpTo(replicas[i], replicas[j], limit); !ok && report.PrefixMatch {
 				report.PrefixMatch = false
 				report.Divergence = fmt.Sprintf("replicas %d vs %d: %s", i, j, why)
 			}
 		}
 	}
 	return report, nil
+}
+
+// FlakyLeaderPlan scripts a view-change storm: each of the first `rounds`
+// leaders in view order (replica k leads view k in the fixed-rotation
+// protocols) is isolated from the other replicas for `outage`, then healed —
+// so every isolation targets exactly the leader the previous view change
+// elected, forcing the cluster through one completed view change per round
+// while client load continues. Rounds fire `period` apart starting at
+// `start`; use outage < period so each heal lands before the next cut.
+// Pass the result as ChaosOptions.Plan.
+func FlakyLeaderPlan(n, rounds int, start, period, outage time.Duration) *network.Plan {
+	plan := network.NewPlan()
+	for k := 0; k < rounds; k++ {
+		at := start + time.Duration(k)*period
+		leader := types.ReplicaNode(types.ReplicaID(k % n))
+		rest := make([]types.NodeID, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != k%n {
+				rest = append(rest, types.ReplicaNode(types.ReplicaID(i)))
+			}
+		}
+		plan.PartitionAt(at, []types.NodeID{leader}, rest, false)
+		plan.HealAt(at + outage)
+	}
+	return plan
 }
 
 // planOffsets lists a plan's step offsets (for the event marker).

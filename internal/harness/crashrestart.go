@@ -211,8 +211,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 		report.Result.AvgLatency = time.Duration(latencySum.Load() / total)
 	}
 	for _, r := range replicas {
-		report.Result.ViewChanges += r.handle.Runtime().Metrics.ViewChanges.Load()
-		report.Result.Rollbacks += r.handle.Runtime().Metrics.Rollbacks.Load()
+		report.Result.addReplicaMetrics(r.handle.Runtime().Metrics)
 	}
 
 	victim := replicas[opts.Victim].handle.Runtime().Exec
@@ -235,6 +234,13 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 // replica: batch digests must agree wherever both chains have the block, and
 // the victim's chain must be internally hash-linked.
 func comparePrefix(victim, live replicaHandle) (bool, string) {
+	return comparePrefixUpTo(victim, live, types.SeqNum(^uint64(0)))
+}
+
+// comparePrefixUpTo is comparePrefix capped at limit (inclusive) — used by
+// the chaos runner's CompareStable mode to restrict the check to the
+// quorum-certified checkpoint prefix.
+func comparePrefixUpTo(victim, live replicaHandle, limit types.SeqNum) (bool, string) {
 	vc := victim.Runtime().Exec.Chain()
 	lc := live.Runtime().Exec.Chain()
 	if seq, ok := vc.Verify(); !ok {
@@ -244,6 +250,9 @@ func comparePrefix(victim, live replicaHandle) (bool, string) {
 	hi := types.SeqNum(vc.Height())
 	if lh := types.SeqNum(lc.Height()); lh < hi {
 		hi = lh
+	}
+	if limit < hi {
+		hi = limit
 	}
 	for seq := lo; seq <= hi; seq++ {
 		vb, vok := vc.Get(seq)

@@ -237,8 +237,22 @@ type Result struct {
 	AvgLatency  time.Duration // request send → quorum reply
 	Completed   int64
 	ViewChanges int64
-	Rollbacks   int64
-	Timeline    []TimelinePoint
+	// ViewChangesDone counts view changes that completed (a new view was
+	// entered), summed across replicas; ViewChanges counts starts.
+	ViewChangesDone int64
+	Rollbacks       int64
+	Timeline        []TimelinePoint
+
+	// Snapshot state transfer, summed across replicas: snapshots served to
+	// lagging peers, snapshots installed from peers, chunk/byte volume, the
+	// Fetch pages used to bridge snapshot → live head, and attempts that
+	// timed out or failed verification and were retried on another peer.
+	SnapshotsServed    int64
+	SnapshotsInstalled int64
+	SnapshotChunks     int64
+	SnapshotBytes      int64
+	FetchPages         int64
+	StateSyncRetries   int64
 
 	// Egress pipeline saturation, summed (EgressSigned) and maxed
 	// (EgressMaxDepth) across replicas: authenticators computed off the
@@ -270,6 +284,9 @@ func (r Result) String() string {
 		r.EgressSigned, r.EgressMaxDepth)
 	if r.WALGroups > 0 {
 		s += fmt.Sprintf("  wal-groups=%d(mean %.1f)", r.WALGroups, r.WALGroupMean())
+	}
+	if r.SnapshotsInstalled > 0 || r.StateSyncRetries > 0 {
+		s += fmt.Sprintf("  snap=%d(%dB, retries=%d)", r.SnapshotsInstalled, r.SnapshotBytes, r.StateSyncRetries)
 	}
 	return s
 }
@@ -448,17 +465,28 @@ func Run(opts Options) (Result, error) {
 		res.AvgLatency = time.Duration(latencySum.Load() / total)
 	}
 	for _, h := range replicas {
-		m := h.Runtime().Metrics
-		res.ViewChanges += m.ViewChanges.Load()
-		res.Rollbacks += m.Rollbacks.Load()
-		res.EgressSigned += m.EgressSignedOffLoop.Load()
-		if d := m.EgressMaxDepth.Load(); d > res.EgressMaxDepth {
-			res.EgressMaxDepth = d
-		}
-		res.WALGroups += m.WALGroups.Load()
-		res.WALGroupedRecords += m.WALGroupedRecords.Load()
+		res.addReplicaMetrics(h.Runtime().Metrics)
 	}
 	return res, nil
+}
+
+// addReplicaMetrics folds one replica's runtime counters into the result.
+func (r *Result) addReplicaMetrics(m *protocol.Metrics) {
+	r.ViewChanges += m.ViewChanges.Load()
+	r.ViewChangesDone += m.ViewChangesDone.Load()
+	r.Rollbacks += m.Rollbacks.Load()
+	r.SnapshotsServed += m.SnapshotsServed.Load()
+	r.SnapshotsInstalled += m.SnapshotsInstalled.Load()
+	r.SnapshotChunks += m.SnapshotChunksRecv.Load()
+	r.SnapshotBytes += m.SnapshotBytesRecv.Load()
+	r.FetchPages += m.FetchPages.Load()
+	r.StateSyncRetries += m.StateSyncRetries.Load()
+	r.EgressSigned += m.EgressSignedOffLoop.Load()
+	if d := m.EgressMaxDepth.Load(); d > r.EgressMaxDepth {
+		r.EgressMaxDepth = d
+	}
+	r.WALGroups += m.WALGroups.Load()
+	r.WALGroupedRecords += m.WALGroupedRecords.Load()
 }
 
 // replicaConfig derives replica i's protocol configuration from the run

@@ -89,6 +89,21 @@ func Restore(head Block) *Chain {
 	return &Chain{blocks: []Block{head}, base: head.Seq, stable: 1}
 }
 
+// Reset re-roots the chain in place at a trusted head block, discarding all
+// retained blocks. It is the state-transfer counterpart of Restore: a replica
+// installing a verified checkpoint snapshot from a peer keeps its Chain
+// pointer (the runtime and protocol hold references) but replaces the history
+// with the snapshot head, exactly as if it had recovered from that snapshot
+// on disk. The caller must have verified the head against a checkpoint
+// certificate: Reset discards the stable prefix, which is otherwise immutable.
+func (c *Chain) Reset(head Block) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocks = append(c.blocks[:0], head)
+	c.base = head.Seq
+	c.stable = 1
+}
+
 // Genesis returns the chain's root block: the true genesis for a fresh
 // chain, or the snapshot head for a restored one.
 func (c *Chain) Genesis() Block {

@@ -390,7 +390,13 @@ func (s *Store) WriteSnapshot(snap *Snapshot, tail []types.ExecRecord) error {
 	s.base = snap.Seq
 	s.index = index
 	s.walSize = size
-	// s.next is unchanged: the tail ends where the executor is.
+	// For a locally-taken checkpoint the tail ends where the executor is and
+	// s.next is already right. Installing a transferred snapshot jumps the
+	// executor forward past everything the WAL ever held, so the next
+	// expected sequence number must jump with it.
+	if s.next < snap.Seq+1 {
+		s.next = snap.Seq + 1
+	}
 	s.dropStaleLocked(oldBase)
 	return nil
 }

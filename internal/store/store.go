@@ -309,6 +309,21 @@ func (kv *KV) Restore(records map[string][]byte, seq types.SeqNum) {
 	kv.last = seq
 }
 
+// DigestOf computes the state digest a replica would report after restoring
+// the given table at seq, without touching any live store. State-transfer
+// fetchers use it to check a received snapshot against checkpoint-certificate
+// digests before installing it.
+func DigestOf(records map[string][]byte, seq types.SeqNum) types.Digest {
+	var state [32]byte
+	for k, v := range records {
+		state = xorDigest(state, entryHash(k, v, true))
+	}
+	var buf [40]byte
+	copy(buf[:32], state[:])
+	binary.BigEndian.PutUint64(buf[32:], uint64(seq))
+	return sha256.Sum256(buf[:])
+}
+
 // UndoLen returns the number of pending undo entries (for the checkpoint
 // ablation benchmark).
 func (kv *KV) UndoLen() int {

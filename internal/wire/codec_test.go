@@ -77,8 +77,17 @@ func samples() []wire.Message {
 			Share: share(3), Cert: []byte("cert"),
 		},
 		&protocol.Fetch{}, &protocol.Fetch{From: 1, After: 7, Max: 64},
-		&protocol.FetchReply{}, &protocol.FetchReply{From: 2, Records: []types.ExecRecord{sampleRecord(1), sampleRecord(2)}},
+		&protocol.FetchReply{}, &protocol.FetchReply{From: 2, Head: 11, Records: []types.ExecRecord{sampleRecord(1), sampleRecord(2)}},
 		&protocol.Checkpoint{}, &protocol.Checkpoint{From: 1, Seq: 100, State: types.DigestBytes([]byte("s")), Ledger: types.DigestBytes([]byte("l")), Sig: []byte("sig")},
+		&protocol.SnapshotRequest{}, &protocol.SnapshotRequest{From: 3, Have: 128},
+		&protocol.SnapshotOffer{}, &protocol.SnapshotOffer{
+			From: 2, Seq: 96, Size: 4096, Chunks: 2,
+			Cert: []protocol.Checkpoint{
+				{From: 0, Seq: 96, State: types.DigestBytes([]byte("s")), Ledger: types.DigestBytes([]byte("l")), Sig: []byte("sig0")},
+				{From: 2, Seq: 96, State: types.DigestBytes([]byte("s")), Ledger: types.DigestBytes([]byte("l")), Sig: []byte("sig2")},
+			},
+		},
+		&protocol.SnapshotChunk{}, &protocol.SnapshotChunk{From: 2, Seq: 96, Index: 1, Data: bytes.Repeat([]byte("z"), 1024)},
 		&types.ExecRecord{}, func() wire.Message { r := sampleRecord(5); return &r }(),
 		// poe
 		&poe.Propose{}, &poe.Propose{View: 1, Seq: 2, Batch: sampleBatch(3), Auth: auth},

@@ -16,6 +16,11 @@ const (
 	IDExecRecord     uint16 = 7
 	IDSnapshot       uint16 = 8
 
+	// Snapshot state transfer (internal/consensus/protocol/statesync.go).
+	IDSnapshotRequest uint16 = 9
+	IDSnapshotOffer   uint16 = 10
+	IDSnapshotChunk   uint16 = 11
+
 	// 16–31: PoE.
 	IDPoePropose   uint16 = 16
 	IDPoeSupport   uint16 = 17

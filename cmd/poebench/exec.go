@@ -1,0 +1,171 @@
+package main
+
+// -fig exec: the parallel execution engine sweep (PR 7). A direct
+// scheduler-level benchmark — no consensus, no network — that executes the
+// same ordered batch stream serially (store.KV.Apply) and through
+// exec.Engine at several worker counts, across conflict profile ×
+// batch-size × window-depth points. Every parallel run is differentially
+// checked against the serial twin's per-sequence state digests; the
+// "violations" column must read 0 everywhere, or the engine is broken and
+// the throughput numbers are meaningless.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/poexec/poe/internal/exec"
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+// execProfile shapes the key-access distribution of the generated stream.
+type execProfile struct {
+	name    string
+	keys    int     // key-space size
+	hot     int     // hot-subset size (0 = uniform)
+	hotProb float64 // probability an op hits the hot subset
+}
+
+// execPoint is one sweep coordinate.
+type execPoint struct {
+	batch int // transactions per batch
+	depth int // batches per window (the pipeline depth execution drains at once)
+}
+
+const (
+	execOpsPerTxn = 4   // 2 reads + 2 writes
+	execValueSize = 128 // write payload; hashing it is the parallelizable work
+	execTxnTarget = 24_000
+)
+
+// genExecWindows deterministically generates the point's whole stream:
+// window after window of decided batches, identical for every engine.
+func genExecWindows(p execProfile, pt execPoint, seed int64) [][]exec.Task {
+	rng := rand.New(rand.NewSource(seed))
+	key := func() string {
+		if p.hot > 0 && rng.Float64() < p.hotProb {
+			return fmt.Sprintf("key%08d", rng.Intn(p.hot))
+		}
+		return fmt.Sprintf("key%08d", rng.Intn(p.keys))
+	}
+	var windows [][]exec.Task
+	seq := types.SeqNum(0)
+	for txns := 0; txns < execTxnTarget; {
+		window := make([]exec.Task, pt.depth)
+		for d := 0; d < pt.depth; d++ {
+			seq++
+			b := &types.Batch{}
+			for i := 0; i < pt.batch; i++ {
+				txn := types.Transaction{Client: types.ClientID(i % 64), Seq: uint64(seq)}
+				for j := 0; j < execOpsPerTxn; j++ {
+					if j%2 == 0 {
+						txn.Ops = append(txn.Ops, types.Op{Kind: types.OpRead, Key: key()})
+					} else {
+						val := make([]byte, execValueSize)
+						rng.Read(val)
+						txn.Ops = append(txn.Ops, types.Op{Kind: types.OpWrite, Key: key(), Value: val})
+					}
+				}
+				b.Requests = append(b.Requests, types.Request{Txn: txn})
+			}
+			window[d] = exec.Task{Seq: seq, Batch: b}
+			txns += pt.batch
+		}
+		windows = append(windows, window)
+	}
+	return windows
+}
+
+// runExecSerial executes the stream through the serial store path and
+// returns throughput plus the per-sequence digest trace the parallel runs
+// are checked against.
+func runExecSerial(windows [][]exec.Task) (float64, []types.Digest) {
+	kv := store.New()
+	var digests []types.Digest
+	txns := 0
+	start := time.Now()
+	for _, window := range windows {
+		for i := range window {
+			if _, err := kv.Apply(window[i].Seq, window[i].Batch); err != nil {
+				panic(err)
+			}
+			digests = append(digests, kv.StateDigest())
+			txns += len(window[i].Batch.Requests)
+		}
+	}
+	return float64(txns) / time.Since(start).Seconds(), digests
+}
+
+// runExecParallel executes the stream through the engine, installing each
+// window's effects and counting determinism violations against the serial
+// digest trace.
+func runExecParallel(windows [][]exec.Task, workers int, want []types.Digest) (tps float64, waves, violations int) {
+	kv := store.New()
+	eng := exec.New(workers)
+	txns, di := 0, 0
+	start := time.Now()
+	for _, window := range windows {
+		out, stats := eng.Run(kv, window)
+		waves += stats.Waves
+		for i := range window {
+			if err := kv.InstallPrepared(window[i].Seq, out[i].Writes, out[i].Delta); err != nil {
+				panic(err)
+			}
+			if kv.StateDigest() != want[di] {
+				violations++
+			}
+			di++
+			txns += len(window[i].Batch.Requests)
+		}
+	}
+	return float64(txns) / time.Since(start).Seconds(), waves, violations
+}
+
+// figExec runs the sweep and records every point in the snapshot
+// (BENCH_PR7.json).
+func figExec() {
+	header(fmt.Sprintf("exec: parallel execution sweep (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	profiles := []execProfile{
+		{name: "low-conflict", keys: 1 << 14},
+		{name: "high-conflict", keys: 256, hot: 8, hotProb: 0.6},
+	}
+	points := []execPoint{{batch: 50, depth: 1}, {batch: 50, depth: 8}, {batch: 200, depth: 8}, {batch: 50, depth: 32}}
+	workerCounts := []int{1, 2, 4, 8}
+	totalViolations := 0
+	for _, p := range profiles {
+		fmt.Printf("%s (keys=%d hot=%d/%.0f%%)\n", p.name, p.keys, p.hot, p.hotProb*100)
+		fmt.Printf("  %-18s %12s", "point", "serial")
+		for _, w := range workerCounts {
+			fmt.Printf("  %12s", fmt.Sprintf("w=%d", w))
+		}
+		fmt.Printf("  %10s  %s\n", "waves/win", "violations")
+		for _, pt := range points {
+			windows := genExecWindows(p, pt, 7)
+			serialTPS, digests := runExecSerial(windows)
+			record2(fmt.Sprintf("exec/%s/batch=%d/depth=%d/serial", p.name, pt.batch, pt.depth), serialTPS)
+			fmt.Printf("  batch=%-4d depth=%-3d %9.0f/s", pt.batch, pt.depth, serialTPS)
+			var lastWaves, pointViolations int
+			for _, w := range workerCounts {
+				tps, waves, viol := runExecParallel(windows, w, digests)
+				lastWaves = waves
+				pointViolations += viol
+				record2(fmt.Sprintf("exec/%s/batch=%d/depth=%d/workers=%d", p.name, pt.batch, pt.depth, w), tps)
+				fmt.Printf("  %7.0f/s %.1fx", tps, tps/serialTPS)
+			}
+			totalViolations += pointViolations
+			fmt.Printf("  %10.1f  %d\n", float64(lastWaves)/float64(len(windows)), pointViolations)
+		}
+	}
+	if totalViolations == 0 {
+		fmt.Println("determinism: 0 violations across the sweep")
+	} else {
+		fmt.Printf("determinism: %d VIOLATIONS — parallel execution diverged from serial\n", totalViolations)
+	}
+}
+
+// record2 adds one raw txn/s sample to the snapshot.
+func record2(name string, tps float64) {
+	snapshot.Benchmarks[name] = benchEntry{TxnPerSec: tps}
+}

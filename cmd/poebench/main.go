@@ -84,7 +84,7 @@ type scale struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,all; or the chaos scenario suite: chaos")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,codec,exec,all; or the chaos scenario suite: chaos")
 	full := flag.Bool("full", false, "run the larger (paper-scale) configurations")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark snapshot (benchmark name → txn/s, latency) to this file")
 	flag.Parse()
@@ -169,6 +169,10 @@ func main() {
 	if run("codec") {
 		any = true
 		figCodec()
+	}
+	if run("exec") {
+		any = true
+		figExec()
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)

@@ -31,6 +31,15 @@ type Metrics struct {
 	WALGroups         atomic.Int64
 	WALGroupedRecords atomic.Int64
 
+	// Parallel execution engine: windows drained through the conflict-aware
+	// scheduler, the waves they split into, and the transactions they
+	// carried. ParallelTxns/ParallelWaves is the achieved intra-wave
+	// parallelism; ParallelWaves/ParallelWindows near 1.0 means a
+	// low-conflict workload scheduled almost flat.
+	ParallelWindows atomic.Int64
+	ParallelWaves   atomic.Int64
+	ParallelTxns    atomic.Int64
+
 	// ViewChangesDone counts view changes that completed — the replica
 	// entered the new view and resumed progress — as opposed to ViewChanges,
 	// which counts attempts started. The soak harness asserts on completions.

@@ -1,0 +1,331 @@
+package protocol
+
+// Serial-vs-parallel executor twins: the same decided stream fed to a plain
+// executor and to one with the conflict-aware engine attached must produce
+// identical per-sequence checkpoint digests, reply results, dedup behaviour,
+// rollback outcomes, WAL bytes on disk, and recovery results. These tests
+// pin the protocol-layer half of the determinism contract (docs/DESIGN.md
+// §7); the engine-internal half lives in internal/exec.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/poexec/poe/internal/exec"
+	"github.com/poexec/poe/internal/ledger"
+	"github.com/poexec/poe/internal/storage"
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+// volatileExec builds an in-memory executor, optionally with the parallel
+// engine attached.
+func volatileExec(workers int) *Executor {
+	e := NewExecutor(store.New(), ledger.NewChain(0))
+	e.RetainSlack = 1 << 20
+	if workers > 0 {
+		e.EnableParallel(exec.New(workers), nil)
+	}
+	return e
+}
+
+// durableParallelExec mirrors durableExec with the parallel engine attached
+// before recovery, replaying the WAL suffix through CommitMany as one window
+// — exactly NewRuntime's recovery sequence with ParallelExec set.
+func durableParallelExec(t *testing.T, dir string, workers int) (*Executor, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatalf("open storage: %v", err)
+	}
+	rec := st.Recovered()
+	kv := store.New()
+	var chain *ledger.Chain
+	if rec.Snapshot != nil {
+		kv.Restore(rec.Snapshot.Data, rec.Snapshot.Seq)
+		chain = ledger.Restore(rec.Snapshot.Head)
+	} else {
+		chain = ledger.NewChain(0)
+	}
+	e := NewExecutor(kv, chain)
+	e.RetainSlack = 1 << 20
+	e.EnableParallel(exec.New(workers), nil)
+	if rec.Snapshot != nil {
+		e.Restore(rec.Snapshot.Seq, rec.Snapshot.LastCli)
+	}
+	e.CommitMany(rec.Records)
+	e.AttachStorage(st)
+	return e, st
+}
+
+// parBatch builds a batch of read-modify-write transactions over a small key
+// space, deterministic in (seq, salt): conflict-heavy across batches.
+func parBatch(seq types.SeqNum, salt int) types.Batch {
+	var b types.Batch
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", (int(seq)+i*salt)%5)
+		b.Requests = append(b.Requests, types.Request{Txn: types.Transaction{
+			Client: types.ClientIDBase + types.ClientID(i),
+			Seq:    uint64(seq),
+			Ops: []types.Op{
+				{Kind: types.OpRead, Key: key},
+				{Kind: types.OpWrite, Key: key, Value: []byte{byte(seq), byte(i), byte(salt)}},
+			},
+		}})
+	}
+	return b
+}
+
+// assertTwinsEqual compares every observable the checkpoint/chaos machinery
+// relies on, at every executed sequence number.
+func assertTwinsEqual(t *testing.T, serial, par *Executor) {
+	t.Helper()
+	if s, p := serial.LastExecuted(), par.LastExecuted(); s != p {
+		t.Fatalf("executed head diverged: serial %d, parallel %d", s, p)
+	}
+	if serial.StateDigest() != par.StateDigest() {
+		t.Fatal("state digest diverged")
+	}
+	sh, ph := serial.Chain().Head(), par.Chain().Head()
+	if sh.Hash() != ph.Hash() {
+		t.Fatal("ledger head diverged")
+	}
+	for seq := types.SeqNum(1); seq <= serial.LastExecuted(); seq++ {
+		ss, sl, sok := serial.DigestsAt(seq)
+		ps, pl, pok := par.DigestsAt(seq)
+		if sok != pok || ss != ps || sl != pl {
+			t.Fatalf("checkpoint digests diverged at seq %d", seq)
+		}
+	}
+}
+
+// assertEventsEqual compares the Executed streams (records and reply
+// results) from one Commit call.
+func assertEventsEqual(t *testing.T, serial, par []Executed) {
+	t.Helper()
+	if len(serial) != len(par) {
+		t.Fatalf("event count diverged: serial %d, parallel %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Rec.Seq != par[i].Rec.Seq || serial[i].Rec.Digest != par[i].Rec.Digest {
+			t.Fatalf("event %d record diverged", i)
+		}
+		if !reflect.DeepEqual(serial[i].Results, par[i].Results) {
+			t.Fatalf("event %d results diverged at seq %d:\n serial   %v\n parallel %v",
+				i, serial[i].Rec.Seq, serial[i].Results, par[i].Results)
+		}
+	}
+}
+
+// TestParallelTwinSingleBatches drives both executors one batch at a time —
+// parallel windows of depth 1, the live steady state.
+func TestParallelTwinSingleBatches(t *testing.T) {
+	serial, par := volatileExec(0), volatileExec(4)
+	for seq := types.SeqNum(1); seq <= 30; seq++ {
+		b := parBatch(seq, 3)
+		se := serial.Commit(seq, 0, b, []byte{byte(seq)})
+		pe := par.Commit(seq, 0, b, []byte{byte(seq)})
+		assertEventsEqual(t, se, pe)
+	}
+	assertTwinsEqual(t, serial, par)
+}
+
+// TestParallelTwinDeepWindows commits out of order so the parallel executor
+// drains multi-batch windows (cross-batch conflict scheduling) while the
+// serial twin executes the same batches one by one.
+func TestParallelTwinDeepWindows(t *testing.T) {
+	serial, par := volatileExec(0), volatileExec(4)
+	rng := rand.New(rand.NewSource(7))
+	next := types.SeqNum(1)
+	for round := 0; round < 12; round++ {
+		depth := 1 + rng.Intn(6)
+		batches := make([]types.Batch, depth)
+		for i := range batches {
+			batches[i] = parBatch(next+types.SeqNum(i), 1+rng.Intn(4))
+		}
+		// Feed the window back-to-front: everything parks in pending until
+		// the first sequence number arrives, then drains as one window.
+		var pe, se []Executed
+		for i := depth - 1; i >= 0; i-- {
+			seq := next + types.SeqNum(i)
+			se = append(se, serial.Commit(seq, 0, batches[i], nil)...)
+			pe = append(pe, par.Commit(seq, 0, batches[i], nil)...)
+		}
+		assertEventsEqual(t, se, pe)
+		next += types.SeqNum(depth)
+	}
+	assertTwinsEqual(t, serial, par)
+}
+
+// TestParallelTwinDedup sends duplicate client sequence numbers inside and
+// across batches: the dedup pre-pass must suppress exactly what the serial
+// path suppresses, and AlreadyExecuted must agree.
+func TestParallelTwinDedup(t *testing.T) {
+	serial, par := volatileExec(0), volatileExec(4)
+	mk := func(seq types.SeqNum, cliSeq uint64) types.Batch {
+		return writeBatch(types.ClientIDBase, cliSeq, "dup", byte(seq))
+	}
+	// seq 1 executes cliSeq 5; seq 2 repeats cliSeq 5 (fully stale batch);
+	// seq 3 mixes a stale and a fresh request; feed 2 and 3 before 1 so the
+	// parallel side handles the duplicates inside one window.
+	b1, b2 := mk(1, 5), mk(2, 5)
+	b3 := mk(3, 5)
+	b3.Requests = append(b3.Requests, types.Request{Txn: types.Transaction{
+		Client: types.ClientIDBase, Seq: 6,
+		Ops: []types.Op{{Kind: types.OpWrite, Key: "dup", Value: []byte{99}}},
+	}})
+	var se, pe []Executed
+	for _, c := range []struct {
+		seq types.SeqNum
+		b   types.Batch
+	}{{3, b3}, {2, b2}, {1, b1}} {
+		se = append(se, serial.Commit(c.seq, 0, c.b, nil)...)
+		pe = append(pe, par.Commit(c.seq, 0, c.b, nil)...)
+	}
+	assertEventsEqual(t, se, pe)
+	assertTwinsEqual(t, serial, par)
+	for _, cs := range []uint64{4, 5, 6, 7} {
+		if s, p := serial.AlreadyExecuted(types.ClientIDBase, cs), par.AlreadyExecuted(types.ClientIDBase, cs); s != p {
+			t.Fatalf("AlreadyExecuted(%d) diverged: serial %v, parallel %v", cs, s, p)
+		}
+	}
+}
+
+// TestParallelRollbackMidStream speculatively executes a window, rolls both
+// twins back mid-window, and re-executes a different suffix — the PoE
+// view-change shape. Undo journals (store preimages and lastCli marks) must
+// rewind identically.
+func TestParallelRollbackMidStream(t *testing.T) {
+	serial, par := volatileExec(0), volatileExec(4)
+	commitBoth := func(seq types.SeqNum, b types.Batch) {
+		t.Helper()
+		se := serial.Commit(seq, 0, b, nil)
+		pe := par.Commit(seq, 0, b, nil)
+		assertEventsEqual(t, se, pe)
+	}
+	for seq := types.SeqNum(1); seq <= 10; seq++ {
+		commitBoth(seq, parBatch(seq, 2))
+	}
+	if err := serial.Rollback(4); err != nil {
+		t.Fatalf("serial rollback: %v", err)
+	}
+	if err := par.Rollback(4); err != nil {
+		t.Fatalf("parallel rollback: %v", err)
+	}
+	assertTwinsEqual(t, serial, par)
+	// Dedup history must also have rewound: cliSeq 5..10 are executable again.
+	for _, cs := range []uint64{4, 5, 10} {
+		if s, p := serial.AlreadyExecuted(types.ClientIDBase, cs), par.AlreadyExecuted(types.ClientIDBase, cs); s != p {
+			t.Fatalf("post-rollback AlreadyExecuted(%d) diverged", cs)
+		}
+	}
+	// Re-execute a different history over the rolled-back range.
+	for seq := types.SeqNum(5); seq <= 12; seq++ {
+		commitBoth(seq, parBatch(seq, 5))
+	}
+	assertTwinsEqual(t, serial, par)
+}
+
+// walBytes reads the concatenated WAL file contents of a data dir.
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	return all
+}
+
+// TestParallelWALByteStream runs durable twins and requires their on-disk
+// WAL streams to be byte-identical — the strongest form of "the WAL cannot
+// tell which engine executed it".
+func TestParallelWALByteStream(t *testing.T) {
+	serialDir, parDir := t.TempDir(), t.TempDir()
+	se, sst := durableExec(t, serialDir)
+	pe, pst := durableExec(t, parDir)
+	pe.EnableParallel(exec.New(4), nil)
+	next := types.SeqNum(1)
+	for round := 0; round < 5; round++ {
+		depth := types.SeqNum(3 + round)
+		for i := depth; i >= 1; i-- {
+			seq := next + i - 1
+			b := parBatch(seq, round+1)
+			se.Commit(seq, 0, b, []byte{byte(seq)})
+			pe.Commit(seq, 0, b, []byte{byte(seq)})
+		}
+		next += depth
+	}
+	assertTwinsEqual(t, se, pe)
+	sst.Close()
+	pst.Close()
+	sb, pb := walBytes(t, serialDir), walBytes(t, parDir)
+	if len(sb) == 0 {
+		t.Fatal("serial WAL is empty; test is vacuous")
+	}
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("WAL byte streams diverge: serial %d bytes, parallel %d bytes", len(sb), len(pb))
+	}
+}
+
+// TestParallelRecoveryReplayDeterminism crashes a durable run and recovers
+// it twice from copies of the same directory — once serially, once through
+// the parallel engine (replaying the whole WAL suffix as one window via
+// CommitMany) — and requires identical recovered state.
+func TestParallelRecoveryReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	e, st := durableExec(t, dir)
+	for seq := types.SeqNum(1); seq <= 20; seq++ {
+		e.Commit(seq, 0, parBatch(seq, 3), []byte{byte(seq)})
+	}
+	e.MarkStable(8) // snapshot at 8, WAL suffix 9..20 replays at recovery
+	for seq := types.SeqNum(21); seq <= 25; seq++ {
+		e.Commit(seq, 0, parBatch(seq, 4), []byte{byte(seq)})
+	}
+	wantState := e.StateDigest()
+	wantHead := headBlock(e)
+	st.Close()
+
+	// Copy the dir so both twins recover from the identical byte state.
+	parDir := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(parDir, ent.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	se, sst := durableExec(t, dir)
+	defer sst.Close()
+	pe, pst := durableParallelExec(t, parDir, 4)
+	defer pst.Close()
+	if se.LastExecuted() != 25 || pe.LastExecuted() != 25 {
+		t.Fatalf("recovered heads: serial %d, parallel %d, want 25", se.LastExecuted(), pe.LastExecuted())
+	}
+	if se.StateDigest() != wantState || pe.StateDigest() != wantState {
+		t.Fatal("recovered state digest diverged from pre-crash state")
+	}
+	if headBlock(se) != wantHead || headBlock(pe) != wantHead {
+		t.Fatal("recovered ledger head diverged from pre-crash head")
+	}
+	assertTwinsEqual(t, se, pe)
+}

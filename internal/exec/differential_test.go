@@ -1,0 +1,201 @@
+package exec
+
+// Differential property test: randomized workloads — skewed key
+// distributions, read/write/noop mixes, cross-batch conflicts, zero-payload
+// batches, mid-stream rollbacks — executed serially through store.KV.Apply
+// and in parallel through Engine.Run + InstallPrepared at several worker
+// counts must agree on every observable: per-sequence state digests, reply
+// results byte for byte, undo-log depth, and the full table contents. The
+// seed is logged on every run; export POE_DIFF_SEED to replay a failure.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+type diffConfig struct {
+	name     string
+	keys     int     // key-space size
+	hotKeys  int     // size of the hot subset
+	hotProb  float64 // probability an op targets the hot subset (skew)
+	writeFrac float64
+	zeroProb float64 // probability a batch is zero-payload
+	windows  int
+	maxDepth int // batches per window
+	maxTxns  int // txns per batch
+	maxOps   int // ops per txn
+}
+
+var diffConfigs = []diffConfig{
+	{name: "low-conflict", keys: 256, hotKeys: 0, hotProb: 0, writeFrac: 0.5, zeroProb: 0.05, windows: 40, maxDepth: 5, maxTxns: 6, maxOps: 3},
+	{name: "skewed", keys: 64, hotKeys: 4, hotProb: 0.6, writeFrac: 0.5, zeroProb: 0, windows: 40, maxDepth: 5, maxTxns: 6, maxOps: 3},
+	{name: "write-heavy-hotspot", keys: 8, hotKeys: 2, hotProb: 0.8, writeFrac: 0.9, zeroProb: 0, windows: 30, maxDepth: 4, maxTxns: 8, maxOps: 4},
+	{name: "read-mostly", keys: 128, hotKeys: 8, hotProb: 0.3, writeFrac: 0.1, zeroProb: 0.1, windows: 30, maxDepth: 6, maxTxns: 6, maxOps: 3},
+}
+
+func diffSeed(t *testing.T) int64 {
+	if s := os.Getenv("POE_DIFF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad POE_DIFF_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return time.Now().UnixNano()
+}
+
+func (c diffConfig) key(rng *rand.Rand) string {
+	if c.hotKeys > 0 && rng.Float64() < c.hotProb {
+		return fmt.Sprintf("key%05d", rng.Intn(c.hotKeys))
+	}
+	return fmt.Sprintf("key%05d", rng.Intn(c.keys))
+}
+
+// genWindow produces one window of decided batches starting at seq first.
+func (c diffConfig) genWindow(rng *rand.Rand, first types.SeqNum, nextCliSeq map[types.ClientID]uint64) []Task {
+	depth := 1 + rng.Intn(c.maxDepth)
+	tasks := make([]Task, depth)
+	for d := 0; d < depth; d++ {
+		if rng.Float64() < c.zeroProb {
+			n := 1 + rng.Intn(4)
+			b := &types.Batch{ZeroPayload: true, ZeroCount: n}
+			for i := 0; i < n; i++ {
+				cli := types.ClientID(rng.Intn(8))
+				nextCliSeq[cli]++
+				b.Requests = append(b.Requests, types.Request{Txn: types.Transaction{Client: cli, Seq: nextCliSeq[cli]}})
+			}
+			tasks[d] = Task{Seq: first + types.SeqNum(d), Batch: b}
+			continue
+		}
+		b := &types.Batch{}
+		for i, n := 0, 1+rng.Intn(c.maxTxns); i < n; i++ {
+			cli := types.ClientID(rng.Intn(8))
+			nextCliSeq[cli]++
+			txn := types.Transaction{Client: cli, Seq: nextCliSeq[cli]}
+			for j, m := 0, 1+rng.Intn(c.maxOps); j < m; j++ {
+				key := c.key(rng)
+				switch r := rng.Float64(); {
+				case r < 0.05:
+					txn.Ops = append(txn.Ops, types.Op{Kind: types.OpNoop})
+				case r < 0.05+c.writeFrac:
+					val := make([]byte, 1+rng.Intn(16))
+					rng.Read(val)
+					txn.Ops = append(txn.Ops, types.Op{Kind: types.OpWrite, Key: key, Value: val})
+				default:
+					txn.Ops = append(txn.Ops, types.Op{Kind: types.OpRead, Key: key})
+				}
+			}
+			b.Requests = append(b.Requests, types.Request{Txn: txn})
+		}
+		tasks[d] = Task{Seq: first + types.SeqNum(d), Batch: b}
+	}
+	return tasks
+}
+
+func (c diffConfig) dumpKeys(kv *store.KV) map[string]string {
+	out := make(map[string]string)
+	for i := 0; i < c.keys; i++ {
+		k := fmt.Sprintf("key%05d", i)
+		if v, ok := kv.Get(k); ok {
+			out[k] = string(v)
+		}
+	}
+	return out
+}
+
+// TestDifferentialSerialVsParallel is the battery's core property test.
+func TestDifferentialSerialVsParallel(t *testing.T) {
+	seed := diffSeed(t)
+	t.Logf("differential seed=%d (replay with POE_DIFF_SEED=%d)", seed, seed)
+	workerCounts := []int{1, 2, 4, 8}
+	for _, cfg := range diffConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			serial := store.New()
+			engines := make([]*Engine, len(workerCounts))
+			parallel := make([]*store.KV, len(workerCounts))
+			for i, w := range workerCounts {
+				engines[i] = New(w)
+				parallel[i] = store.New()
+			}
+			nextCliSeq := make(map[types.ClientID]uint64)
+			for win := 0; win < cfg.windows; win++ {
+				first := serial.LastApplied() + 1
+				tasks := cfg.genWindow(rng, first, nextCliSeq)
+
+				serialRes := make([][]types.Result, len(tasks))
+				serialDigests := make([]types.Digest, len(tasks))
+				for i := range tasks {
+					res, err := serial.Apply(tasks[i].Seq, tasks[i].Batch)
+					if err != nil {
+						t.Fatalf("serial apply seq %d: %v", tasks[i].Seq, err)
+					}
+					serialRes[i] = res
+					serialDigests[i] = serial.StateDigest()
+				}
+
+				for wi, eng := range engines {
+					kv := parallel[wi]
+					out, stats := eng.Run(kv, tasks)
+					if stats.Txns == 0 || stats.Waves == 0 {
+						t.Fatalf("workers=%d window %d: empty stats %+v", eng.Workers(), win, stats)
+					}
+					for i := range tasks {
+						if !reflect.DeepEqual(out[i].Results, serialRes[i]) {
+							t.Fatalf("workers=%d window %d seq %d: results diverge\n parallel %v\n serial   %v",
+								eng.Workers(), win, tasks[i].Seq, out[i].Results, serialRes[i])
+						}
+						if err := kv.InstallPrepared(tasks[i].Seq, out[i].Writes, out[i].Delta); err != nil {
+							t.Fatalf("workers=%d install seq %d: %v", eng.Workers(), tasks[i].Seq, err)
+						}
+						if kv.StateDigest() != serialDigests[i] {
+							t.Fatalf("workers=%d window %d: state digest diverged at seq %d", eng.Workers(), win, tasks[i].Seq)
+						}
+					}
+					if kv.UndoLen() != serial.UndoLen() {
+						t.Fatalf("workers=%d window %d: undo depth %d, serial %d", eng.Workers(), win, kv.UndoLen(), serial.UndoLen())
+					}
+				}
+
+				// Every few windows, speculatively roll back a suffix on all
+				// twins: the parallel-installed undo log must rewind to the
+				// identical state, digest and table contents both.
+				if win%3 == 2 && serial.LastApplied() > first {
+					toSeq := first + types.SeqNum(rng.Intn(int(serial.LastApplied()-first)))
+					if err := serial.Rollback(toSeq); err != nil {
+						t.Fatalf("serial rollback to %d: %v", toSeq, err)
+					}
+					want := serial.StateDigest()
+					wantKeys := cfg.dumpKeys(serial)
+					for wi := range parallel {
+						if err := parallel[wi].Rollback(toSeq); err != nil {
+							t.Fatalf("workers=%d rollback to %d: %v", engines[wi].Workers(), toSeq, err)
+						}
+						if parallel[wi].StateDigest() != want {
+							t.Fatalf("workers=%d: digest diverged after rollback to %d", engines[wi].Workers(), toSeq)
+						}
+						if got := cfg.dumpKeys(parallel[wi]); !reflect.DeepEqual(got, wantKeys) {
+							t.Fatalf("workers=%d: table diverged after rollback to %d", engines[wi].Workers(), toSeq)
+						}
+					}
+				}
+			}
+			// Final full-table comparison.
+			want := cfg.dumpKeys(serial)
+			for wi := range parallel {
+				if got := cfg.dumpKeys(parallel[wi]); !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: final table diverged", engines[wi].Workers())
+				}
+			}
+		})
+	}
+}

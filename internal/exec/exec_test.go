@@ -1,0 +1,210 @@
+package exec
+
+// White-box tests of the wave scheduler: the conflict rules (write-write,
+// read-write, write-read on a shared key; reads never conflict) must map each
+// transaction to the first wave where it sees every conflicting predecessor's
+// effects — and the engine's Run must honor those waves so reads observe
+// exactly the serial-order value.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/poexec/poe/internal/store"
+	"github.com/poexec/poe/internal/types"
+)
+
+// txn builds a single-transaction request for client/seq with the given ops.
+func txn(client types.ClientID, seq uint64, ops ...types.Op) types.Request {
+	return types.Request{Txn: types.Transaction{Client: client, Seq: seq, Ops: ops}}
+}
+
+func read(key string) types.Op           { return types.Op{Kind: types.OpRead, Key: key} }
+func write(key, val string) types.Op     { return types.Op{Kind: types.OpWrite, Key: key, Value: []byte(val)} }
+func batchOf(reqs ...types.Request) *types.Batch { return &types.Batch{Requests: reqs} }
+
+// oneTask wraps requests into a single-batch window at seq 1.
+func oneTask(reqs ...types.Request) []Task {
+	return []Task{{Seq: 1, Batch: batchOf(reqs...)}}
+}
+
+func wavesOf(t *testing.T, tasks []Task) []int {
+	t.Helper()
+	units, _ := schedule(tasks)
+	out := make([]int, len(units))
+	for i := range units {
+		out[i] = units[i].wave
+	}
+	return out
+}
+
+func TestScheduleDisjointKeysOneWave(t *testing.T) {
+	w := wavesOf(t, oneTask(
+		txn(1, 1, write("a", "1")),
+		txn(2, 1, write("b", "1")),
+		txn(3, 1, read("c")),
+	))
+	for i, wave := range w {
+		if wave != 0 {
+			t.Fatalf("unit %d got wave %d, want 0 (disjoint keys)", i, wave)
+		}
+	}
+}
+
+func TestScheduleWriteWriteChains(t *testing.T) {
+	w := wavesOf(t, oneTask(
+		txn(1, 1, write("a", "1")),
+		txn(2, 1, write("a", "2")),
+		txn(3, 1, write("a", "3")),
+	))
+	want := []int{0, 1, 2}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("write-write chain waves %v, want %v", w, want)
+		}
+	}
+}
+
+func TestScheduleReadsShareAWave(t *testing.T) {
+	// Concurrent readers of one key do not conflict; a writer after them must
+	// wait for all of them (anti-dependency), and a reader after the writer
+	// must wait for the write.
+	w := wavesOf(t, oneTask(
+		txn(1, 1, read("a")),
+		txn(2, 1, read("a")),
+		txn(3, 1, write("a", "x")),
+		txn(4, 1, read("a")),
+	))
+	want := []int{0, 0, 1, 2}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("read/write waves %v, want %v", w, want)
+		}
+	}
+}
+
+func TestScheduleCrossBatchConflict(t *testing.T) {
+	// Conflicts span batch boundaries: the window is one ordered stream.
+	tasks := []Task{
+		{Seq: 1, Batch: batchOf(txn(1, 1, write("k", "1")))},
+		{Seq: 2, Batch: batchOf(txn(2, 1, read("k")), txn(3, 1, write("j", "1")))},
+	}
+	w := wavesOf(t, tasks)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("cross-batch waves %v, want %v", w, want)
+		}
+	}
+}
+
+func TestScheduleZeroPayloadAlwaysWaveZero(t *testing.T) {
+	tasks := []Task{
+		{Seq: 1, Batch: batchOf(txn(1, 1, write("k", "1")))},
+		{Seq: 2, Batch: &types.Batch{ZeroPayload: true, ZeroCount: 3, Requests: []types.Request{txn(9, 1)}}},
+	}
+	units, maxWave := schedule(tasks)
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2 (zero-payload batch is one unit)", len(units))
+	}
+	if units[1].wave != 0 || units[1].req != -1 {
+		t.Fatalf("zero-payload unit wave=%d req=%d, want wave 0, req -1", units[1].wave, units[1].req)
+	}
+	if maxWave != 0 {
+		t.Fatalf("maxWave %d, want 0", maxWave)
+	}
+}
+
+func TestScheduleIntraTxnOpsStayTogether(t *testing.T) {
+	// A read-modify-write transaction conflicts through both its ops; a
+	// successor touching either key lands strictly later.
+	w := wavesOf(t, oneTask(
+		txn(1, 1, read("a"), write("b", "1")),
+		txn(2, 1, read("b")),
+		txn(3, 1, write("a", "2")),
+	))
+	want := []int{0, 1, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("waves %v, want %v", w, want)
+		}
+	}
+}
+
+// TestRunReadsSeeSerialValues pins the overlay semantics: a transaction's
+// reads see its own earlier writes first, then earlier waves' writes, then
+// base state — never a later transaction's write.
+func TestRunReadsSeeSerialValues(t *testing.T) {
+	base := store.New()
+	base.Load(map[string][]byte{"k": []byte("base")})
+	for _, workers := range []int{1, 4} {
+		eng := New(workers)
+		tasks := oneTask(
+			txn(1, 1, read("k"), write("k", "v1"), read("k")),
+			txn(2, 1, read("k"), write("k", "v2")),
+			txn(3, 1, read("k")),
+		)
+		results, stats := eng.Run(base, tasks)
+		got := results[0].Results
+		check := func(r types.Result, i int, want string) {
+			t.Helper()
+			if string(r.Values[i]) != want {
+				t.Fatalf("workers=%d: read got %q, want %q", workers, r.Values[i], want)
+			}
+		}
+		check(got[0], 0, "base") // before own write
+		check(got[0], 2, "v1")   // own write visible
+		check(got[1], 0, "v1")   // predecessor wave's write
+		check(got[2], 0, "v2")
+		if stats.Waves != 3 || stats.Txns != 3 {
+			t.Fatalf("stats %+v, want 3 txns in 3 waves", stats)
+		}
+	}
+}
+
+// TestRunInstallMatchesApply is the smallest differential check: one window,
+// fixed ops, every observable equal between Apply and Run+InstallPrepared.
+func TestRunInstallMatchesApply(t *testing.T) {
+	mk := func() []Task {
+		return []Task{
+			{Seq: 1, Batch: batchOf(txn(1, 1, write("a", "1"), read("b")), txn(2, 1, write("b", "2")))},
+			{Seq: 2, Batch: batchOf(txn(1, 2, read("a"), write("a", "3")), txn(3, 1, read("b")))},
+		}
+	}
+	serial := store.New()
+	var wantResults [][]types.Result
+	for _, task := range mk() {
+		res, err := serial.Apply(task.Seq, task.Batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantResults = append(wantResults, res)
+	}
+
+	par := store.New()
+	out, _ := New(4).Run(par, mk())
+	for i, task := range mk() {
+		if err := par.InstallPrepared(task.Seq, out[i].Writes, out[i].Delta); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%v", out[i].Results) != fmt.Sprintf("%v", wantResults[i]) {
+			t.Fatalf("seq %d results diverge:\n parallel %v\n serial   %v", task.Seq, out[i].Results, wantResults[i])
+		}
+	}
+	if par.StateDigest() != serial.StateDigest() {
+		t.Fatal("state digest diverged")
+	}
+	if par.UndoLen() != serial.UndoLen() {
+		t.Fatalf("undo log length diverged: parallel %d, serial %d", par.UndoLen(), serial.UndoLen())
+	}
+}
+
+func TestNewWorkerDefaults(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("New(3).Workers() = %d, want 3", got)
+	}
+}

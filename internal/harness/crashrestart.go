@@ -113,7 +113,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 			return nil, err
 		}
 		stores[i] = st
-		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table, Storage: st}
+		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table, Storage: st, ParallelExec: opts.ParallelExec, ExecWorkers: opts.ExecWorkers}
 		h, err := buildReplica(opts.Options, replicaConfig(opts.Options, i), ring, net.Join(types.ReplicaNode(types.ReplicaID(i))), ropts, nil)
 		if err != nil {
 			st.Close()

@@ -134,6 +134,15 @@ type Options struct {
 	// benchmarks compare against.
 	NoGroupCommit bool
 
+	// ParallelExec routes every replica's post-ordering execution (and
+	// recovery replay) through the conflict-aware parallel engine
+	// (internal/exec). Execution output is bit-identical to serial mode, so
+	// every safety check the scenarios run is unchanged; only the wall-clock
+	// cost of the execute step differs. ExecWorkers sizes the engine's
+	// worker pool (0 = GOMAXPROCS).
+	ParallelExec bool
+	ExecWorkers  int
+
 	Seed int64
 }
 
@@ -264,6 +273,14 @@ type Result struct {
 	// group size — how many fsyncs were amortized into one.
 	WALGroups         int64
 	WALGroupedRecords int64
+
+	// Parallel execution engine (ParallelExec runs only), summed across
+	// replicas: windows drained, waves they split into, and transactions
+	// executed. ParallelTxns/ParallelWaves is the achieved intra-wave
+	// parallelism.
+	ParallelWindows int64
+	ParallelWaves   int64
+	ParallelTxns    int64
 }
 
 // WALGroupMean is the mean WAL commit-group size across replicas (0 for
@@ -288,7 +305,20 @@ func (r Result) String() string {
 	if r.SnapshotsInstalled > 0 || r.StateSyncRetries > 0 {
 		s += fmt.Sprintf("  snap=%d(%dB, retries=%d)", r.SnapshotsInstalled, r.SnapshotBytes, r.StateSyncRetries)
 	}
+	if r.ParallelWindows > 0 {
+		s += fmt.Sprintf("  par=%d windows(%.1f txn/wave)", r.ParallelWindows, r.ParallelismMean())
+	}
 	return s
+}
+
+// ParallelismMean is the mean transactions per conflict-free wave across
+// replicas (0 for serial runs) — the intra-wave parallelism the engine
+// actually extracted from the workload.
+func (r Result) ParallelismMean() float64 {
+	if r.ParallelWaves == 0 {
+		return 0
+	}
+	return float64(r.ParallelTxns) / float64(r.ParallelWaves)
 }
 
 // replicaHandle abstracts the per-protocol replica for the harness.
@@ -360,7 +390,7 @@ func Run(opts Options) (Result, error) {
 	replicas := make([]replicaHandle, opts.N)
 	replicaDone := make([]chan struct{}, opts.N)
 	for i := 0; i < opts.N; i++ {
-		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table}
+		ropts := protocol.RuntimeOptions{ZeroPayload: opts.ZeroPayload, InitialTable: table, ParallelExec: opts.ParallelExec, ExecWorkers: opts.ExecWorkers}
 		if opts.DataDir != "" {
 			st, err := storage.Open(replicaDir(opts.DataDir, i), opts.storageOptions())
 			if err != nil {
@@ -487,6 +517,9 @@ func (r *Result) addReplicaMetrics(m *protocol.Metrics) {
 	}
 	r.WALGroups += m.WALGroups.Load()
 	r.WALGroupedRecords += m.WALGroupedRecords.Load()
+	r.ParallelWindows += m.ParallelWindows.Load()
+	r.ParallelWaves += m.ParallelWaves.Load()
+	r.ParallelTxns += m.ParallelTxns.Load()
 }
 
 // replicaConfig derives replica i's protocol configuration from the run

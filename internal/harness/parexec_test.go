@@ -1,0 +1,155 @@
+package harness
+
+// Scenario battery with the conflict-aware parallel execution engine on:
+// every replica executes (and crash-recovers) through internal/exec, and the
+// existing safety assertions — digest-prefix agreement across replicas,
+// recovery to the pre-crash head, cold-join convergence — must hold exactly
+// as they do serially. Because the engine is proven bit-identical at the
+// executor level (protocol.TestParallel*), any divergence here would point
+// at the wiring, not the waves. Test names carry "Parallel" so the CI race
+// smoke picks them up.
+
+import (
+	"testing"
+	"time"
+)
+
+func parallelOpts(p Protocol) Options {
+	opts := quickOpts(p)
+	opts.ParallelExec = true
+	opts.ExecWorkers = 4
+	return opts
+}
+
+// TestParallelRunAllProtocols: every protocol makes progress with the engine
+// on, and the engine actually ran (windows drained through it).
+func TestParallelRunAllProtocols(t *testing.T) {
+	for _, p := range AllProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			res, err := Run(parallelOpts(p))
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Completed == 0 {
+				t.Fatal("no transactions completed under parallel execution")
+			}
+			if res.ParallelWindows == 0 {
+				t.Fatal("ParallelExec was set but no windows drained through the engine")
+			}
+			t.Logf("%v", res)
+		})
+	}
+}
+
+// TestParallelChaosPartitionHeal is the chaos safety check under parallel
+// execution: a backup partitioned away and healed mid-run, digest prefixes
+// must still agree across all honest replicas.
+func TestParallelChaosPartitionHeal(t *testing.T) {
+	opts := chaosOpts(PoE)
+	opts.ParallelExec = true
+	opts.ExecWorkers = 4
+	rep, err := RunChaos(ChaosOptions{
+		Options:     opts,
+		PartitionAt: 400 * time.Millisecond,
+		HealAt:      time.Second,
+	})
+	checkChaos(t, rep, err)
+	if rep.ParallelWindows == 0 {
+		t.Fatal("chaos run never exercised the parallel engine")
+	}
+}
+
+// TestParallelChaosEquivocatingPrimary adds a Byzantine primary on top:
+// rollback (PoE's speculative repair) must rewind parallel-installed state
+// identically, and the cluster must converge under the new view.
+func TestParallelChaosEquivocatingPrimary(t *testing.T) {
+	opts := chaosOpts(PoE)
+	opts.ParallelExec = true
+	opts.ExecWorkers = 4
+	rep, err := RunChaos(ChaosOptions{
+		Options: opts,
+		Attack:  AttackEquivocate,
+	})
+	checkChaos(t, rep, err)
+	if rep.ViewChanges == 0 {
+		t.Fatal("equivocating primary was never replaced")
+	}
+}
+
+// TestParallelCrashRestart: the victim crash-recovers by replaying its WAL
+// through the parallel engine (one big window) and must land exactly on its
+// pre-crash sequence number, then catch up and match the live prefix.
+func TestParallelCrashRestart(t *testing.T) {
+	cropts := crashRestartOpts(t, PoE)
+	cropts.ParallelExec = true
+	cropts.ExecWorkers = 4
+	rep, err := RunCrashRestart(cropts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("crash@%d recovered@%d final victim=%d live=%d par-windows=%d",
+		rep.SeqAtCrash, rep.RecoveredSeq, rep.VictimFinalSeq, rep.LiveFinalSeq, rep.ParallelWindows)
+	if rep.Completed == 0 || rep.SeqAtCrash == 0 {
+		t.Fatal("scenario vacuous: no progress before the crash")
+	}
+	if rep.RecoveredSeq != rep.SeqAtCrash {
+		t.Fatalf("parallel recovery replayed to %d, executed %d before crash", rep.RecoveredSeq, rep.SeqAtCrash)
+	}
+	if rep.VictimFinalSeq <= rep.SeqAtCrash {
+		t.Fatalf("victim never caught up past its crash point (%d → %d)", rep.SeqAtCrash, rep.VictimFinalSeq)
+	}
+	if !rep.PrefixMatch {
+		t.Fatalf("executed prefix diverged: %s", rep.Divergence)
+	}
+	if rep.ParallelWindows == 0 {
+		t.Fatal("run never exercised the parallel engine")
+	}
+}
+
+// TestParallelColdJoin: snapshot state transfer plus parallel execution on
+// both the servers and the wiped joiner.
+func TestParallelColdJoin(t *testing.T) {
+	cjopts := coldJoinOpts(t, PoE)
+	cjopts.ParallelExec = true
+	cjopts.ExecWorkers = 4
+	rep, err := RunColdJoin(cjopts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Completed == 0 || rep.SeqAtCrash == 0 {
+		t.Fatal("scenario vacuous: no progress before the crash")
+	}
+	if rep.SnapshotsInstalled == 0 {
+		t.Fatalf("victim rejoined without installing a snapshot (final seq %d)", rep.VictimFinalSeq)
+	}
+	if rep.VictimFinalSeq <= rep.SeqAtCrash {
+		t.Fatalf("victim never converged past its pre-wipe head (%d → %d)", rep.SeqAtCrash, rep.VictimFinalSeq)
+	}
+	if !rep.PrefixMatch {
+		t.Fatalf("executed prefix diverged: %s", rep.Divergence)
+	}
+}
+
+// TestParallelMixedCluster is the sharpest wiring check the harness can run:
+// half the replicas execute serially, half through the engine with different
+// worker counts, under client-seq-duplicating load — and their executed
+// prefixes must still agree, which is only possible if parallel execution is
+// bit-identical to serial.
+func TestParallelMixedCluster(t *testing.T) {
+	opts := quickOpts(PoE)
+	opts.Measure = time.Second
+	rep, err := RunChaos(ChaosOptions{Options: opts, Mixed: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.PrefixMatch {
+		t.Fatalf("mixed serial/parallel cluster diverged: %s", rep.Divergence)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no progress")
+	}
+	if rep.ParallelWindows == 0 {
+		t.Fatal("no replica ran the parallel engine")
+	}
+}

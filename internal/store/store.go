@@ -54,9 +54,15 @@ type seqMark struct {
 	start int // index into undo of this batch's first entry
 }
 
+// ZeroWork is the per-operation dummy-instruction count of zero-payload and
+// no-op execution. The parallel execution engine (internal/exec) replicates
+// exactly this amount of work per operation so its execution cost — though
+// not its state effects, of which there are none — matches the serial path.
+const ZeroWork = 64
+
 // New creates an empty store.
 func New() *KV {
-	return &KV{data: make(map[string][]byte), zeroWork: 64}
+	return &KV{data: make(map[string][]byte), zeroWork: ZeroWork}
 }
 
 // Load bulk-loads initial records without recording undo information or
@@ -307,6 +313,69 @@ func (kv *KV) Restore(records map[string][]byte, seq types.SeqNum) {
 	kv.undo = nil
 	kv.marks = nil
 	kv.last = seq
+}
+
+// --- parallel execution support (internal/exec) ---
+//
+// The conflict-aware parallel execution engine computes a batch's effects —
+// read results, write effects with their preimages, and the net state-digest
+// delta — on a worker pool against a frozen view of the table, then installs
+// them here in sequence order. InstallPrepared must leave the store
+// bit-identical to an Apply of the same batch: same data, same undo entries
+// in the same order, same incremental digest. The undo-entry equivalence is
+// what keeps Rollback and SnapshotAt working unchanged over parallel-executed
+// history.
+
+// WriteEffect is one write precomputed by the parallel execution engine:
+// the value to install (an owned copy, exactly as Apply would have made) and
+// the value it overwrites (the undo preimage, shared — values are immutable
+// once installed).
+type WriteEffect struct {
+	Key         string
+	Val         []byte
+	Prev        []byte
+	PrevExisted bool
+}
+
+// EntryDelta returns the incremental state-digest contribution of
+// overwriting key's previous value with val — the XOR Apply folds into the
+// running digest per write. Engine workers call it in parallel; XOR is
+// commutative and associative, so per-write deltas combine into a batch
+// delta in any order.
+func EntryDelta(key string, prev []byte, prevExisted bool, val []byte) [32]byte {
+	return xorDigest(entryHash(key, prev, prevExisted), entryHash(key, val, true))
+}
+
+// Preimage returns the live value of key without copying. Callers (engine
+// workers) must treat the returned slice as immutable; installed values are
+// never mutated in place, so the reference stays valid across installs.
+func (kv *KV) Preimage(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// InstallPrepared applies one batch's precomputed write effects as the
+// seq-th batch. writes must be in the batch's serial operation order with
+// preimages as of serial execution, and delta their combined digest
+// contribution; the engine guarantees both. Like Apply, sequence numbers
+// must be installed consecutively.
+func (kv *KV) InstallPrepared(seq types.SeqNum, writes []WriteEffect, delta [32]byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if seq != kv.last+1 {
+		return &ErrOutOfOrder{Want: kv.last + 1, Got: seq}
+	}
+	kv.marks = append(kv.marks, seqMark{seq: seq, start: len(kv.undo)})
+	kv.last = seq
+	for i := range writes {
+		w := &writes[i]
+		kv.undo = append(kv.undo, undoEntry{key: w.Key, prev: w.Prev, existed: w.PrevExisted})
+		kv.data[w.Key] = w.Val
+	}
+	kv.state = xorDigest(kv.state, delta)
+	return nil
 }
 
 // DigestOf computes the state digest a replica would report after restoring

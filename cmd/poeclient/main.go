@@ -16,6 +16,7 @@ import (
 
 	"github.com/poexec/poe/internal/client"
 	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/deploy"
 	"github.com/poexec/poe/internal/network"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/workload"
@@ -80,18 +81,27 @@ func main() {
 		fmt.Printf("%q\n", res.Values[0])
 	case *load > 0:
 		gen := workload.NewGenerator(workload.DefaultConfig(1000), id)
+		var hist deploy.Hist
 		deadline := time.Now().Add(*load)
-		count := 0
 		for time.Now().Before(deadline) {
 			txn := gen.Next()
 			txn.Seq = cl.NextSeq()
+			begin := time.Now()
 			if _, err := cl.SubmitTxn(ctx, txn); err != nil {
 				log.Fatal(err)
 			}
-			count++
+			hist.Record(time.Since(begin))
 		}
+		count := hist.Count()
 		fmt.Printf("%d transactions in %v (%.0f txn/s closed-loop)\n",
 			count, *load, float64(count)/load.Seconds())
+		fmt.Printf("latency p50=%v p99=%v p999=%v mean=%v max=%v\n",
+			hist.Quantile(0.50).Round(time.Microsecond),
+			hist.Quantile(0.99).Round(time.Microsecond),
+			hist.Quantile(0.999).Round(time.Microsecond),
+			hist.Mean().Round(time.Microsecond),
+			hist.Max().Round(time.Microsecond))
+		fmt.Println("(closed-loop: one outstanding request; for open-loop offered-load sweeps use poeload)")
 	default:
 		log.Fatal("one of -set, -get, -load is required")
 	}

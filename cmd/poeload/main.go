@@ -1,0 +1,154 @@
+// Command poeload is a standalone open-loop workload driver for a poeserver
+// cluster: transactions arrive on a Poisson schedule at a target offered
+// rate — independent of how fast the cluster answers — and latency is
+// recorded from each request's scheduled arrival in an HDR-style histogram,
+// so queueing collapse under overload shows up as the p99/p999 explosion it
+// really is instead of the quietly reduced throughput a closed-loop client
+// would report. See docs/BENCHMARKS.md ("multi-process methodology").
+//
+// One measurement point at 500 txn/s:
+//
+//	poeload -peers 127.0.0.1:7000,...,127.0.0.1:7003 -rate 500 -duration 10s
+//
+// An offered-load sweep, machine-readable results included:
+//
+//	poeload -peers ... -rates 200,400,800,1600 -duration 10s -json BENCH_PR8.json
+//
+// Pair with cmd/poerun, which launches and supervises the cluster.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/poexec/poe/internal/deploy"
+	"github.com/poexec/poe/internal/workload"
+)
+
+func parseRates(single float64, list string) ([]float64, error) {
+	if list == "" {
+		if single <= 0 {
+			return nil, fmt.Errorf("one of -rate or -rates is required")
+		}
+		return []float64{single}, nil
+	}
+	var rates []float64
+	for _, s := range strings.Split(list, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q in -rates", s)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+func main() {
+	peerList := flag.String("peers", "", "comma-separated replica addresses")
+	rate := flag.Float64("rate", 0, "offered load in txn/s (single measurement point)")
+	rateList := flag.String("rates", "", "comma-separated offered loads for a sweep (overrides -rate)")
+	duration := flag.Duration("duration", 10*time.Second, "measured window per sweep point")
+	warmup := flag.Duration("warmup", 2*time.Second, "unmeasured warmup per sweep point")
+	clients := flag.Int("clients", 8, "client identities arrivals fan out across")
+	baseClient := flag.Int("base-client", 0, "client index offset (avoid collisions with other drivers)")
+	maxInFlight := flag.Int("max-in-flight", 4096, "open-loop bound on outstanding requests; arrivals beyond it are shed")
+	reqTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request deadline (client retransmits within it)")
+	records := flag.Int("records", 1000, "YCSB table size")
+	writeFrac := flag.Float64("write-fraction", 0.9, "fraction of operations that are writes")
+	zipf := flag.Float64("zipf", 0.9, "Zipfian skew (0 = uniform)")
+	valueSize := flag.Int("value-size", 46, "written value size in bytes")
+	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
+	wseed := flag.Int64("workload-seed", 42, "workload and arrival-process seed")
+	scheme := flag.String("scheme", "mac", "cluster authentication scheme: mac|ts|ed|none")
+	jsonPath := flag.String("json", "", "write the sweep results (deploy.SweepResult schema) to this file")
+	flag.Parse()
+
+	addrs := strings.Split(*peerList, ",")
+	if len(addrs) < 4 || *peerList == "" {
+		log.Fatalf("need at least 4 replica addresses in -peers")
+	}
+	rates, err := parseRates(*rate, *rateList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		cancel()
+	}()
+
+	pool, closePool, err := deploy.NewTCPClients(ctx, deploy.ClientPoolOptions{
+		Addrs:     addrs,
+		Scheme:    *scheme,
+		Seed:      *seed,
+		Count:     *clients,
+		BaseIndex: *baseClient,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closePool()
+
+	wcfg := workload.Config{
+		Records:       *records,
+		WriteFraction: *writeFrac,
+		Zipf:          *zipf,
+		ValueSize:     *valueSize,
+		OpsPerTxn:     1,
+		Seed:          *wseed,
+	}
+	opts := deploy.LoadOptions{
+		Duration:       *duration,
+		Warmup:         *warmup,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		Workload:       wcfg,
+		Seed:           *wseed,
+	}
+
+	fmt.Printf("open-loop sweep against %d replicas, %d clients, %v/point (+%v warmup)\n",
+		len(addrs), *clients, *duration, *warmup)
+	fmt.Printf("%10s %12s %9s %9s %9s %9s %8s %6s\n",
+		"offered", "achieved", "p50", "p99", "p999", "mean", "done", "err")
+	points, runErr := deploy.RunSweep(ctx, pool, rates, opts, func(p deploy.LoadPoint) {
+		fmt.Printf("%8.0f/s %10.0f/s %7.1fms %7.1fms %7.1fms %7.1fms %8d %6d\n",
+			p.OfferedTxnS, p.AchievedTxnS, p.P50Ms, p.P99Ms, p.P999Ms, p.MeanMs,
+			p.Completed, p.Errors+p.Shed)
+	})
+
+	if *jsonPath != "" && len(points) > 0 {
+		res := deploy.SweepResult{
+			Schema:   deploy.SweepSchema,
+			N:        len(addrs),
+			Scheme:   *scheme,
+			Clients:  *clients,
+			Records:  *records,
+			WriteMix: *writeFrac,
+			Points:   points,
+		}
+		data, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d sweep points to %s\n", len(points), *jsonPath)
+	}
+	if runErr != nil && ctx.Err() == nil {
+		log.Fatal(runErr)
+	}
+}

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/poexec/poe/internal/consensus/poe"
 	"github.com/poexec/poe/internal/consensus/protocol"
@@ -50,6 +52,10 @@ func main() {
 	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
 	dataDir := flag.String("data-dir", "", "directory for the WAL and checkpoint snapshots; empty = volatile (no crash recovery)")
 	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (survives machine crashes, not just process crashes)")
+	checkpointInterval := flag.Int("checkpoint-interval", 0, "sequence numbers between checkpoints (0 = protocol default)")
+	window := flag.Int("window", 0, "out-of-order consensus window (0 = protocol default)")
+	viewTimeout := flag.Duration("view-timeout", 0, "initial failure-detection timeout (0 = protocol default)")
+	metricsJSON := flag.String("metrics-json", "", "write the replica's final metrics as JSON to this path on graceful shutdown")
 	faultDrop := flag.Float64("fault-drop", 0, "chaos: probability of dropping each outbound message")
 	faultDup := flag.Float64("fault-dup", 0, "chaos: probability of duplicating each outbound message")
 	faultReorder := flag.Float64("fault-reorder", 0, "chaos: probability of swapping an outbound message with its successor")
@@ -111,10 +117,14 @@ func main() {
 	cfg := protocol.Config{
 		ID: types.ReplicaID(*id), N: n, F: *f,
 		Scheme: sch, BatchSize: *batch,
+		CheckpointInterval: types.SeqNum(*checkpointInterval),
+		Window:             *window,
+		ViewTimeout:        *viewTimeout,
 	}
 	var ropts protocol.RuntimeOptions
+	var st *storage.Store
 	if *dataDir != "" {
-		st, err := storage.Open(*dataDir, storage.Options{Sync: *fsync})
+		st, err = storage.Open(*dataDir, storage.Options{Sync: *fsync})
 		if err != nil {
 			log.Fatalf("open data dir %s: %v", *dataDir, err)
 		}
@@ -135,10 +145,53 @@ func main() {
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-		<-sig
+		s := <-sig
+		fmt.Printf("received %v, shutting down\n", s)
 		cancel()
 	}()
 
 	fmt.Printf("poe replica %d/%d listening on %s (scheme %s)\n", *id, n, tr.Addr(), sch)
+	replica.Runtime().Metrics.Start()
 	replica.Run(ctx)
+
+	// Graceful shutdown: the Run loop has returned, so no more batches will
+	// execute. Drain in dependency order — flush the WAL group (every
+	// executed-but-unsynced record reaches disk), stop accepting traffic,
+	// then report final metrics — so the runner (cmd/poerun, the e2e
+	// battery) collects a deterministic end-of-run snapshot. The deferred
+	// Closes become no-ops.
+	if st != nil {
+		if err := st.Flush(); err != nil {
+			log.Printf("WAL flush on shutdown: %v", err)
+		}
+		st.Close()
+	}
+	tr.Close()
+	snap := replica.Runtime().Metrics.Snapshot()
+	fmt.Printf("final: executed=%d txns (%d batches) proposed=%d checkpoints=%d view-changes=%d rollbacks=%d throughput=%.1f txn/s uptime=%.1fs\n",
+		snap.ExecutedTxns, snap.ExecutedBatches, snap.ProposedBatches,
+		snap.Checkpoints, snap.ViewChangesDone, snap.Rollbacks,
+		snap.ThroughputTxnS, snap.UptimeSeconds)
+	if *metricsJSON != "" {
+		writeMetrics(*metricsJSON, snap)
+	}
+}
+
+// writeMetrics dumps the final metrics snapshot atomically (write to a temp
+// file, rename) so a collector polling the path never reads a torn file.
+func writeMetrics(path string, snap protocol.MetricsSnapshot) {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Printf("marshal metrics: %v", err)
+		return
+	}
+	tmp := fmt.Sprintf("%s.tmp-%d", path, time.Now().UnixNano())
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		log.Printf("write metrics %s: %v", path, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		log.Printf("write metrics %s: %v", path, err)
+	}
 }

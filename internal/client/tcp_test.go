@@ -1,0 +1,108 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/network"
+	"github.com/poexec/poe/internal/types"
+)
+
+// tcpCluster joins responders fake replicas and one client over real TCP
+// sockets. The replicas' address books deliberately contain no entry for the
+// client: an INFORM can only reach it over the learned inbound route (the
+// reply rides the connection the request arrived on). This is exactly the
+// topology of a deployment — servers cannot dial clients — so a regression
+// here breaks every process-level run while remaining invisible to ChanNet
+// tests, where routing is a map lookup.
+func tcpCluster(t *testing.T, n, responders, quorum int) *Client {
+	t.Helper()
+	ring := crypto.NewKeyRing(n, []byte("client-tcp-test"))
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	book := make(map[types.NodeID]string, n+1)
+	for i := 0; i < n; i++ {
+		node := types.ReplicaNode(types.ReplicaID(i))
+		tr, err := network.NewTCPNet(node, map[types.NodeID]string{node: "127.0.0.1:0"})
+		if err != nil {
+			t.Skipf("sandbox blocks TCP listen: %v", err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		book[node] = tr.Addr()
+		fr := &fakeReplica{id: types.ReplicaID(i), ring: ring, tr: tr}
+		go fr.run(ctx, i < responders)
+	}
+
+	id := types.ClientID(types.ClientIDBase)
+	clientNode := types.ClientNode(id)
+	book[clientNode] = "127.0.0.1:0"
+	ctr, err := network.NewTCPNet(clientNode, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctr.Close() })
+	cl, err := New(Config{
+		ID: id, N: n, F: (n - 1) / 3, Scheme: crypto.SchemeMAC,
+		Quorum: quorum, Timeout: 100 * time.Millisecond,
+	}, ring, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start(ctx)
+	return cl
+}
+
+// TestTCPLearnedRouteReply: a full-quorum submit completes over TCP with
+// replies delivered exclusively via learned routes, and the MAC on each
+// INFORM survives the wire encoding (a framing or field-ordering regression
+// in the codec shows up here as a quorum that never forms).
+func TestTCPLearnedRouteReply(t *testing.T) {
+	cl := tcpCluster(t, 4, 4, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := cl.Submit(ctx, []types.Op{{Kind: types.OpRead, Key: "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || string(res.Values[0]) != "result" {
+		t.Fatalf("values %v", res.Values)
+	}
+}
+
+// TestTCPRetryBroadcastReachesBackups: only the presumed primary receives
+// the first transmission; the quorum of 3 can only form after the client's
+// timeout fires and the retry broadcast opens connections to the remaining
+// replicas. Pins the retransmission path end-to-end: timer → broadcast →
+// fresh dials → learned-route replies.
+func TestTCPRetryBroadcastReachesBackups(t *testing.T) {
+	cl := tcpCluster(t, 4, 4, 3)
+	// Sending to the primary first is the default; nothing to rig. Instead
+	// prove the broadcast path by demanding a quorum that includes replicas
+	// the first unicast cannot have reached, under a short first timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Submit(ctx, []types.Op{{Kind: types.OpWrite, Key: "k", Value: []byte("v")}}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+// TestTCPSubQuorumTimesOut: with only 2 of 4 replicas answering and a quorum
+// of 3, Submit must keep retrying until its context expires — identical
+// informs from the same replica (each retry triggers a fresh reply) must not
+// be double-counted toward the quorum.
+func TestTCPSubQuorumTimesOut(t *testing.T) {
+	cl := tcpCluster(t, 4, 2, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 700*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Submit(ctx, []types.Op{{Kind: types.OpRead, Key: "k"}}); err == nil {
+		t.Fatal("sub-quorum replies completed a request")
+	}
+}
+
+var _ = protocol.Inform{} // keep the import referenced alongside fakeReplica

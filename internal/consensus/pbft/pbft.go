@@ -218,6 +218,12 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		r.view = rt.Exec.Chain().Head().View
 		r.catchup = true
 	}
+	if rt.Store != nil {
+		// Durable (re)start — including a wiped rejoin that recovered
+		// nothing: ask peers whether a snapshot is needed rather than wait
+		// for checkpoint votes an idle cluster will never emit.
+		rt.Sync.Probe()
+	}
 	return r, nil
 }
 

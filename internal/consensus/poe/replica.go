@@ -83,6 +83,16 @@ type Replica struct {
 	lastProgress time.Time
 	curTimeout   time.Duration
 
+	// execHigh is the highest executed client sequence number per client.
+	// Pipelined clients retry by broadcast, and a retry of an already
+	// executed request can reach a backup after afterExecution cleared that
+	// request's pending entry — without this watermark the late copy would
+	// be tracked as pending forever, age past curTimeout once load stops,
+	// and drive spurious view changes until the stale set drains. The reply
+	// cache cannot stand in for it: it keeps only the latest reply per
+	// client, so retries of older in-flight sequences miss it.
+	execHigh map[types.ClientID]uint64
+
 	// view-change state
 	vcTarget   types.View // view we are trying to move to while in statusViewChange
 	vcStarted  time.Time
@@ -107,7 +117,8 @@ type slot struct {
 	supported   bool
 	shares      map[types.ReplicaID]crypto.Share
 	committed   bool
-	pendingCert *Certify // certify that arrived before the proposal
+	pendingCert *Certify  // certify that arrived before the proposal
+	created     time.Time // when this slot appeared (failure-detection grace)
 }
 
 type pendingReq struct {
@@ -141,6 +152,7 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		nextPropose:  rt.Exec.LastExecuted() + 1,
 		slots:        make(map[types.SeqNum]*slot),
 		pendingReqs:  make(map[types.Digest]pendingReq),
+		execHigh:     make(map[types.ClientID]uint64),
 		lastProgress: time.Now(),
 		curTimeout:   cfg.ViewTimeout,
 		vcVotes:      make(map[types.View]map[types.ReplicaID]*VCRequest),
@@ -158,6 +170,12 @@ func New(cfg protocol.Config, ring *crypto.KeyRing, net network.Transport, opts 
 		// no new proposals arrive to reveal it.
 		r.view = rt.Exec.Chain().Head().View
 		r.catchup = true
+	}
+	if rt.Store != nil {
+		// Durable (re)start — including a wiped rejoin that recovered
+		// nothing: ask peers whether a snapshot is needed rather than wait
+		// for checkpoint votes an idle cluster will never emit.
+		rt.Sync.Probe()
 	}
 	return r, nil
 }
@@ -277,6 +295,11 @@ func (r *Replica) onForwardRequest(req *types.Request) {
 }
 
 func (r *Replica) trackPending(req *types.Request) {
+	if req.Txn.Seq <= r.execHigh[req.Txn.Client] {
+		// Late retry of an already executed request (clients propose their
+		// sequences in order over FIFO links, so the watermark is exact).
+		return
+	}
 	d := req.Digest()
 	if _, ok := r.pendingReqs[d]; !ok {
 		r.pendingReqs[d] = pendingReq{req: *req, since: time.Now()}
@@ -414,12 +437,21 @@ func (r *Replica) handlePropose(from types.ReplicaID, m *Propose) {
 		s.pendingCert = nil
 		r.handleCertify(cert, s)
 	}
+	// Validate shares stashed by onSupport before this proposal fixed the
+	// digest, dropping mismatches; the survivors may already reach the
+	// threshold on their own.
+	for id, sh := range s.shares {
+		if id != cfg.ID && !r.rt.TS.VerifyShare(s.digest[:], sh) {
+			delete(s.shares, id)
+		}
+	}
+	r.trySupported(m.Seq, s)
 }
 
 func (r *Replica) slot(seq types.SeqNum) *slot {
 	s, ok := r.slots[seq]
 	if !ok {
-		s = &slot{shares: make(map[types.ReplicaID]crypto.Share)}
+		s = &slot{shares: make(map[types.ReplicaID]crypto.Share), created: time.Now()}
 		r.slots[seq] = s
 	}
 	return s
@@ -437,11 +469,17 @@ func (r *Replica) onSupport(from types.NodeID, m *Support) {
 	if !collector {
 		return
 	}
-	s, ok := r.slots[m.Seq]
-	if !ok || !s.haveBatch || s.committed {
+	lastExec := r.rt.Exec.LastExecuted()
+	if m.Seq <= lastExec || m.Seq > lastExec+types.SeqNum(8*cfg.Window) {
 		return
 	}
-	r.addSupport(from.Replica(), m, s)
+	// The slot is created even when the proposal has not arrived yet: the
+	// verify pipeline dispatches small SUPPORT messages ahead of large
+	// proposals, and supports are sent exactly once — dropping an early one
+	// permanently costs a share. With a replica down the collector holds
+	// exactly nf live shares, so one dropped share wedges the slot forever
+	// (the stall the process-level kill/restart battery exposed).
+	r.addSupport(from.Replica(), m, r.slot(m.Seq))
 }
 
 func (r *Replica) addSupport(from types.ReplicaID, m *Support, s *slot) {
@@ -451,17 +489,27 @@ func (r *Replica) addSupport(from types.ReplicaID, m *Support, s *slot) {
 	if _, dup := s.shares[from]; dup {
 		return
 	}
-	// Each share is validated at most once per slot, at insertion. The
-	// pipeline usually proved it already (the check below is then a memo
-	// hit), an invalid share is rejected before it can occupy the slot, and
-	// a Byzantine retry can never force the honest shares through another
-	// round of verification — the failure mode that used to make a bad
-	// combine O(n²) in signature checks. Our own share needs no check.
-	if from != r.rt.Cfg.ID && !r.rt.TS.VerifyShare(s.digest[:], m.Share) {
+	// Each share is validated at most once per slot. With the digest fixed,
+	// validation happens here, at insertion (the pipeline usually proved it
+	// already, making the check a memo hit): an invalid share is rejected
+	// before it can occupy the slot, and a Byzantine retry can never force
+	// the honest shares through another round of verification — the failure
+	// mode that used to make a bad combine O(n²) in signature checks. Before
+	// the proposal arrives there is no digest to check against; the share is
+	// stashed and handlePropose validates the stash once the digest is
+	// fixed. Our own share needs no check.
+	if s.haveBatch && from != r.rt.Cfg.ID && !r.rt.TS.VerifyShare(s.digest[:], m.Share) {
 		return
 	}
 	s.shares[from] = m.Share
-	if len(s.shares) < r.rt.Cfg.NF() {
+	r.trySupported(m.Seq, s)
+}
+
+// trySupported fires once the slot has the batch, this replica has
+// transmitted its own SUPPORT (Fig 3 requires it before view-committing),
+// and nf validated shares are collected.
+func (r *Replica) trySupported(seq types.SeqNum, s *slot) {
+	if s.committed || !s.haveBatch || !s.supported || len(s.shares) < r.rt.Cfg.NF() {
 		return
 	}
 	shares := make([]crypto.Share, 0, len(s.shares))
@@ -477,13 +525,13 @@ func (r *Replica) addSupport(from types.ReplicaID, m *Support, s *slot) {
 	switch r.rt.Cfg.Scheme {
 	case crypto.SchemeMAC, crypto.SchemeNone:
 		// Every replica reached the certificate locally; commit directly.
-		r.commitSlot(m.Seq, s, cert)
+		r.commitSlot(seq, s, cert)
 	default:
 		// TS mode: the primary distributes the certificate.
-		if r.byz == nil || !r.byz.SilenceCertify(m.Seq) {
-			r.rt.Broadcast(&Certify{View: r.view, Seq: m.Seq, Digest: s.digest, Cert: cert})
+		if r.byz == nil || !r.byz.SilenceCertify(seq) {
+			r.rt.Broadcast(&Certify{View: r.view, Seq: seq, Digest: s.digest, Cert: cert})
 		}
-		r.commitSlot(m.Seq, s, cert)
+		r.commitSlot(seq, s, cert)
 	}
 }
 
@@ -546,6 +594,10 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 		r.rt.Metrics.ExecutedTxns.Add(int64(ev.Rec.Batch.Size()))
 		r.rt.InformBatch(ev.Rec, ev.Results, false, types.ZeroDigest)
 		for i := range ev.Rec.Batch.Requests {
+			txn := &ev.Rec.Batch.Requests[i].Txn
+			if txn.Seq > r.execHigh[txn.Client] {
+				r.execHigh[txn.Client] = txn.Seq
+			}
 			delete(r.pendingReqs, ev.Rec.Batch.Requests[i].Digest())
 		}
 		delete(r.slots, ev.Rec.Seq)
@@ -584,12 +636,26 @@ func (r *Replica) onTick() {
 		// current view is demonstrably live — we were merely in the dark.
 		// Rejoin it instead of stalling in a lonely view change.
 		if r.rt.Exec.LastExecuted() > r.vcExecMark && len(r.vcVotes[r.vcTarget]) < r.rt.Cfg.FPlus1() {
-			r.status = statusNormal
+			r.resumeNormal(now)
 			r.curTimeout = r.rt.Cfg.ViewTimeout
-			r.lastProgress = now
 			return
 		}
 		if now.Sub(r.vcStarted) > r.curTimeout {
+			if len(r.vcVotes[r.vcTarget]) < r.rt.Cfg.FPlus1() {
+				// Lonely view change timed out: not even f other replicas
+				// suspect the primary, so at least one non-faulty replica is
+				// content with the current view — our own suspicion was
+				// spurious. Escalating would strand this replica dropping
+				// every message of a live view (fatal when it is needed for
+				// quorum). Return to normal — curTimeout stays doubled, so
+				// repeated spurious suspicion decays — and fetch: any slot we
+				// were suspicious about may have committed without us while
+				// we were view-changing (our share was already spent, so only
+				// the executed record can close it now).
+				r.resumeNormal(now)
+				r.fetchFrom(r.rt.Exec.LastExecuted())
+				return
+			}
 			// The view change itself failed (the next primary is also
 			// faulty or unreachable): move one view further with a doubled
 			// timeout (exponential backoff, Theorem 7).
@@ -601,18 +667,45 @@ func (r *Replica) onTick() {
 	}
 }
 
+// resumeNormal abandons a pending view change and rejoins the current view.
+// The failure-detection clock restarts from scratch: outstanding work gets a
+// fresh full timeout of observation in normal status before it can justify
+// suspicion again — without this the still-stale marks re-trigger the view
+// change on the very next tick, leaving only a tick-wide window to actually
+// process messages.
+func (r *Replica) resumeNormal(now time.Time) {
+	r.status = statusNormal
+	r.lastProgress = now
+	for d, p := range r.pendingReqs {
+		p.since = now
+		r.pendingReqs[d] = p
+	}
+	for _, s := range r.slots {
+		s.created = now
+	}
+}
+
 // suspectPrimary reports whether outstanding work has been stuck beyond the
-// current timeout.
+// current timeout. The item itself must be older than the timeout, not just
+// lastProgress: after an idle period lastProgress is arbitrarily stale, and
+// work that arrives into that lull (the first proposal after a quiet spell,
+// a request forwarded to a freshly elected primary) must get a full timeout
+// of grace before it counts as evidence of a faulty primary. Without the
+// per-item age check the primary proposes into the lull and the very next
+// tick view-changes — before the supports for that proposal can possibly
+// have returned — stranding it in a lonely view change.
 func (r *Replica) suspectPrimary(now time.Time) bool {
 	if now.Sub(r.lastProgress) <= r.curTimeout {
 		return false
 	}
-	if len(r.pendingReqs) > 0 {
-		return true
+	for _, p := range r.pendingReqs {
+		if now.Sub(p.since) > r.curTimeout {
+			return true
+		}
 	}
 	lastExec := r.rt.Exec.LastExecuted()
-	for seq := range r.slots {
-		if seq > lastExec {
+	for seq, s := range r.slots {
+		if seq > lastExec && now.Sub(s.created) > r.curTimeout {
 			return true
 		}
 	}
@@ -673,6 +766,11 @@ func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Execute
 	}
 	r.lastProgress = time.Now()
 	r.curTimeout = r.rt.Cfg.ViewTimeout
+	// Requests executed inside the snapshot prefix never pass through
+	// afterExecution here, so their pending entries would go stale and feed
+	// the failure detector. Drop them all: clients retry anything genuinely
+	// outstanding, which re-tracks it with a fresh timer.
+	r.pendingReqs = make(map[types.Digest]pendingReq)
 	r.afterExecution(events)
 	r.fetchFrom(r.rt.Exec.LastExecuted())
 }

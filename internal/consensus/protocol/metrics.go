@@ -64,6 +64,84 @@ type Metrics struct {
 // Start records the measurement start time.
 func (m *Metrics) Start() { m.startNanos.Store(time.Now().UnixNano()) }
 
+// MetricsSnapshot is a plain-value copy of Metrics, the schema of
+// poeserver's -metrics-json exit dump (collected per replica by the
+// multi-process runner, internal/deploy).
+type MetricsSnapshot struct {
+	ExecutedTxns    int64 `json:"executed_txns"`
+	ExecutedBatches int64 `json:"executed_batches"`
+	ProposedBatches int64 `json:"proposed_batches"`
+	MessagesIn      int64 `json:"messages_in"`
+	ViewChanges     int64 `json:"view_changes"`
+	ViewChangesDone int64 `json:"view_changes_done"`
+	Rollbacks       int64 `json:"rollbacks"`
+	Checkpoints     int64 `json:"checkpoints"`
+
+	EgressQueued        int64 `json:"egress_queued"`
+	EgressSignedOffLoop int64 `json:"egress_signed_off_loop"`
+	EgressMaxDepth      int64 `json:"egress_max_depth"`
+
+	WALGroups         int64 `json:"wal_groups"`
+	WALGroupedRecords int64 `json:"wal_grouped_records"`
+
+	ParallelWindows int64 `json:"parallel_windows"`
+	ParallelWaves   int64 `json:"parallel_waves"`
+	ParallelTxns    int64 `json:"parallel_txns"`
+
+	SnapshotsServed    int64 `json:"snapshots_served"`
+	SnapshotsInstalled int64 `json:"snapshots_installed"`
+	SnapshotChunksSent int64 `json:"snapshot_chunks_sent"`
+	SnapshotChunksRecv int64 `json:"snapshot_chunks_recv"`
+	SnapshotBytesSent  int64 `json:"snapshot_bytes_sent"`
+	SnapshotBytesRecv  int64 `json:"snapshot_bytes_recv"`
+	FetchPages         int64 `json:"fetch_pages"`
+	StateSyncRetries   int64 `json:"state_sync_retries"`
+
+	// UptimeSeconds and ThroughputTxnS are measured since Start (0 when
+	// Start was never called).
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	ThroughputTxnS float64 `json:"throughput_txn_s"`
+}
+
+// Snapshot copies every counter into a plain struct for JSON export.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		ExecutedTxns:    m.ExecutedTxns.Load(),
+		ExecutedBatches: m.ExecutedBatches.Load(),
+		ProposedBatches: m.ProposedBatches.Load(),
+		MessagesIn:      m.MessagesIn.Load(),
+		ViewChanges:     m.ViewChanges.Load(),
+		ViewChangesDone: m.ViewChangesDone.Load(),
+		Rollbacks:       m.Rollbacks.Load(),
+		Checkpoints:     m.Checkpoints.Load(),
+
+		EgressQueued:        m.EgressQueued.Load(),
+		EgressSignedOffLoop: m.EgressSignedOffLoop.Load(),
+		EgressMaxDepth:      m.EgressMaxDepth.Load(),
+
+		WALGroups:         m.WALGroups.Load(),
+		WALGroupedRecords: m.WALGroupedRecords.Load(),
+
+		ParallelWindows: m.ParallelWindows.Load(),
+		ParallelWaves:   m.ParallelWaves.Load(),
+		ParallelTxns:    m.ParallelTxns.Load(),
+
+		SnapshotsServed:    m.SnapshotsServed.Load(),
+		SnapshotsInstalled: m.SnapshotsInstalled.Load(),
+		SnapshotChunksSent: m.SnapshotChunksSent.Load(),
+		SnapshotChunksRecv: m.SnapshotChunksRecv.Load(),
+		SnapshotBytesSent:  m.SnapshotBytesSent.Load(),
+		SnapshotBytesRecv:  m.SnapshotBytesRecv.Load(),
+		FetchPages:         m.FetchPages.Load(),
+		StateSyncRetries:   m.StateSyncRetries.Load(),
+	}
+	if start := m.startNanos.Load(); start != 0 {
+		s.UptimeSeconds = time.Since(time.Unix(0, start)).Seconds()
+		s.ThroughputTxnS = m.Throughput()
+	}
+	return s
+}
+
 // Throughput returns executed transactions per second since Start.
 func (m *Metrics) Throughput() float64 {
 	start := m.startNanos.Load()

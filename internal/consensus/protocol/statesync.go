@@ -75,6 +75,19 @@ type StateSync struct {
 	nextTry  time.Time
 	backoff  time.Duration
 
+	// Startup probing. Vote-driven detection assumes checkpoint votes keep
+	// flowing, but a replica that (re)starts behind an IDLE cluster never
+	// hears one — worse, it may itself be required for the quorum that would
+	// commit the next batch and emit votes, a rejoin deadlock. Probe() marks
+	// the sync exploratory: attempts run exactly as for a vote-detected lag,
+	// and the SERVER decides whether a snapshot is warranted (it stays
+	// silent when the prober is within the fetch horizon, see
+	// HandleSnapshotRequest). A probe is bounded: it ends on any execution
+	// progress or after probeTries unanswered attempts.
+	probing    bool
+	probeMark  types.SeqNum
+	probeTries int
+
 	offer      *SnapshotOffer
 	certState  types.Digest
 	certLedger types.Digest
@@ -133,11 +146,30 @@ func (s *StateSync) Behind() bool {
 	return s.target > s.rt.Exec.LastExecuted()+s.rt.Exec.RetainSlack
 }
 
+// Probe starts a bounded exploratory sync: a replica that (re)starts from
+// durable state asks peers outright whether it needs a snapshot instead of
+// waiting for checkpoint votes that an idle cluster will never send.
+// Idempotent while a probe is running.
+func (s *StateSync) Probe() {
+	if s.rt.Cfg.N <= 1 || s.probing {
+		return
+	}
+	s.probing = true
+	s.probeMark = s.rt.Exec.LastExecuted()
+	s.probeTries = 2 * (s.rt.Cfg.N - 1)
+	s.nextTry = time.Time{}
+}
+
 // Tick drives deadlines and (re)starts attempts; protocols call it from
 // their timer handler.
 func (s *StateSync) Tick(now time.Time) {
 	if s.rt.Cfg.N <= 1 {
 		return
+	}
+	if s.probing && s.rt.Exec.LastExecuted() > s.probeMark {
+		// Progress by any means — fetch, snapshot install, or normal commits
+		// — answers the probe's question.
+		s.probing = false
 	}
 	if s.active {
 		if now.After(s.deadline) {
@@ -145,7 +177,7 @@ func (s *StateSync) Tick(now time.Time) {
 		}
 		return
 	}
-	if !s.Behind() {
+	if !s.Behind() && !s.probing {
 		return
 	}
 	if now.Before(s.nextTry) {
@@ -180,6 +212,15 @@ func (s *StateSync) fail(now time.Time) {
 	s.backoff *= 2
 	if s.backoff > stateSyncMaxBackoff {
 		s.backoff = stateSyncMaxBackoff
+	}
+	if s.probing {
+		// An unanswered probe usually means the server judged us within the
+		// fetch horizon and stayed silent; a few rotations cover dead peers
+		// too, then vote-driven detection is the steady-state answer.
+		s.probeTries--
+		if s.probeTries <= 0 {
+			s.probing = false
+		}
 	}
 }
 
@@ -328,7 +369,12 @@ func (s *StateSync) finish(now time.Time) {
 // on.
 func (rt *Runtime) HandleSnapshotRequest(m *SnapshotRequest) {
 	stable := rt.Exec.StableCheckpointSeq()
-	if stable == 0 || stable <= m.Have || m.From == rt.Cfg.ID {
+	// Serve only when the requester is beyond the fetch horizon: records
+	// down to stable−RetainSlack are still retained, so a requester inside
+	// that window closes its gap with ordinary Fetch pages. This is also
+	// what makes startup probes cheap — a current or nearly-current prober
+	// gets silence, not a snapshot.
+	if stable == 0 || stable <= m.Have+rt.Exec.RetainSlack || m.From == rt.Cfg.ID {
 		return
 	}
 	if rt.stableCertSeq != stable || len(rt.stableCert) < rt.Cfg.F+1 {

@@ -1,0 +1,142 @@
+package deploy
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClusterConfigJSONRoundTrip(t *testing.T) {
+	cfg := ClusterConfig{
+		Replicas:           4,
+		Scheme:             "ed",
+		Batch:              32,
+		CheckpointInterval: 16,
+		ViewTimeout:        Duration(250 * time.Millisecond),
+		Seed:               "test-seed",
+		DataRoot:           "/tmp/x",
+		Fault: FaultProfile{
+			Drop:  0.01,
+			Delay: Duration(5 * time.Millisecond),
+		},
+	}
+	data, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadClusterConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, back) {
+		t.Fatalf("round trip mismatch:\n  wrote %+v\n  read  %+v", cfg, back)
+	}
+}
+
+func TestDurationJSONForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"150ms"`), &d); err != nil || time.Duration(d) != 150*time.Millisecond {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`1000000`), &d); err != nil || time.Duration(d) != time.Millisecond {
+		t.Fatalf("numeric form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"nonsense"`), &d); err == nil {
+		t.Fatal("bad duration string must error")
+	}
+}
+
+func TestServerArgs(t *testing.T) {
+	cfg, err := ClusterConfig{
+		Replicas:           4,
+		Scheme:             "mac",
+		Batch:              16,
+		CheckpointInterval: 8,
+		DataRoot:           "/data",
+		Fsync:              true,
+		Fault:              FaultProfile{Drop: 0.05, Delay: Duration(2 * time.Millisecond)},
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{"a:1", "b:2", "c:3", "d:4"}
+	args := cfg.serverArgs(2, addrs, "/run/m.json")
+	joined := strings.Join(args, " ")
+	for _, want := range []string{
+		"-id 2", "-peers a:1,b:2,c:3,d:4", "-scheme mac", "-batch 16",
+		"-checkpoint-interval 8", "-data-dir /data/replica-2", "-fsync",
+		"-metrics-json /run/m.json", "-fault-drop 0.05", "-fault-delay 2ms",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("args missing %q: %s", want, joined)
+		}
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := (ClusterConfig{Replicas: 3}).withDefaults(); err == nil {
+		t.Fatal("3 replicas must be rejected (need n ≥ 4)")
+	}
+	if _, err := (ClusterConfig{Scheme: "rot13"}).withDefaults(); err == nil {
+		t.Fatal("unknown scheme must be rejected")
+	}
+	cfg, err := ClusterConfig{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Replicas != 4 || cfg.Scheme != "mac" || cfg.Seed == "" {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	// Explicit addresses fix the replica count.
+	cfg, err = ClusterConfig{Replicas: 7, Addrs: []string{"a", "b", "c", "d"}}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Replicas != 4 {
+		t.Fatalf("Addrs should pin Replicas to 4, got %d", cfg.Replicas)
+	}
+}
+
+func TestParseEvent(t *testing.T) {
+	ev, err := ParseEvent("2s:kill:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.At != 2*time.Second || ev.Action != "kill" || ev.Replica != 3 {
+		t.Fatalf("parsed %+v", ev)
+	}
+	if _, err := ParseEvent("2s:defenestrate:3"); err == nil {
+		t.Fatal("unknown action must be rejected")
+	}
+	if _, err := ParseEvent("soon:kill:3"); err == nil {
+		t.Fatal("bad offset must be rejected")
+	}
+	if _, err := ParseEvent("2s:kill"); err == nil {
+		t.Fatal("missing replica must be rejected")
+	}
+	if _, err := ParseEvent("2s:kill:x"); err == nil {
+		t.Fatal("non-numeric replica must be rejected")
+	}
+}
+
+func TestFreePorts(t *testing.T) {
+	addrs, err := FreePorts(4)
+	if err != nil {
+		t.Skipf("sandbox blocks TCP listen: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate port %s in %v", a, addrs)
+		}
+		seen[a] = true
+	}
+}

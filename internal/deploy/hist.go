@@ -1,0 +1,148 @@
+package deploy
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HDR-style log-linear latency histogram: each power-of-two
+// octave of the value range splits into 64 linear sub-buckets, so any
+// recorded value lands in a bucket no wider than 1/64 of its magnitude
+// (≤ ~1.6% relative quantile error) while the whole histogram is a fixed
+// ~32 KB array — no per-sample allocation, no sorting at read time. That
+// is the shape the open-loop driver needs: it records hundreds of
+// thousands of latencies from many goroutines and asks for p50/p99/p999
+// once, at the end of a sweep point.
+//
+// Record is safe for concurrent use (atomic adds); the read-side methods
+// (Quantile, Count, Mean, Max) take atomic snapshots of each bucket and
+// may run concurrently with writers, trading a consistent cut for
+// lock-freedom — fine for progress reporting, exact once writers stop.
+//
+// Values are recorded in nanoseconds as time.Duration and must be
+// non-negative; negative values clamp to zero.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds; ~292 years of aggregate latency before overflow
+	max    atomic.Int64
+}
+
+const (
+	histSubBits = 6 // 64 linear sub-buckets per octave
+	histSub     = 1 << histSubBits
+	// 63-histSubBits octaves above the linear range, histSub buckets each,
+	// plus the dense [0,histSub) range.
+	histBuckets = (63-histSubBits)*histSub + 2*histSub
+)
+
+// histIndex maps a non-negative nanosecond value to its bucket.
+func histIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - histSubBits
+	sub := int(v >> uint(exp)) // in [histSub, 2*histSub)
+	return exp*histSub + sub
+}
+
+// histValue returns a representative (mid-bucket) value for a bucket index,
+// the value quantiles report.
+func histValue(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := idx/histSub - 1
+	sub := int64(idx - exp*histSub)
+	lo := sub << uint(exp)
+	// Mid-bucket without lo+hi overflow in the top octave: the bucket is
+	// exactly 2^exp wide.
+	return lo + (int64(1)<<uint(exp))/2
+}
+
+// Record adds one latency sample.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return int64(h.total.Load()) }
+
+// Mean returns the mean recorded latency (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Max returns the largest recorded latency.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the latency at quantile q ∈ [0,1]: the smallest bucket
+// value such that at least ceil(q·count) samples are at or below it. Empty
+// histograms return 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			return time.Duration(histValue(i))
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Merge folds other's samples into h. Not atomic with respect to concurrent
+// writers of either histogram; merge after the workers have stopped.
+func (h *Hist) Merge(other *Hist) {
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}

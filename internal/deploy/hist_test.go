@@ -1,0 +1,103 @@
+package deploy
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Against an exact sorted-sample baseline, every reported quantile must
+	// land within the log-linear design error (1/64 relative) of the true
+	// order statistic.
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades: exercises many octaves.
+		v := int64(1 + rng.ExpFloat64()*float64(rng.Intn(1_000_000)+1))
+		samples = append(samples, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(q*float64(len(samples))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := float64(samples[idx])
+		got := float64(h.Quantile(q))
+		if relErr := (got - exact) / exact; relErr > 0.04 || relErr < -0.04 {
+			t.Errorf("q=%v: hist %v vs exact %v (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Errorf("count %d, want 20000", h.Count())
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back into that bucket,
+	// and indices must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := histIndex(v)
+		if idx <= prev && v != 0 {
+			// Not strictly increasing across arbitrary gaps, but never
+			// decreasing.
+			if idx < prev {
+				t.Errorf("histIndex(%d)=%d < previous %d", v, idx, prev)
+			}
+		}
+		prev = idx
+		rep := histValue(idx)
+		if histIndex(rep) != idx {
+			t.Errorf("value %d: bucket %d, representative %d maps to bucket %d",
+				v, idx, rep, histIndex(rep))
+		}
+		if idx >= histBuckets {
+			t.Fatalf("histIndex(%d)=%d out of range %d", v, idx, histBuckets)
+		}
+	}
+}
+
+func TestHistEmptyAndClamp(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	h.Record(-time.Second) // clamps to 0
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative sample should clamp to zero: count=%d p50=%v", h.Count(), h.Quantile(0.5))
+	}
+}
+
+func TestHistMergeAndConcurrency(t *testing.T) {
+	var a, b Hist
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				a.Record(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 1; i <= 1000; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 5000 {
+		t.Fatalf("merged count %d, want 5000", a.Count())
+	}
+	if got := a.Quantile(0.5); got < 480*time.Microsecond || got > 520*time.Microsecond {
+		t.Fatalf("merged p50 %v, want ≈500µs", got)
+	}
+	if a.Max() != 1000*time.Microsecond {
+		t.Fatalf("merged max %v", a.Max())
+	}
+}

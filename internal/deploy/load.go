@@ -1,0 +1,249 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/workload"
+)
+
+// Submitter is the client surface the load driver needs; *client.Client
+// satisfies it (via ClusterClient), and tests can substitute fakes.
+type Submitter interface {
+	SubmitTxn(ctx context.Context, txn types.Transaction) (types.Result, error)
+	NextSeq() uint64
+}
+
+// LoadClient pairs a submitter with the client identity its transactions
+// must carry.
+type LoadClient struct {
+	ID  types.ClientID
+	Sub Submitter
+}
+
+// LoadOptions parameterize one open-loop measurement point.
+//
+// Open vs closed loop: the harness's closed-loop clients wait for each
+// reply before sending the next request, so when the cluster slows down the
+// offered load politely slows with it and queueing collapse is invisible.
+// This driver is open-loop — arrivals fire on a Poisson schedule at the
+// target rate whether or not earlier requests completed — and latency is
+// measured from each request's *scheduled arrival time*, so time spent
+// queueing behind a saturated cluster is charged to the request
+// (coordinated omission is not possible by construction). Poisson arrivals
+// rather than a fixed-interval ticker because p999 is a tail statistic:
+// bursts are what expose it, and exponential inter-arrival gaps produce the
+// bursts a uniform ticker never would.
+type LoadOptions struct {
+	// Rate is the offered load in transactions per second.
+	Rate float64
+	// Duration is the measured window; Warmup precedes it unmeasured.
+	Duration time.Duration
+	Warmup   time.Duration
+	// MaxInFlight bounds concurrently outstanding requests; an arrival that
+	// finds the bound exhausted is shed (counted, not sent) rather than
+	// blocking the arrival process — blocking would silently turn the
+	// driver closed-loop exactly when the measurement matters most.
+	// Default 4096.
+	MaxInFlight int
+	// RequestTimeout bounds one request (the client retransmits within it).
+	// Timed-out requests count as errors. Default 15s.
+	RequestTimeout time.Duration
+	// Workload generates the transaction mix (default: paper YCSB config
+	// over 1000 records).
+	Workload workload.Config
+	// Seed drives the arrival process.
+	Seed int64
+}
+
+func (o LoadOptions) withDefaults() (LoadOptions, error) {
+	if o.Rate <= 0 {
+		return o, fmt.Errorf("deploy: load rate must be positive, got %v", o.Rate)
+	}
+	if o.Duration <= 0 {
+		return o, fmt.Errorf("deploy: load duration must be positive, got %v", o.Duration)
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 4096
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 15 * time.Second
+	}
+	if o.Workload.Records == 0 {
+		o.Workload = workload.DefaultConfig(1000)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// LoadPoint is one sweep point's result: offered vs achieved throughput and
+// the latency distribution, in the units BENCH_PR8.json reports.
+type LoadPoint struct {
+	OfferedTxnS  float64 `json:"offered_txn_s"`
+	AchievedTxnS float64 `json:"achieved_txn_s"`
+	DurationS    float64 `json:"duration_s"`
+	Sent         int64   `json:"sent"`
+	Completed    int64   `json:"completed"`
+	Errors       int64   `json:"errors"`
+	Shed         int64   `json:"shed"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	P999Ms       float64 `json:"p999_ms"`
+	MeanMs       float64 `json:"mean_ms"`
+	MaxMs        float64 `json:"max_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// RunLoad drives one open-loop measurement point against the cluster
+// behind clients. Arrivals round-robin across the clients (each client
+// keeps its own deterministic workload generator); the call returns once
+// every in-flight request has completed, errored, or timed out.
+func RunLoad(ctx context.Context, clients []LoadClient, opts LoadOptions) (LoadPoint, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	if len(clients) == 0 {
+		return LoadPoint{}, fmt.Errorf("deploy: no load clients")
+	}
+	gens := make([]*workload.Generator, len(clients))
+	for i, c := range clients {
+		gens[i] = workload.NewGenerator(opts.Workload, c.ID)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var (
+		hist      Hist
+		sent      atomic.Int64
+		completed atomic.Int64
+		errors    atomic.Int64
+		shed      int64
+		wg        sync.WaitGroup
+	)
+	sem := make(chan struct{}, opts.MaxInFlight)
+
+	start := time.Now()
+	measureStart := start.Add(opts.Warmup)
+	end := measureStart.Add(opts.Duration)
+	next := start
+	for i := 0; ; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		now := time.Now()
+		if now.After(end) {
+			break
+		}
+		if wait := next.Sub(now); wait > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(wait):
+			}
+			continue
+		}
+		// One arrival is due. Generate on the dispatcher goroutine (the
+		// generators are not concurrency-safe), then hand off.
+		ci := i % len(clients)
+		arrival := next
+		measured := !arrival.Before(measureStart)
+		// Schedule the following arrival before dispatching: Poisson
+		// inter-arrival gaps, independent of how long dispatch takes.
+		next = next.Add(time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second)))
+
+		select {
+		case sem <- struct{}{}:
+		default:
+			if measured {
+				shed++
+			}
+			continue
+		}
+		txn := gens[ci].Next()
+		txn.Seq = clients[ci].Sub.NextSeq()
+		sub := clients[ci].Sub
+		if measured {
+			sent.Add(1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sctx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
+			defer cancel()
+			_, err := sub.SubmitTxn(sctx, txn)
+			if !measured {
+				return
+			}
+			if err != nil {
+				errors.Add(1)
+				return
+			}
+			completed.Add(1)
+			// Latency from the scheduled arrival, not the send: queueing
+			// delay accumulated behind a saturated cluster is part of what
+			// an open-loop observer experiences.
+			hist.Record(time.Since(arrival))
+		}()
+	}
+	wg.Wait()
+
+	elapsed := opts.Duration.Seconds()
+	point := LoadPoint{
+		OfferedTxnS:  opts.Rate,
+		AchievedTxnS: float64(completed.Load()) / elapsed,
+		DurationS:    elapsed,
+		Sent:         sent.Load(),
+		Completed:    completed.Load(),
+		Errors:       errors.Load(),
+		Shed:         shed,
+		P50Ms:        ms(hist.Quantile(0.50)),
+		P99Ms:        ms(hist.Quantile(0.99)),
+		P999Ms:       ms(hist.Quantile(0.999)),
+		MeanMs:       ms(hist.Mean()),
+		MaxMs:        ms(hist.Max()),
+	}
+	return point, ctx.Err()
+}
+
+// SweepResult is the machine-readable sweep snapshot cmd/poeload emits
+// (BENCH_PR8.json): one LoadPoint per offered rate, plus enough
+// configuration to reproduce the run.
+type SweepResult struct {
+	Schema   string      `json:"schema"`
+	N        int         `json:"n"`
+	Scheme   string      `json:"scheme"`
+	Clients  int         `json:"clients"`
+	Records  int         `json:"records"`
+	WriteMix float64     `json:"write_fraction"`
+	Points   []LoadPoint `json:"points"`
+}
+
+// SweepSchema identifies the BENCH_PR8.json format.
+const SweepSchema = "poe-load-sweep-1"
+
+// RunSweep measures each offered rate in turn over the same client pool,
+// reporting the points completed so far even on error (so a sweep that dies
+// at the highest rate still yields its lower points).
+func RunSweep(ctx context.Context, clients []LoadClient, rates []float64, opts LoadOptions, progress func(LoadPoint)) ([]LoadPoint, error) {
+	points := make([]LoadPoint, 0, len(rates))
+	for _, rate := range rates {
+		opts.Rate = rate
+		p, err := RunLoad(ctx, clients, opts)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, p)
+		if progress != nil {
+			progress(p)
+		}
+	}
+	return points, nil
+}

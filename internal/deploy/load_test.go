@@ -1,0 +1,165 @@
+package deploy
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+	"github.com/poexec/poe/internal/workload"
+)
+
+// fakeSubmitter models a cluster with a fixed service latency.
+type fakeSubmitter struct {
+	id      types.ClientID
+	latency time.Duration
+	seq     atomic.Uint64
+	calls   atomic.Int64
+}
+
+func (f *fakeSubmitter) NextSeq() uint64 { return f.seq.Add(1) }
+
+func (f *fakeSubmitter) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Result, error) {
+	f.calls.Add(1)
+	if txn.Client != f.id {
+		panic("transaction routed to the wrong client")
+	}
+	select {
+	case <-ctx.Done():
+		return types.Result{}, ctx.Err()
+	case <-time.After(f.latency):
+		return types.Result{Client: txn.Client, Seq: txn.Seq}, nil
+	}
+}
+
+func fakePool(n int, latency time.Duration) []LoadClient {
+	pool := make([]LoadClient, n)
+	for i := range pool {
+		id := types.ClientID(types.ClientIDBase) + types.ClientID(i)
+		pool[i] = LoadClient{ID: id, Sub: &fakeSubmitter{id: id, latency: latency}}
+	}
+	return pool
+}
+
+func TestRunLoadOpenLoopRate(t *testing.T) {
+	// At 500/s offered with 2ms service time and a wide in-flight bound,
+	// the driver must achieve ≈ the offered rate and report ≈ service-time
+	// latency: open loop means throughput is set by arrivals, not by the
+	// completion round-trip.
+	pool := fakePool(4, 2*time.Millisecond)
+	p, err := RunLoad(context.Background(), pool, LoadOptions{
+		Rate:     500,
+		Duration: 1500 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+		Workload: workload.DefaultConfig(100),
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Errors != 0 || p.Shed != 0 {
+		t.Fatalf("unexpected errors=%d shed=%d", p.Errors, p.Shed)
+	}
+	if p.AchievedTxnS < 0.8*p.OfferedTxnS || p.AchievedTxnS > 1.2*p.OfferedTxnS {
+		t.Fatalf("achieved %.0f/s vs offered %.0f/s: open-loop driver not holding its rate",
+			p.AchievedTxnS, p.OfferedTxnS)
+	}
+	if p.P50Ms < 1.5 || p.P50Ms > 20 {
+		t.Fatalf("p50 %.2fms implausible for a 2ms service time", p.P50Ms)
+	}
+	if p.P999Ms < p.P99Ms || p.P99Ms < p.P50Ms {
+		t.Fatalf("quantiles not monotone: p50=%.2f p99=%.2f p999=%.2f", p.P50Ms, p.P99Ms, p.P999Ms)
+	}
+}
+
+func TestRunLoadShedsWhenSaturated(t *testing.T) {
+	// 1 in-flight slot and a service time far above the inter-arrival gap:
+	// an open-loop driver must shed arrivals, not block the arrival process
+	// (blocking would silently degrade to closed loop).
+	pool := fakePool(1, 50*time.Millisecond)
+	p, err := RunLoad(context.Background(), pool, LoadOptions{
+		Rate:        300,
+		Duration:    500 * time.Millisecond,
+		MaxInFlight: 1,
+		Workload:    workload.DefaultConfig(100),
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shed == 0 {
+		t.Fatalf("saturated run shed nothing: %+v", p)
+	}
+	if p.Completed == 0 {
+		t.Fatalf("saturated run completed nothing: %+v", p)
+	}
+	if p.AchievedTxnS > 0.25*p.OfferedTxnS {
+		t.Fatalf("achieved %.0f/s should collapse far below offered %.0f/s", p.AchievedTxnS, p.OfferedTxnS)
+	}
+}
+
+func TestRunSweepCollectsPoints(t *testing.T) {
+	pool := fakePool(2, time.Millisecond)
+	var seen []float64
+	points, err := RunSweep(context.Background(), pool, []float64{100, 200}, LoadOptions{
+		Duration: 300 * time.Millisecond,
+		Workload: workload.DefaultConfig(100),
+		Seed:     3,
+	}, func(p LoadPoint) { seen = append(seen, p.OfferedTxnS) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || len(seen) != 2 {
+		t.Fatalf("got %d points, %d progress calls; want 2 each", len(points), len(seen))
+	}
+	if points[0].OfferedTxnS != 100 || points[1].OfferedTxnS != 200 {
+		t.Fatalf("points out of order: %+v", points)
+	}
+	// The sweep snapshot must round-trip as JSON (the BENCH_PR8 contract).
+	res := SweepResult{Schema: SweepSchema, N: 4, Scheme: "mac", Points: points}
+	data, err := json.Marshal(&res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SweepSchema || len(back.Points) != 2 {
+		t.Fatalf("sweep JSON did not round-trip: %s", data)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	pool := fakePool(1, 0)
+	if _, err := RunLoad(context.Background(), pool, LoadOptions{Duration: time.Second}); err == nil {
+		t.Fatal("zero rate must be rejected")
+	}
+	if _, err := RunLoad(context.Background(), pool, LoadOptions{Rate: 10}); err == nil {
+		t.Fatal("zero duration must be rejected")
+	}
+	if _, err := RunLoad(context.Background(), nil, LoadOptions{Rate: 10, Duration: time.Second}); err == nil {
+		t.Fatal("empty client pool must be rejected")
+	}
+}
+
+func TestRunLoadContextCancel(t *testing.T) {
+	pool := fakePool(1, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunLoad(ctx, pool, LoadOptions{
+			Rate: 100, Duration: time.Hour,
+			Workload: workload.DefaultConfig(100),
+		})
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunLoad did not return after context cancellation")
+	}
+}

@@ -1,0 +1,433 @@
+package deploy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/poexec/poe/internal/consensus/protocol"
+)
+
+// Runner owns one multi-process cluster: it launches a poeserver process
+// per replica, tracks their lifecycles, and exposes the kill / restart /
+// wipe operations the process-level crash and cold-rejoin scenarios are
+// built from. All methods are safe for concurrent use.
+//
+// Lifecycle contract: Start spawns the processes and returns; call
+// WaitHealthy before offering load. Shutdown SIGTERMs every live replica
+// (poeserver's graceful path: stop the event loop, flush the WAL group,
+// close listeners, dump metrics) and escalates to SIGKILL only past the
+// grace deadline, so a clean run ends with every replica's exit-metrics
+// JSON on disk.
+type Runner struct {
+	cfg    ClusterConfig
+	bin    string
+	addrs  []string
+	runDir string
+
+	mu    sync.Mutex
+	procs []*replicaProc
+}
+
+// replicaProc is one replica slot; launch replaces its fields on restart.
+type replicaProc struct {
+	id      int
+	cmd     *exec.Cmd
+	logFile *os.File
+	exited  chan struct{} // closed when Wait returns
+	waitErr error         // valid after exited closes
+}
+
+// Start launches the cluster described by cfg. On error, any replicas
+// already launched are killed.
+func Start(cfg ClusterConfig) (*Runner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	bin, err := cfg.resolveServerBin()
+	if err != nil {
+		return nil, err
+	}
+	runDir := cfg.RunDir
+	if runDir == "" {
+		runDir, err = os.MkdirTemp("", "poerun-*")
+		if err != nil {
+			return nil, err
+		}
+	} else if err := os.MkdirAll(runDir, 0o755); err != nil {
+		return nil, err
+	}
+	addrs := cfg.Addrs
+	if len(addrs) == 0 {
+		addrs, err = FreePorts(cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DataRoot != "" {
+		if err := os.MkdirAll(cfg.DataRoot, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	r := &Runner{
+		cfg:    cfg,
+		bin:    bin,
+		addrs:  addrs,
+		runDir: runDir,
+		procs:  make([]*replicaProc, cfg.Replicas),
+	}
+	for id := 0; id < cfg.Replicas; id++ {
+		if err := r.launch(id); err != nil {
+			r.killAll()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Addrs returns the replica listen addresses, index = replica id.
+func (r *Runner) Addrs() []string { return append([]string(nil), r.addrs...) }
+
+// RunDir returns the directory holding per-replica logs and exit metrics.
+func (r *Runner) RunDir() string { return r.runDir }
+
+// N returns the cluster size.
+func (r *Runner) N() int { return len(r.addrs) }
+
+// LogPath returns replica id's stdout+stderr log file (appended across
+// restarts, so one file tells the replica's whole story).
+func (r *Runner) LogPath(id int) string {
+	return filepath.Join(r.runDir, fmt.Sprintf("replica-%d.log", id))
+}
+
+// MetricsPath returns the file replica id dumps its exit metrics to.
+func (r *Runner) MetricsPath(id int) string {
+	return filepath.Join(r.runDir, fmt.Sprintf("replica-%d-metrics.json", id))
+}
+
+// DataDir returns replica id's durable data directory ("" when volatile).
+func (r *Runner) DataDir(id int) string {
+	if r.cfg.DataRoot == "" {
+		return ""
+	}
+	return filepath.Join(r.cfg.DataRoot, fmt.Sprintf("replica-%d", id))
+}
+
+// launch starts (or restarts) replica id's process. Caller must not hold
+// r.mu.
+func (r *Runner) launch(id int) error {
+	if id < 0 || id >= len(r.addrs) {
+		return fmt.Errorf("deploy: replica %d out of range [0,%d)", id, len(r.addrs))
+	}
+	logFile, err := os.OpenFile(r.LogPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	args := r.cfg.serverArgs(id, r.addrs, r.MetricsPath(id))
+	cmd := exec.Command(r.bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("deploy: start replica %d: %w", id, err)
+	}
+	p := &replicaProc{id: id, cmd: cmd, logFile: logFile, exited: make(chan struct{})}
+	go func() {
+		p.waitErr = cmd.Wait()
+		logFile.Close()
+		close(p.exited)
+	}()
+	r.mu.Lock()
+	r.procs[id] = p
+	r.mu.Unlock()
+	return nil
+}
+
+// current returns replica id's latest launch, nil if never launched.
+func (r *Runner) current(id int) *replicaProc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.procs) {
+		return nil
+	}
+	return r.procs[id]
+}
+
+// Alive reports whether replica id's process is currently running.
+func (r *Runner) Alive(id int) bool {
+	p := r.current(id)
+	if p == nil {
+		return false
+	}
+	select {
+	case <-p.exited:
+		return false
+	default:
+		return true
+	}
+}
+
+// WaitHealthy polls until every replica accepts TCP connections, failing
+// fast if any process exits early and failing with the laggards named when
+// the deadline passes. No fixed sleeps: a healthy cluster clears this in a
+// few poll rounds.
+func (r *Runner) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	healthy := make([]bool, len(r.addrs))
+	for {
+		all := true
+		for id, addr := range r.addrs {
+			if healthy[id] {
+				continue
+			}
+			if p := r.current(id); p != nil {
+				select {
+				case <-p.exited:
+					return fmt.Errorf("deploy: replica %d exited during startup (%v)\n%s",
+						id, p.waitErr, r.TailLog(id, 10))
+				default:
+				}
+			}
+			conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+			if err != nil {
+				all = false
+				continue
+			}
+			conn.Close()
+			healthy[id] = true
+		}
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var lag []string
+			for id, ok := range healthy {
+				if !ok {
+					lag = append(lag, strconv.Itoa(id))
+				}
+			}
+			return fmt.Errorf("deploy: replicas %s not accepting connections after %v",
+				strings.Join(lag, ","), timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// Stop SIGTERMs replica id and waits up to grace for a clean exit,
+// escalating to SIGKILL past the deadline. It returns the process's wait
+// error: nil means the replica took the graceful path and exited 0.
+func (r *Runner) Stop(id int, grace time.Duration) error {
+	p := r.current(id)
+	if p == nil {
+		return fmt.Errorf("deploy: replica %d never launched", id)
+	}
+	select {
+	case <-p.exited:
+		return p.waitErr
+	default:
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		// Exited between the check and the signal.
+		<-p.exited
+		return p.waitErr
+	}
+	select {
+	case <-p.exited:
+		return p.waitErr
+	case <-time.After(grace):
+		p.cmd.Process.Kill()
+		<-p.exited
+		return fmt.Errorf("deploy: replica %d ignored SIGTERM for %v, killed", id, grace)
+	}
+}
+
+// Kill crash-stops replica id (SIGKILL, no flush, no metrics dump) and
+// waits for the process to reap — the process-level analogue of the
+// harness's crash fault.
+func (r *Runner) Kill(id int) error {
+	p := r.current(id)
+	if p == nil {
+		return fmt.Errorf("deploy: replica %d never launched", id)
+	}
+	select {
+	case <-p.exited:
+		return nil
+	default:
+	}
+	p.cmd.Process.Kill()
+	<-p.exited
+	return nil
+}
+
+// Restart relaunches replica id with its original flags (same address,
+// same data directory). The previous process must have exited.
+func (r *Runner) Restart(id int) error {
+	if p := r.current(id); p != nil {
+		select {
+		case <-p.exited:
+		default:
+			return fmt.Errorf("deploy: replica %d still running; Stop or Kill it first", id)
+		}
+	}
+	return r.launch(id)
+}
+
+// Wipe removes replica id's data directory — the cold-rejoin scenario's
+// disk loss. The replica must be down and the cluster durable.
+func (r *Runner) Wipe(id int) error {
+	if r.Alive(id) {
+		return fmt.Errorf("deploy: refusing to wipe running replica %d", id)
+	}
+	dir := r.DataDir(id)
+	if dir == "" {
+		return fmt.Errorf("deploy: cluster is volatile (no DataRoot); nothing to wipe")
+	}
+	return os.RemoveAll(dir)
+}
+
+// Shutdown gracefully stops every live replica in parallel (SIGTERM, grace
+// deadline, SIGKILL escalation) and reports the first failure. After a nil
+// return, every replica exited cleanly and its exit-metrics JSON is on
+// disk.
+func (r *Runner) Shutdown(grace time.Duration) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.addrs))
+	for id := range r.addrs {
+		if !r.Alive(id) {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = r.Stop(id, grace)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			return fmt.Errorf("deploy: replica %d shutdown: %w\n%s", id, err, r.TailLog(id, 10))
+		}
+	}
+	return nil
+}
+
+// killAll hard-kills everything; used on failed startup.
+func (r *Runner) killAll() {
+	for id := range r.addrs {
+		if r.current(id) != nil {
+			r.Kill(id)
+		}
+	}
+}
+
+// ReadMetrics parses replica id's exit-metrics JSON (written by poeserver
+// on graceful shutdown).
+func (r *Runner) ReadMetrics(id int) (protocol.MetricsSnapshot, error) {
+	var snap protocol.MetricsSnapshot
+	data, err := os.ReadFile(r.MetricsPath(id))
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("deploy: parse %s: %w", r.MetricsPath(id), err)
+	}
+	return snap, nil
+}
+
+// TailLog returns the last n lines of replica id's log, for error context.
+func (r *Runner) TailLog(id int, n int) string {
+	data, err := os.ReadFile(r.LogPath(id))
+	if err != nil {
+		return ""
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Event is one scheduled process-fault action in a poerun scenario:
+// at offset At, apply Action to replica Replica.
+type Event struct {
+	At      time.Duration
+	Action  string // kill | stop | restart | wipe-restart
+	Replica int
+}
+
+// ParseEvent parses poerun's "-at" flag syntax: "<offset>:<action>:<id>",
+// e.g. "2s:kill:3" or "5s:wipe-restart:3".
+func ParseEvent(s string) (Event, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Event{}, fmt.Errorf("deploy: event %q: want <offset>:<action>:<replica>", s)
+	}
+	at, err := time.ParseDuration(parts[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("deploy: event %q: bad offset: %w", s, err)
+	}
+	switch parts[1] {
+	case "kill", "stop", "restart", "wipe-restart":
+	default:
+		return Event{}, fmt.Errorf("deploy: event %q: unknown action %q (kill|stop|restart|wipe-restart)", s, parts[1])
+	}
+	id, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return Event{}, fmt.Errorf("deploy: event %q: bad replica id: %w", s, err)
+	}
+	return Event{At: at, Action: parts[1], Replica: id}, nil
+}
+
+// Apply executes one scheduled event against the cluster.
+func (r *Runner) Apply(ev Event) error {
+	switch ev.Action {
+	case "kill":
+		return r.Kill(ev.Replica)
+	case "stop":
+		return r.Stop(ev.Replica, 10*time.Second)
+	case "restart":
+		return r.Restart(ev.Replica)
+	case "wipe-restart":
+		if r.Alive(ev.Replica) {
+			if err := r.Kill(ev.Replica); err != nil {
+				return err
+			}
+		}
+		if err := r.Wipe(ev.Replica); err != nil {
+			return err
+		}
+		return r.Restart(ev.Replica)
+	default:
+		return fmt.Errorf("deploy: unknown action %q", ev.Action)
+	}
+}
+
+// RunSchedule sleeps through the events in order (offsets are absolute from
+// start) and applies each, stopping early when ctx ends. Events must be
+// sorted by At.
+func (r *Runner) RunSchedule(ctx context.Context, start time.Time, events []Event) error {
+	for _, ev := range events {
+		wait := time.Until(start.Add(ev.At))
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		if err := r.Apply(ev); err != nil {
+			return fmt.Errorf("deploy: event %v:%s:%d: %w", ev.At, ev.Action, ev.Replica, err)
+		}
+	}
+	return nil
+}

@@ -77,6 +77,127 @@ func TestInitialTableShape(t *testing.T) {
 	}
 }
 
+// TestZipfianThetaMonotonic: raising the skew factor must concentrate more
+// mass on the hot head. This pins the Gray et al. construction against the
+// classic failure mode where eta/alpha are mis-derived and extra skew
+// flattens (or inverts) the distribution.
+func TestZipfianThetaMonotonic(t *testing.T) {
+	const draws = 30000
+	headMass := func(theta float64) float64 {
+		cfg := DefaultConfig(10000)
+		cfg.Zipf = theta
+		g := NewGenerator(cfg, types.ClientIDBase)
+		hot := 0
+		hotKeys := make(map[string]bool, 100)
+		for i := 0; i < 100; i++ {
+			hotKeys[Key(i)] = true
+		}
+		for i := 0; i < draws; i++ {
+			if hotKeys[g.Next().Ops[0].Key] {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	thetas := []float64{0.3, 0.6, 0.9, 0.99}
+	masses := make([]float64, len(thetas))
+	for i, th := range thetas {
+		masses[i] = headMass(th)
+	}
+	for i := 1; i < len(masses); i++ {
+		// Strictly increasing with slack well below the expected gaps
+		// (≈0.02 → 0.06 → 0.17 → 0.26 for 10k records).
+		if masses[i] <= masses[i-1] {
+			t.Fatalf("head mass not increasing with skew: theta=%v -> %v gave %.3f -> %.3f",
+				thetas[i-1], thetas[i], masses[i-1], masses[i])
+		}
+	}
+	if masses[0] > 0.05 {
+		t.Fatalf("theta=0.3 head mass %.3f suspiciously hot", masses[0])
+	}
+	if masses[len(masses)-1] < 0.15 {
+		t.Fatalf("theta=0.99 head mass %.3f not skewed enough", masses[len(masses)-1])
+	}
+}
+
+// TestSeedDeterminism: the full workload — table image and per-client
+// transaction streams — is a pure function of (config, client). Replicas
+// pre-load tables independently and the open-loop driver re-creates
+// generators across processes, so any hidden global state (time, shared
+// rand) would desynchronize them.
+func TestSeedDeterminism(t *testing.T) {
+	cfg := DefaultConfig(300)
+	cfg.Seed = 7
+
+	ta, tb := InitialTable(cfg), InitialTable(cfg)
+	if len(ta) != len(tb) {
+		t.Fatalf("table sizes differ: %d vs %d", len(ta), len(tb))
+	}
+	for k, v := range ta {
+		if string(tb[k]) != string(v) {
+			t.Fatalf("table image differs at %s", k)
+		}
+	}
+
+	for _, client := range []types.ClientID{types.ClientIDBase, types.ClientIDBase + 9} {
+		a, b := NewGenerator(cfg, client), NewGenerator(cfg, client)
+		for i := 0; i < 200; i++ {
+			ta, tb := a.Next(), b.Next()
+			if ta.Digest() != tb.Digest() {
+				t.Fatalf("client %d stream diverged at txn %d", client, i)
+			}
+		}
+	}
+
+	// A different seed must actually change the stream (seed is not ignored).
+	other := cfg
+	other.Seed = 8
+	a := NewGenerator(cfg, types.ClientIDBase)
+	c := NewGenerator(other, types.ClientIDBase)
+	same := 0
+	for i := 0; i < 50; i++ {
+		ta, tc := a.Next(), c.Next()
+		if ta.Digest() == tc.Digest() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("seed change did not alter the transaction stream")
+	}
+}
+
+// TestReadWriteMix: the mix knob is honored across its range, including the
+// degenerate all-read and all-write settings the harness uses for read-only
+// probes and the paper's 90% write setting.
+func TestReadWriteMix(t *testing.T) {
+	for _, tc := range []struct {
+		frac   float64
+		lo, hi float64
+	}{
+		{0.0, 0, 0},
+		{0.5, 0.46, 0.54},
+		{0.9, 0.87, 0.93},
+		{1.0, 1, 1},
+	} {
+		cfg := DefaultConfig(1000)
+		cfg.WriteFraction = tc.frac
+		g := NewGenerator(cfg, types.ClientIDBase)
+		writes, total := 0, 0
+		for i := 0; i < 4000; i++ {
+			for _, op := range g.Next().Ops {
+				total++
+				if op.Kind == types.OpWrite {
+					writes++
+				}
+			}
+		}
+		got := float64(writes) / float64(total)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("WriteFraction=%v: measured %.3f, want in [%v, %v]", tc.frac, got, tc.lo, tc.hi)
+		}
+	}
+}
+
 // TestQuickKeysInRange: every generated operation touches a key inside the
 // table, for any table size.
 func TestQuickKeysInRange(t *testing.T) {

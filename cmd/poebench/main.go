@@ -40,6 +40,12 @@ type benchEntry struct {
 	DecisionsPerSec float64 `json:"decisions_s,omitempty"`
 	OpsPerSec       float64 `json:"ops_s,omitempty"`
 	MBPerSec        float64 `json:"mb_s,omitempty"`
+	// Read-path rows (fig reads): speedup over the all-consensus baseline
+	// of the same sweep, and the digest-prefix audit verdict.
+	Speedup        float64 `json:"speedup,omitempty"`
+	AuditChecked   int64   `json:"audit_checked,omitempty"`
+	AuditMismatch  int64   `json:"audit_mismatch,omitempty"`
+	ReadFallbackPc float64 `json:"read_fallback_pct,omitempty"`
 }
 
 // benchSnapshot is the file the CI job uploads next to the fig-11 output so
@@ -84,7 +90,7 @@ type scale struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,codec,exec,all; or the chaos scenario suite: chaos")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,7,8,9ab,9cd,9ef,9gh,9ij,9kl,10,11,codec,exec,reads,all; or the chaos scenario suite: chaos")
 	full := flag.Bool("full", false, "run the larger (paper-scale) configurations")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark snapshot (benchmark name → txn/s, latency) to this file")
 	flag.Parse()
@@ -173,6 +179,10 @@ func main() {
 	if run("exec") {
 		any = true
 		figExec()
+	}
+	if run("reads") {
+		any = true
+		figReads(sc)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
@@ -437,6 +447,86 @@ func figChaos(sc scale) {
 	opts.Scheme = crypto.SchemeTS
 	fmt.Printf("%-12s ", harness.AttackSilenceCert)
 	report(harness.RunChaos(harness.ChaosOptions{Options: opts, Attack: harness.AttackSilenceCert}))
+}
+
+// figReads benchmarks the hybrid-consistency read path: read-heavy YCSB
+// mixes where reads either run full consensus (the pre-PR baseline) or are
+// served locally as SPECULATIVE / STRONG tiered reads. Every tiered row also
+// reports the digest-prefix safety audit: sampled speculative answers whose
+// (seq, state-digest) tag was checked against the replicas' recorded
+// execution digests. The headline comparison is YCSB-B (95% reads) with all
+// reads SPECULATIVE vs the same mix all-ordered; the read path is expected
+// to deliver at least 2x.
+func figReads(sc scale) {
+	header("reads: hybrid-consistency read path (YCSB-B/C)")
+	type row struct {
+		name     string
+		p        harness.Protocol
+		readFrac float64
+		spec     float64
+		strong   float64
+	}
+	rows := []row{
+		{"poe/ycsb-b/ordered", harness.PoE, 0.95, 0, 0},
+		{"poe/ycsb-b/spec", harness.PoE, 0.95, 1.0, 0},
+		{"poe/ycsb-b/strong", harness.PoE, 0.95, 0, 1.0},
+		{"poe/ycsb-b/mixed", harness.PoE, 0.95, 0.5, 0.5},
+		{"poe/ycsb-c/spec", harness.PoE, 1.0, 1.0, 0},
+		{"pbft/ycsb-b/ordered", harness.PBFT, 0.95, 0, 0},
+		{"pbft/ycsb-b/spec", harness.PBFT, 0.95, 1.0, 0},
+	}
+	fmt.Printf("%-22s %10s %8s %9s %9s %5s %5s  %s\n",
+		"mix", "txn/s", "lat ms", "spec", "strong", "fb", "rep", "audit")
+	baselines := map[harness.Protocol]float64{}
+	for _, r := range rows {
+		res, err := harness.Run(harness.Options{
+			Protocol: r.p, N: 4,
+			BatchSize: sc.batchSize, Clients: sc.clients, Outstanding: sc.out,
+			Warmup: sc.warmup, Measure: sc.measure,
+			ReadFraction:        r.readFrac,
+			SpeculativeFraction: r.spec,
+			StrongFraction:      r.strong,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		e := benchEntry{
+			TxnPerSec:     res.Throughput,
+			LatencyMs:     ms(res.AvgLatency),
+			AuditChecked:  res.ReadAuditChecked,
+			AuditMismatch: res.ReadAuditMismatches,
+		}
+		if res.ReadsCompleted > 0 {
+			e.ReadFallbackPc = 100 * float64(res.ReadsFallback) / float64(res.ReadsCompleted)
+		}
+		if r.spec == 0 && r.strong == 0 {
+			baselines[r.p] = res.Throughput
+		} else if base := baselines[r.p]; base > 0 {
+			e.Speedup = res.Throughput / base
+		}
+		record("figreads/"+r.name, res)
+		snapshot.Benchmarks["figreads/"+r.name] = e
+		audit := fmt.Sprintf("%d checked, %d skipped, %d MISMATCH",
+			res.ReadAuditChecked, res.ReadAuditSkipped, res.ReadAuditMismatches)
+		if res.ReadAuditChecked == 0 && res.ReadAuditSkipped == 0 {
+			audit = "-"
+		}
+		fmt.Printf("%-22s %10.0f %8.2f %9d %9d %5d %5d  %s",
+			r.name, res.Throughput, ms(res.AvgLatency),
+			res.SpecServes, res.StrongServes, res.ReadFallbacks, res.ReadRepairs, audit)
+		if e.Speedup > 0 {
+			fmt.Printf("  (%.2fx vs ordered)", e.Speedup)
+		}
+		fmt.Println()
+		if res.ReadAuditMismatches > 0 {
+			fmt.Fprintf(os.Stderr, "reads: SAFETY VIOLATION: %d speculative answers did not match any replica's recorded digest\n", res.ReadAuditMismatches)
+			os.Exit(1)
+		}
+	}
+	if b, s := snapshot.Benchmarks["figreads/poe/ycsb-b/ordered"], snapshot.Benchmarks["figreads/poe/ycsb-b/spec"]; b.TxnPerSec > 0 {
+		fmt.Printf("\nYCSB-B speculative speedup over all-consensus: %.2fx (target >= 2.0x)\n", s.TxnPerSec/b.TxnPerSec)
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

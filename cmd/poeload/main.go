@@ -64,6 +64,8 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request deadline (client retransmits within it)")
 	records := flag.Int("records", 1000, "YCSB table size")
 	writeFrac := flag.Float64("write-fraction", 0.9, "fraction of operations that are writes")
+	specFrac := flag.Float64("speculative-fraction", 0, "fraction of read-only txns issued as SPECULATIVE tiered reads")
+	strongFrac := flag.Float64("strong-fraction", 0, "fraction of read-only txns issued as STRONG tiered reads")
 	zipf := flag.Float64("zipf", 0.9, "Zipfian skew (0 = uniform)")
 	valueSize := flag.Int("value-size", 46, "written value size in bytes")
 	seed := flag.String("seed", "poe-demo-seed", "shared key-ring seed")
@@ -103,12 +105,14 @@ func main() {
 	defer closePool()
 
 	wcfg := workload.Config{
-		Records:       *records,
-		WriteFraction: *writeFrac,
-		Zipf:          *zipf,
-		ValueSize:     *valueSize,
-		OpsPerTxn:     1,
-		Seed:          *wseed,
+		Records:             *records,
+		WriteFraction:       *writeFrac,
+		Zipf:                *zipf,
+		ValueSize:           *valueSize,
+		OpsPerTxn:           1,
+		SpeculativeFraction: *specFrac,
+		StrongFraction:      *strongFrac,
+		Seed:                *wseed,
 	}
 	opts := deploy.LoadOptions{
 		Duration:       *duration,
@@ -131,13 +135,15 @@ func main() {
 
 	if *jsonPath != "" && len(points) > 0 {
 		res := deploy.SweepResult{
-			Schema:   deploy.SweepSchema,
-			N:        len(addrs),
-			Scheme:   *scheme,
-			Clients:  *clients,
-			Records:  *records,
-			WriteMix: *writeFrac,
-			Points:   points,
+			Schema:    deploy.SweepSchema,
+			N:         len(addrs),
+			Scheme:    *scheme,
+			Clients:   *clients,
+			Records:   *records,
+			WriteMix:  *writeFrac,
+			SpecMix:   *specFrac,
+			StrongMix: *strongFrac,
+			Points:    points,
 		}
 		data, err := json.MarshalIndent(&res, "", "  ")
 		if err != nil {

@@ -73,22 +73,61 @@ type Client struct {
 	nextSeq  atomic.Uint64
 	viewHint atomic.Uint64 // latest view observed in replies
 
+	// nextReadSeq numbers tiered reads. Reads run in their own client-local
+	// sequence space — they bypass ordering, so threading them through the
+	// write sequence would leave gaps the dedup watermark treats as lost
+	// writes. readRR spreads speculative reads across backups.
+	nextReadSeq atomic.Uint64
+	readRR      atomic.Uint64
+
 	mu      sync.Mutex
 	waiters map[uint64]*waiter
+
+	// readMu guards readWaiters: tiered reads are keyed by request digest
+	// (their sequence space can collide with write sequences).
+	readMu      sync.Mutex
+	readWaiters map[types.Digest]*readWaiter
 
 	// OnSpeculative, if set, receives speculative replies (Zyzzyva fast
 	// path) instead of the normal tally; used by the zyzzyva client
 	// wrapper.
 	OnSpeculative func(m *protocol.Inform)
 
+	// OnRepair, if set, receives the re-answer of a speculative read whose
+	// serving prefix was rolled back after the original answer was already
+	// delivered (the replica-side repair path). Called from the read loop;
+	// must not block.
+	OnRepair func(ReadAnswer)
+
 	started sync.Once
 	done    chan struct{}
 }
 
 type waiter struct {
-	ch    chan types.Result
+	digest types.Digest // request digest; informs must match it exactly
+	ch     chan types.Result
+	tally  map[protocol.ReplyKey]map[types.ReplicaID]bool
+	res    map[protocol.ReplyKey]types.Result
+}
+
+// ReadAnswer is the outcome of a tiered read: the values plus the provenance
+// tag — which replica answered, from which executed prefix — that the harness
+// uses for the digest-prefix safety audit.
+type ReadAnswer struct {
+	Result      types.Result
+	Tier        types.Consistency
+	From        types.ReplicaID
+	ExecSeq     types.SeqNum
+	StateDigest types.Digest
+	Repaired    bool
+	// Fallback marks an answer that came through the ordering pipeline
+	// (Inform quorum) rather than a local serve.
+	Fallback bool
+}
+
+type readWaiter struct {
+	ch    chan ReadAnswer
 	tally map[protocol.ReplyKey]map[types.ReplicaID]bool
-	res   map[protocol.ReplyKey]types.Result
 }
 
 // New creates a client over the given transport. The transport's node must
@@ -113,11 +152,12 @@ func New(cfg Config, ring *crypto.KeyRing, net network.Transport) (*Client, erro
 		cfg.VerifyReplyMAC = true
 	}
 	return &Client{
-		cfg:     cfg,
-		keys:    ring.NodeKeys(types.ClientNode(cfg.ID)),
-		net:     net,
-		waiters: make(map[uint64]*waiter),
-		done:    make(chan struct{}),
+		cfg:         cfg,
+		keys:        ring.NodeKeys(types.ClientNode(cfg.ID)),
+		net:         net,
+		waiters:     make(map[uint64]*waiter),
+		readWaiters: make(map[types.Digest]*readWaiter),
+		done:        make(chan struct{}),
 	}, nil
 }
 
@@ -140,6 +180,9 @@ func (c *Client) Sign(txn types.Transaction) types.Request {
 
 // NextSeq allocates the next client-local sequence number.
 func (c *Client) NextSeq() uint64 { return c.nextSeq.Add(1) }
+
+// NextReadSeq allocates the next sequence number in the tiered-read space.
+func (c *Client) NextReadSeq() uint64 { return c.nextReadSeq.Add(1) }
 
 // ErrClosed is returned when the client's transport closed mid-request.
 var ErrClosed = errors.New("client: transport closed")
@@ -167,9 +210,10 @@ func (c *Client) SubmitTxn(ctx context.Context, txn types.Transaction) (types.Re
 	}
 	req := c.Sign(txn)
 	w := &waiter{
-		ch:    make(chan types.Result, 1),
-		tally: make(map[protocol.ReplyKey]map[types.ReplicaID]bool),
-		res:   make(map[protocol.ReplyKey]types.Result),
+		digest: req.Digest(),
+		ch:     make(chan types.Result, 1),
+		tally:  make(map[protocol.ReplyKey]map[types.ReplicaID]bool),
+		res:    make(map[protocol.ReplyKey]types.Result),
 	}
 	c.mu.Lock()
 	c.waiters[txn.Seq] = w
@@ -246,11 +290,15 @@ func (c *Client) readLoop(ctx context.Context) {
 			if !ok {
 				return
 			}
-			m, ok := env.Msg.(*protocol.Inform)
-			if !ok || !env.From.IsReplica() {
+			if !env.From.IsReplica() {
 				continue
 			}
-			c.onInform(env.From.Replica(), m)
+			switch m := env.Msg.(type) {
+			case *protocol.Inform:
+				c.onInform(env.From.Replica(), m)
+			case *protocol.ReadReply:
+				c.onReadReply(env.From.Replica(), m)
+			}
 		}
 	}
 }
@@ -275,30 +323,227 @@ func (c *Client) onInform(from types.ReplicaID, m *protocol.Inform) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	w, ok := c.waiters[m.ClientSeq]
-	if !ok {
+	// The digest must match: tiered reads run in their own sequence space,
+	// so a read's client-seq can collide with a write's. Without the digest
+	// check an Inform for a fallback-ordered read could complete the write
+	// waiter that happens to share its number.
+	if ok && w.digest == m.Digest {
+		defer c.mu.Unlock()
+		if c.cfg.CertAccept != nil && c.cfg.CertAccept(m) {
+			c.finish(w, types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values})
+			return
+		}
+		votes, ok := w.tally[key]
+		if !ok {
+			votes = make(map[types.ReplicaID]bool)
+			w.tally[key] = votes
+			w.res[key] = types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values}
+		}
+		votes[from] = true
+		if len(votes) >= c.cfg.Quorum {
+			c.finish(w, w.res[key])
+		}
 		return
 	}
-	if c.cfg.CertAccept != nil && c.cfg.CertAccept(m) {
-		c.finish(w, types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values})
-		return
-	}
-	votes, ok := w.tally[key]
-	if !ok {
-		votes = make(map[types.ReplicaID]bool)
-		w.tally[key] = votes
-		w.res[key] = types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values}
-	}
-	votes[from] = true
-	if len(votes) >= c.cfg.Quorum {
-		c.finish(w, w.res[key])
-	}
+	c.mu.Unlock()
+	// No write in flight under this (seq, digest): a tiered read that fell
+	// back to ordering comes home as ordinary Informs carrying the read
+	// request's digest. Tally those against the digest-keyed read waiters.
+	c.tallyReadInform(from, m, key)
 }
 
 func (c *Client) finish(w *waiter, res types.Result) {
 	select {
 	case w.ch <- res:
 	default:
+	}
+}
+
+// --- hybrid-consistency read path ---
+
+// ErrNotReadOnly is returned when a tiered read contains write operations.
+var ErrNotReadOnly = errors.New("client: tiered read contains non-read ops")
+
+// Read issues a read-only transaction at the requested consistency tier.
+//
+//   - ConsistencyOrdered runs the read through full consensus like any
+//     write — the baseline tier, and the only one with full BFT guarantees.
+//   - ConsistencyStrong is served locally by the primary while it holds a
+//     quorum-granted read lease; without one it degrades to Ordered.
+//   - ConsistencySpeculative is served by any single replica from its
+//     executed prefix; the answer may be repaired later if a view change
+//     rolls that prefix back (see OnRepair).
+func (c *Client) Read(ctx context.Context, ops []types.Op, tier types.Consistency) (ReadAnswer, error) {
+	txn := types.Transaction{
+		Client:      c.cfg.ID,
+		Ops:         ops,
+		TimeNanos:   time.Now().UnixNano(),
+		Consistency: tier,
+	}
+	if tier == types.ConsistencyOrdered {
+		// Ordered reads are ordinary transactions: write sequence space,
+		// normal dedup, Inform quorum.
+		txn.Seq = c.NextSeq()
+		res, err := c.SubmitTxn(ctx, txn)
+		return ReadAnswer{Result: res, Tier: types.ConsistencyOrdered, Fallback: true}, err
+	}
+	txn.Seq = c.NextReadSeq()
+	return c.ReadTxn(ctx, txn)
+}
+
+// ReadTxn is Read for a pre-built transaction (the workload generator
+// produces these). The transaction must be read-only with a non-Ordered
+// consistency tier and a sequence number fresh in the read space.
+func (c *Client) ReadTxn(ctx context.Context, txn types.Transaction) (ReadAnswer, error) {
+	if txn.Client != c.cfg.ID {
+		return ReadAnswer{}, fmt.Errorf("client: transaction for %d submitted via client %d", txn.Client, c.cfg.ID)
+	}
+	if !txn.ReadOnly() || txn.Consistency == types.ConsistencyOrdered {
+		return ReadAnswer{}, ErrNotReadOnly
+	}
+	req := c.Sign(txn)
+	d := req.Digest()
+	w := &readWaiter{
+		ch:    make(chan ReadAnswer, 1),
+		tally: make(map[protocol.ReplyKey]map[types.ReplicaID]bool),
+	}
+	c.readMu.Lock()
+	c.readWaiters[d] = w
+	c.readMu.Unlock()
+	defer func() {
+		c.readMu.Lock()
+		delete(c.readWaiters, d)
+		c.readMu.Unlock()
+	}()
+
+	c.net.Send(c.readTarget(txn.Consistency), &protocol.ReadRequest{Req: req})
+	backoff := c.cfg.Timeout
+	timer := time.NewTimer(c.retryWait(backoff, txn.Seq, 0))
+	defer timer.Stop()
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-ctx.Done():
+			return ReadAnswer{}, ctx.Err()
+		case <-c.done:
+			return ReadAnswer{}, ErrClosed
+		case ans := <-w.ch:
+			return ans, nil
+		case <-timer.C:
+			// Retries broadcast: every replica can serve a speculative
+			// read, and a strong read reaching a backup is forwarded to
+			// the primary (or falls back into ordering), so flooding is
+			// the fastest way out of a stale view hint.
+			network.Broadcast(c.net, c.cfg.N, &protocol.ReadRequest{Req: req}, false)
+			if backoff < c.cfg.MaxRetryInterval {
+				backoff *= 2
+				if backoff > c.cfg.MaxRetryInterval {
+					backoff = c.cfg.MaxRetryInterval
+				}
+			}
+			timer.Reset(c.retryWait(backoff, txn.Seq, attempt))
+		}
+	}
+}
+
+// readTarget picks the first-attempt destination: STRONG reads go to the
+// presumed primary (only the lease holder may serve them locally), while
+// SPECULATIVE reads round-robin across the backups so the primary's
+// ordering pipeline never sees them.
+func (c *Client) readTarget(tier types.Consistency) types.NodeID {
+	if tier == types.ConsistencyStrong {
+		return c.primaryNode()
+	}
+	v := types.View(c.viewHint.Load())
+	primary := v.Primary(c.cfg.N)
+	id := types.ReplicaID(c.readRR.Add(1) % uint64(c.cfg.N))
+	if id == primary {
+		id = types.ReplicaID((uint64(id) + 1) % uint64(c.cfg.N))
+	}
+	return types.ReplicaNode(id)
+}
+
+// onReadReply completes a tiered read answered locally by a replica. A
+// single MAC-verified reply suffices: the tiers deliberately trade the
+// inform quorum for latency — SPECULATIVE trusts one replica's executed
+// prefix (repairable), STRONG trusts the lease holder.
+func (c *Client) onReadReply(from types.ReplicaID, m *protocol.ReadReply) {
+	if m.From != from {
+		return
+	}
+	if c.cfg.VerifyReplyMAC {
+		p := m.Payload()
+		if !c.keys.CheckMAC(types.ReplicaNode(from), p[:], m.Tag) {
+			return
+		}
+	}
+	for {
+		cur := c.viewHint.Load()
+		if uint64(m.View) <= cur || c.viewHint.CompareAndSwap(cur, uint64(m.View)) {
+			break
+		}
+	}
+	ans := ReadAnswer{
+		Result:      types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values},
+		Tier:        m.Tier,
+		From:        from,
+		ExecSeq:     m.ExecSeq,
+		StateDigest: m.StateDigest,
+		Repaired:    m.Repaired,
+	}
+	// Repairs are surfaced even when the original call already returned:
+	// the first answer was served from a prefix a view change rolled back,
+	// and this reply carries the repaired value.
+	if m.Repaired && c.OnRepair != nil {
+		c.OnRepair(ans)
+	}
+	c.readMu.Lock()
+	w, ok := c.readWaiters[m.Digest]
+	c.readMu.Unlock()
+	if ok {
+		select {
+		case w.ch <- ans:
+		default:
+		}
+	}
+}
+
+// tallyReadInform completes a tiered read that a replica pushed through the
+// ordering pipeline instead of serving locally (a strong read without a
+// lease, or any read reaching a protocol without local-serve support). The
+// answer arrives as ordinary Informs matched by request digest; the usual
+// quorum / certificate acceptance rules apply.
+func (c *Client) tallyReadInform(from types.ReplicaID, m *protocol.Inform, key protocol.ReplyKey) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	w, ok := c.readWaiters[m.Digest]
+	if !ok {
+		return
+	}
+	ans := ReadAnswer{
+		Result:   types.Result{Client: c.cfg.ID, Seq: m.ClientSeq, Values: m.Values},
+		Tier:     types.ConsistencyOrdered,
+		From:     from,
+		ExecSeq:  m.Seq,
+		Fallback: true,
+	}
+	if c.cfg.CertAccept != nil && c.cfg.CertAccept(m) {
+		select {
+		case w.ch <- ans:
+		default:
+		}
+		return
+	}
+	votes, ok := w.tally[key]
+	if !ok {
+		votes = make(map[types.ReplicaID]bool)
+		w.tally[key] = votes
+	}
+	votes[from] = true
+	if len(votes) >= c.cfg.Quorum {
+		select {
+		case w.ch <- ans:
+		default:
+		}
 	}
 }

@@ -261,6 +261,17 @@ func (r *Replica) dispatch(env network.Envelope) {
 		if !r.rt.ReplayReply(&m.Req) {
 			r.enqueue(m.Req)
 		}
+	case *protocol.ReadRequest:
+		// HotStuff does not implement the fast read path
+		// (protocol.ErrReadPathUnsupported): tiered reads are ordered like
+		// any other request, skipping the executed-watermark check — they
+		// run in their own client-local sequence space, which the batcher
+		// and executor already exempt from dedup.
+		r.rt.Metrics.ReadFallbacks.Add(1)
+		r.rt.Batcher.Add(m.Req)
+		r.maybePropose(false)
+	case *protocol.LeaseGrant:
+		// No lease machinery without the fast read path; grants are inert.
 	case *Proposal:
 		if env.From.IsReplica() {
 			r.onProposal(env.From.Replica(), m)

@@ -162,6 +162,11 @@ type Replica struct {
 	// proactively fetches past the recovered prefix.
 	catchup bool
 
+	// strongQ holds STRONG reads the primary deferred because its committed
+	// head still trailed its proposals; drained after every execution burst
+	// and on the tick, with a bounded wait before falling back to ordering.
+	strongQ protocol.StrongReads
+
 	tick time.Duration
 }
 
@@ -267,6 +272,10 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.onClientRequest(env.From, &m.Req)
 	case *protocol.ForwardRequest:
 		r.onForwardRequest(&m.Req)
+	case *protocol.ReadRequest:
+		r.onReadRequest(&m.Req)
+	case *protocol.LeaseGrant:
+		r.rt.OnLeaseGrant(m)
 	case *PrePrepare:
 		if env.From.IsReplica() {
 			r.handlePrePrepare(env.From.Replica(), m)
@@ -341,6 +350,79 @@ func (r *Replica) trackPending(req *types.Request) {
 	if _, ok := r.pendingReqs[d]; !ok {
 		r.pendingReqs[d] = pendingReq{req: *req, since: time.Now()}
 	}
+}
+
+// --- hybrid-consistency read path ---
+
+// onReadRequest serves a tiered read-only request without ordering when the
+// tier's precondition holds, falling back to the ordering pipeline otherwise.
+// The verify pipeline already checked the client signature and that the
+// transaction is read-only with a non-ordered tier.
+func (r *Replica) onReadRequest(req *types.Request) {
+	switch req.Txn.Consistency {
+	case types.ConsistencySpeculative:
+		// Any replica answers from its executed prefix. PBFT executes only
+		// committed-local batches and never rolls back, so these serves are
+		// final; the (seq, state digest) tag still lets the client audit the
+		// prefix against checkpoints.
+		r.rt.ServeLocalRead(req, types.ConsistencySpeculative, r.view)
+	case types.ConsistencyStrong:
+		if r.tryServeStrong(req) {
+			return
+		}
+		if r.isPrimary() && r.status == statusNormal {
+			r.strongQ.Defer(req, time.Now())
+			return
+		}
+		r.fallbackRead(req)
+	default:
+		r.fallbackRead(req)
+	}
+}
+
+// tryServeStrong answers a STRONG read from the committed prefix iff this
+// replica is the primary, holds a quorum read lease, and its committed head
+// has caught up with its proposals (every write it acknowledged is in the
+// answered prefix). Under a valid lease no view change can assemble a quorum
+// — every grantor promised not to join a higher view — so no newer view can
+// commit writes the serve would miss; without a lease the read pays for
+// ordering, so linearizability never rests on clock synchronization.
+func (r *Replica) tryServeStrong(req *types.Request) bool {
+	if !r.isPrimary() || r.status != statusNormal {
+		return false
+	}
+	if r.rt.Exec.LastExecuted()+1 != r.nextPropose {
+		return false
+	}
+	if !r.rt.Lease.HolderValid(r.view) {
+		return false
+	}
+	r.rt.ServeLocalRead(req, types.ConsistencyStrong, r.view)
+	return true
+}
+
+// fallbackRead routes a tiered read through the ordering pipeline: the
+// primary batches it like any write; a backup forwards it. Fallback reads are
+// dedup-exempt end to end (their own client-local sequence space), so they
+// pass the batcher watermark, executor dedup, and reply ring without
+// colliding with writes.
+func (r *Replica) fallbackRead(req *types.Request) {
+	r.rt.Metrics.ReadFallbacks.Add(1)
+	if r.isPrimary() && r.status == statusNormal {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	r.rt.SendReplica(r.rt.Cfg.Primary(r.view), &protocol.ForwardRequest{Req: *req})
+}
+
+// drainStrongReads retries deferred STRONG reads, falling back to ordering
+// for any that waited longer than half a lease duration.
+func (r *Replica) drainStrongReads(now time.Time) {
+	if r.strongQ.Len() == 0 {
+		return
+	}
+	r.strongQ.Drain(now, r.rt.Cfg.LeaseDuration/2, r.tryServeStrong, r.fallbackRead)
 }
 
 // --- normal case ---
@@ -568,6 +650,13 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 		r.rt.MaybeCheckpoint(ev.Rec.Seq)
 	}
 	r.proposeReady(false)
+	if r.status == statusNormal {
+		// Execution progress is the under-load lease carrier (renewals ride
+		// next to the checkpoint broadcast) and the moment deferred STRONG
+		// reads may have caught up.
+		r.rt.MaybeGrantLease(r.view, false)
+		r.drainStrongReads(time.Now())
+	}
 }
 
 // --- housekeeping ---
@@ -587,7 +676,12 @@ func (r *Replica) onTick() {
 			r.proposeReady(true)
 		}
 		r.maybeFetch()
-		if r.suspectPrimary(now) {
+		r.drainStrongReads(now)
+		suspect := r.suspectPrimary(now)
+		// A suspecting replica stops renewing its lease grant, so the
+		// primary's outstanding lease drains within one LeaseDuration.
+		r.rt.MaybeGrantLease(r.view, suspect)
+		if suspect {
 			r.startViewChange(r.view + 1)
 		}
 	case statusViewChange:
@@ -685,6 +779,15 @@ func (r *Replica) startViewChange(target types.View) {
 		return
 	}
 	if r.status == statusViewChange && target <= r.vcTarget {
+		return
+	}
+	if !r.rt.Lease.CanAdvanceView(target) {
+		// An outstanding read-lease promise forbids joining a higher view
+		// until it expires (at most one LeaseDuration). Every initiation path
+		// retries — the tick re-suspects, VC-REQUESTs are retransmitted — so
+		// the view change is delayed, never lost. Applying a completed
+		// NV-PROPOSE is never gated: nf replicas advancing proves the lease
+		// quorum already drained.
 		return
 	}
 	r.status = statusViewChange
@@ -993,6 +1096,10 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
 	r.rt.Metrics.ViewChangesDone.Add(1)
+	// Grants from the old view must never validate a lease in the new one,
+	// and reads the old primary parked can no longer be lease-served.
+	r.rt.Lease.ResetHolder(v)
+	r.strongQ.FlushAll(r.fallbackRead)
 	r.slots = make(map[types.SeqNum]*slot)
 	// Every share payload in the pipeline's digest table belongs to the old
 	// view's slots; drop them with the slots.

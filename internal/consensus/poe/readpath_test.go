@@ -1,0 +1,152 @@
+package poe
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/crypto"
+	"github.com/poexec/poe/internal/types"
+)
+
+func readOp(key string) []types.Op {
+	return []types.Op{{Kind: types.OpRead, Key: key}}
+}
+
+// TestReadPathSpeculativeServeAndTag: a SPECULATIVE read is answered from a
+// backup's executed prefix without running consensus, and its (ExecSeq,
+// StateDigest) tag names a prefix the serving replica's history actually
+// contained — the safety anchor a client (or auditor) can later check.
+func TestReadPathSpeculativeServeAndTag(t *testing.T) {
+	c := startCluster(t, 4, 1, crypto.SchemeMAC, nil)
+	cl := c.newClient(0, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := cl.Submit(ctx, writeOp("k", "v")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.awaitConvergence(1, nil, 5*time.Second)
+
+	ans, err := cl.Read(ctx, readOp("k"), types.ConsistencySpeculative)
+	if err != nil {
+		t.Fatalf("speculative read: %v", err)
+	}
+	if ans.Fallback {
+		t.Fatal("speculative read fell back to ordering on a healthy cluster")
+	}
+	if ans.Tier != types.ConsistencySpeculative {
+		t.Fatalf("served tier %v, want SPECULATIVE", ans.Tier)
+	}
+	if len(ans.Result.Values) != 1 || string(ans.Result.Values[0]) != "v" {
+		t.Fatalf("read values %q, want [v]", ans.Result.Values)
+	}
+	if ans.ExecSeq == 0 {
+		t.Fatal("speculative answer not tagged with an executed prefix")
+	}
+	// The tag must match the digest the serving replica recorded when that
+	// prefix executed.
+	state, _, ok := c.replicas[ans.From].Runtime().Exec.DigestsAt(ans.ExecSeq)
+	if !ok {
+		t.Fatalf("replica %d retains no digest at seq %d", ans.From, ans.ExecSeq)
+	}
+	if state != ans.StateDigest {
+		t.Fatalf("prefix tag mismatch at seq %d: reply=%x replica=%x",
+			ans.ExecSeq, ans.StateDigest, state)
+	}
+	// And no replica should have run consensus for it: the metric counter
+	// proves the serve was local.
+	var specServes int64
+	for _, r := range c.replicas {
+		specServes += r.Runtime().Metrics.SpecReads.Load()
+	}
+	if specServes == 0 {
+		t.Fatal("no replica recorded a speculative serve")
+	}
+}
+
+// TestReadPathStrongServeUnderLease: with a healthy primary renewing its read
+// lease, a STRONG read is eventually served directly by the primary (no
+// ordering round) and still observes the latest committed write.
+func TestReadPathStrongServeUnderLease(t *testing.T) {
+	c := startCluster(t, 4, 1, crypto.SchemeMAC, nil)
+	cl := c.newClient(0, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no STRONG read served under the lease within 10s")
+		}
+		// Each write carries lease-grant piggybacks, keeping the lease fresh.
+		val := fmt.Sprintf("v%d", i)
+		if _, err := cl.Submit(ctx, writeOp("k", val)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		ans, err := cl.Read(ctx, readOp("k"), types.ConsistencyStrong)
+		if err != nil {
+			t.Fatalf("strong read %d: %v", i, err)
+		}
+		// A strong read must never be stale, served or ordered.
+		if len(ans.Result.Values) != 1 || string(ans.Result.Values[0]) != val {
+			t.Fatalf("strong read %d returned %q, want %q (fallback=%v)",
+				i, ans.Result.Values, val, ans.Fallback)
+		}
+		if !ans.Fallback && ans.Tier == types.ConsistencyStrong {
+			// Served under the lease, off the fast path. Done.
+			var grants int64
+			for _, r := range c.replicas {
+				grants += r.Runtime().Metrics.LeaseGrants.Load()
+			}
+			if grants == 0 {
+				t.Fatal("strong serve without any lease grant recorded")
+			}
+			return
+		}
+	}
+}
+
+// TestLeaseViewChangeStrongReadsNeverStale: crash the lease-holding primary,
+// commit a write under the new view, and require a STRONG read to observe it.
+// The lease promise must delay — not veto — the view change (ViewChanges > 0
+// on the survivors), and the new primary must not serve under the dead
+// primary's lease.
+func TestLeaseViewChangeStrongReadsNeverStale(t *testing.T) {
+	c := startCluster(t, 4, 1, crypto.SchemeMAC, nil)
+	cl := c.newClient(0, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := cl.Submit(ctx, writeOp("x", "before")); err != nil {
+		t.Fatalf("write before: %v", err)
+	}
+	// Kill the view-0 primary while it may hold a fresh read lease.
+	c.net.Crash(types.ReplicaNode(0))
+	// This write only completes once the survivors elect a new primary —
+	// which the outstanding lease promise must allow after it expires.
+	if _, err := cl.Submit(ctx, writeOp("x", "after")); err != nil {
+		t.Fatalf("write after: %v", err)
+	}
+	skip := map[types.ReplicaID]bool{0: true}
+	c.awaitConvergence(2, skip, 10*time.Second)
+	for i := 1; i < 4; i++ {
+		if got := c.replicas[i].Runtime().Metrics.ViewChanges.Load(); got == 0 {
+			t.Fatalf("replica %d recorded no view change — lease promise vetoed it", i)
+		}
+	}
+
+	// STRONG reads after the view change must see the new value, whether the
+	// new primary serves them under its own lease or falls back to ordering.
+	for i := 0; i < 3; i++ {
+		ans, err := cl.Read(ctx, readOp("x"), types.ConsistencyStrong)
+		if err != nil {
+			t.Fatalf("strong read %d: %v", i, err)
+		}
+		if len(ans.Result.Values) != 1 || string(ans.Result.Values[0]) != "after" {
+			t.Fatalf("STALE strong read %d: got %q, want %q (tier=%v fallback=%v from=%d)",
+				i, ans.Result.Values, "after", ans.Tier, ans.Fallback, ans.From)
+		}
+	}
+}

@@ -106,6 +106,11 @@ type Replica struct {
 	// proactively fetches past the recovered prefix.
 	catchup bool
 
+	// strongQ holds STRONG reads the primary deferred because its executed
+	// head still trailed its proposals; drained after every execution burst
+	// and on the tick, with a bounded wait before falling back to ordering.
+	strongQ protocol.StrongReads
+
 	tick time.Duration
 }
 
@@ -225,6 +230,10 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.onClientRequest(env.From, &m.Req)
 	case *protocol.ForwardRequest:
 		r.onForwardRequest(&m.Req)
+	case *protocol.ReadRequest:
+		r.onReadRequest(&m.Req)
+	case *protocol.LeaseGrant:
+		r.rt.OnLeaseGrant(m)
 	case *Propose:
 		r.onPropose(env.From, m)
 	case *Support:
@@ -292,6 +301,82 @@ func (r *Replica) onForwardRequest(req *types.Request) {
 	}
 	r.rt.Batcher.Add(*req)
 	r.proposeReady(false)
+}
+
+// --- hybrid-consistency read path ---
+
+// onReadRequest serves a tiered read-only request without ordering when the
+// tier's precondition holds, and falls back to the ordering pipeline
+// otherwise. The verify pipeline already checked the client signature and
+// that the transaction is read-only with a non-ordered tier.
+func (r *Replica) onReadRequest(req *types.Request) {
+	switch req.Txn.Consistency {
+	case types.ConsistencySpeculative:
+		// Any replica answers from its executed (speculative) prefix, in any
+		// status: the reply is tagged with the serving (seq, state digest)
+		// and re-answered through the repair path if a rollback truncates it.
+		r.rt.ServeLocalRead(req, types.ConsistencySpeculative, r.view)
+	case types.ConsistencyStrong:
+		if r.tryServeStrong(req) {
+			return
+		}
+		if r.isPrimary() && r.status == statusNormal {
+			// Lease held but the executed head trails the proposals (or the
+			// lease is one renewal short): park the read; afterExecution
+			// drains it the moment the head catches up.
+			r.strongQ.Defer(req, time.Now())
+			return
+		}
+		r.fallbackRead(req)
+	default:
+		r.fallbackRead(req)
+	}
+}
+
+// tryServeStrong answers a STRONG read from the local executed prefix iff
+// this replica is the primary, holds a quorum read lease, and is caught up
+// (executed head == proposal head, so every write it has acknowledged is in
+// the answered prefix). Under a valid lease no view change can assemble a
+// quorum — every grantor promised not to join a higher view — so no
+// conflicting write can commit elsewhere while the serve is current;
+// when the lease cannot be validated the read simply pays for ordering, so
+// linearizability never rests on clock synchronization.
+func (r *Replica) tryServeStrong(req *types.Request) bool {
+	if !r.isPrimary() || r.status != statusNormal {
+		return false
+	}
+	if r.rt.Exec.LastExecuted()+1 != r.nextPropose {
+		return false
+	}
+	if !r.rt.Lease.HolderValid(r.view) {
+		return false
+	}
+	r.rt.ServeLocalRead(req, types.ConsistencyStrong, r.view)
+	return true
+}
+
+// fallbackRead routes a tiered read through the ordering pipeline: the
+// primary batches it like any write; a backup forwards it. Fallback reads are
+// dedup-exempt end to end (they use their own client-local sequence space),
+// so they pass the batcher watermark, the executor's dedup, and the reply
+// ring without colliding with writes.
+func (r *Replica) fallbackRead(req *types.Request) {
+	r.rt.Metrics.ReadFallbacks.Add(1)
+	if r.isPrimary() && r.status == statusNormal {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	r.rt.Net.Send(r.primaryNode(), &protocol.ForwardRequest{Req: *req})
+}
+
+// drainStrongReads retries deferred STRONG reads, falling back to ordering
+// for any that waited longer than half a lease duration.
+func (r *Replica) drainStrongReads(now time.Time) {
+	if r.strongQ.Len() == 0 {
+		return
+	}
+	r.strongQ.Drain(now, r.rt.Cfg.LeaseDuration/2, r.tryServeStrong, r.fallbackRead)
 }
 
 func (r *Replica) trackPending(req *types.Request) {
@@ -605,6 +690,13 @@ func (r *Replica) afterExecution(events []protocol.Executed) {
 		r.rt.MaybeCheckpoint(ev.Rec.Seq)
 	}
 	r.proposeReady(false)
+	if r.status == statusNormal {
+		// Execution progress is the under-load lease carrier (renewals ride
+		// next to the checkpoint broadcast) and the moment deferred STRONG
+		// reads may have caught up.
+		r.rt.MaybeGrantLease(r.view, false)
+		r.drainStrongReads(time.Now())
+	}
 }
 
 // --- housekeeping ---
@@ -624,7 +716,12 @@ func (r *Replica) onTick() {
 			r.proposeReady(true)
 		}
 		r.maybeFetch()
-		if r.suspectPrimary(now) {
+		r.drainStrongReads(now)
+		suspect := r.suspectPrimary(now)
+		// A suspecting replica stops renewing its lease grant, so the
+		// primary's outstanding lease drains within one LeaseDuration.
+		r.rt.MaybeGrantLease(r.view, suspect)
+		if suspect {
 			r.startViewChange(r.view + 1)
 		}
 	case statusViewChange:

@@ -29,6 +29,15 @@ func (r *Replica) startViewChange(target types.View) {
 	if r.status == statusViewChange && target <= r.vcTarget {
 		return
 	}
+	if !r.rt.Lease.CanAdvanceView(target) {
+		// An outstanding read-lease promise forbids joining a higher view
+		// until it expires (at most one LeaseDuration). Every initiation path
+		// retries — the tick re-suspects, VC-REQUESTs are retransmitted — so
+		// the view change is delayed, never lost. Applying a completed
+		// NV-PROPOSE is never gated: nf replicas advancing proves the lease
+		// quorum already drained.
+		return
+	}
 	r.status = statusViewChange
 	r.vcTarget = target
 	r.vcStarted = time.Now()
@@ -310,6 +319,10 @@ func (r *Replica) enterView(v types.View, kmax types.SeqNum) {
 	r.curTimeout = r.rt.Cfg.ViewTimeout
 	r.lastProgress = time.Now()
 	r.rt.Metrics.ViewChangesDone.Add(1)
+	// Grants from the old view must never validate a lease in the new one,
+	// and reads the old primary parked can no longer be lease-served.
+	r.rt.Lease.ResetHolder(v)
+	r.strongQ.FlushAll(r.fallbackRead)
 	r.slots = make(map[types.SeqNum]*slot)
 	// Every share payload in the pipeline's digest table belongs to the old
 	// view's slots; drop them with the slots.

@@ -39,6 +39,18 @@ func NewBatcher(max int, linger time.Duration, zeroPayload bool) *Batcher {
 // available. Duplicate requests (client-local sequence number not newer than
 // the last queued or proposed one) are dropped.
 func (b *Batcher) Add(req types.Request) bool {
+	if dedupExempt(&req.Txn) {
+		// Tiered reads falling back to ordering run in their own client-local
+		// sequence space: letting them touch the write watermark would either
+		// drop the read (seq at or below the watermark) or mask genuine
+		// writes (seq above it). They skip the watermark entirely; execution
+		// is idempotent, so a retransmitted fallback read merely re-executes.
+		if len(b.pending) == 0 {
+			b.oldest = time.Now()
+		}
+		b.pending = append(b.pending, req)
+		return len(b.pending) >= b.max
+	}
 	if req.Txn.Seq <= b.proposed[req.Txn.Client] {
 		return len(b.pending) >= b.max
 	}

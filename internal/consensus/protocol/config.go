@@ -58,6 +58,13 @@ type Config struct {
 	// every consecutive view change (exponential backoff, Theorem 7).
 	ViewTimeout time.Duration
 
+	// LeaseDuration is the read-lease promise window (protocol/lease.go): a
+	// replica granting a lease promises not to join a higher view for this
+	// long on its own clock, and the primary treats each grant as valid for
+	// half of it from receipt. Must stay well below ViewTimeout — a pending
+	// view change waits out at most one promise window.
+	LeaseDuration time.Duration
+
 	// Seed seeds the deterministic key ring shared by the cluster.
 	Seed []byte
 }
@@ -102,6 +109,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ViewTimeout == 0 {
 		c.ViewTimeout = 300 * time.Millisecond
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = c.ViewTimeout / 4
 	}
 	return c
 }

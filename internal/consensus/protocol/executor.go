@@ -67,6 +67,13 @@ type Executor struct {
 	onDurable  func(seq types.SeqNum)
 	onRollback func(toSeq types.SeqNum)
 
+	// afterRollback fires at the very END of a successful Rollback, once the
+	// store, ledger, and dedup history are rewound — the hook the read path
+	// uses to re-answer speculative reads served off the discarded suffix.
+	// It runs under the executor lock: the hook must not call back into
+	// Executor methods (the store's own lock is fine).
+	afterRollback func(toSeq types.SeqNum)
+
 	// par, when set, executes drained windows through the conflict-aware
 	// parallel execution engine instead of the serial per-batch loop. The
 	// engine's determinism contract (package exec) makes the two paths
@@ -278,11 +285,24 @@ func (e *Executor) drainParallelLocked() []Executed {
 func (e *Executor) journalDedupLocked(seq types.SeqNum, effective *types.Batch) {
 	for i := range effective.Requests {
 		txn := &effective.Requests[i].Txn
+		if dedupExempt(txn) {
+			continue
+		}
 		if txn.Seq > e.lastCli[txn.Client] {
 			e.cliJournal = append(e.cliJournal, cliMark{seq: seq, client: txn.Client, prev: e.lastCli[txn.Client]})
 			e.lastCli[txn.Client] = txn.Seq
 		}
 	}
+}
+
+// dedupExempt reports whether a transaction is outside the per-client dedup
+// history: fallback-ordered fast-path reads use a client-local sequence space
+// of their own (the read counter), so comparing their Seq against the write
+// watermark would either starve the read or — worse — poison the watermark
+// and suppress legitimate writes. Reads are idempotent; re-executing a
+// duplicate is harmless.
+func dedupExempt(txn *types.Transaction) bool {
+	return txn.Consistency != types.ConsistencyOrdered && txn.ReadOnly()
 }
 
 // finishExecLocked records one executed batch — ledger append, execution
@@ -342,7 +362,8 @@ func (e *Executor) dedupLocked(b *types.Batch) *types.Batch {
 	}
 	keep := -1
 	for i := range b.Requests {
-		if b.Requests[i].Txn.Seq <= e.lastCli[b.Requests[i].Txn.Client] {
+		txn := &b.Requests[i].Txn
+		if !dedupExempt(txn) && txn.Seq <= e.lastCli[txn.Client] {
 			keep = i
 			break
 		}
@@ -352,7 +373,8 @@ func (e *Executor) dedupLocked(b *types.Batch) *types.Batch {
 	}
 	eff := &types.Batch{Requests: make([]types.Request, 0, len(b.Requests))}
 	for i := range b.Requests {
-		if b.Requests[i].Txn.Seq > e.lastCli[b.Requests[i].Txn.Client] {
+		txn := &b.Requests[i].Txn
+		if dedupExempt(txn) || txn.Seq > e.lastCli[txn.Client] {
 			eff.Requests = append(eff.Requests, b.Requests[i])
 		}
 	}
@@ -439,6 +461,9 @@ func (e *Executor) Rollback(toSeq types.SeqNum) error {
 		cut = i
 	}
 	e.cliJournal = e.cliJournal[:cut]
+	if e.afterRollback != nil {
+		e.afterRollback(toSeq)
+	}
 	return nil
 }
 

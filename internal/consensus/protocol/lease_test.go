@@ -1,0 +1,181 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"github.com/poexec/poe/internal/types"
+)
+
+// leaseFixture builds a lease with an injectable clock.
+func leaseFixture(n, f int) (*Lease, *time.Time) {
+	cfg := Config{ID: 0, N: n, F: f, LeaseDuration: 120 * time.Millisecond}.WithDefaults()
+	cfg.LeaseDuration = 120 * time.Millisecond
+	l := NewLease(cfg)
+	now := time.Unix(1000, 0)
+	l.Now = func() time.Time { return now }
+	return l, &now
+}
+
+func grant(from types.ReplicaID, view types.View, dur time.Duration) *LeaseGrant {
+	return &LeaseGrant{From: from, View: view, DurationNanos: int64(dur)}
+}
+
+func TestLeaseHolderQuorum(t *testing.T) {
+	l, now := leaseFixture(4, 1)
+	if l.HolderValid(0) {
+		t.Fatal("lease valid with no grants")
+	}
+	// nf = 3: own implicit grant + 2 others.
+	l.OnGrant(grant(1, 0, 120*time.Millisecond))
+	if l.HolderValid(0) {
+		t.Fatal("lease valid with only 2 of 3 grants")
+	}
+	l.OnGrant(grant(2, 0, 120*time.Millisecond))
+	if !l.HolderValid(0) {
+		t.Fatal("lease invalid with nf grants")
+	}
+	// Validity is half the grantor's declared window, from receipt.
+	*now = now.Add(61 * time.Millisecond)
+	if l.HolderValid(0) {
+		t.Fatal("lease still valid past half the grant window")
+	}
+	// A renewal from one grantor is not enough; both must renew.
+	l.OnGrant(grant(1, 0, 120*time.Millisecond))
+	if l.HolderValid(0) {
+		t.Fatal("lease valid after only one renewal")
+	}
+	l.OnGrant(grant(2, 0, 120*time.Millisecond))
+	if !l.HolderValid(0) {
+		t.Fatal("lease invalid after full renewal")
+	}
+}
+
+func TestLeaseGrantsForOtherViewsIgnored(t *testing.T) {
+	l, _ := leaseFixture(4, 1)
+	l.OnGrant(grant(1, 1, 120*time.Millisecond))
+	l.OnGrant(grant(2, 1, 120*time.Millisecond))
+	if l.HolderValid(0) || l.HolderValid(1) {
+		t.Fatal("grants for view 1 counted while holder is at view 0")
+	}
+	l.ResetHolder(1)
+	// ResetHolder discards grants received before the switch: they were
+	// checked against the old view and dropped, so the holder starts empty.
+	if l.HolderValid(1) {
+		t.Fatal("holder valid immediately after view switch")
+	}
+	l.OnGrant(grant(1, 1, 120*time.Millisecond))
+	l.OnGrant(grant(2, 1, 120*time.Millisecond))
+	if !l.HolderValid(1) {
+		t.Fatal("holder invalid with nf grants for its view")
+	}
+}
+
+func TestLeasePromiseBlocksViewAdvance(t *testing.T) {
+	l, now := leaseFixture(4, 1)
+	if !l.CanAdvanceView(1) {
+		t.Fatal("advance blocked with no promise outstanding")
+	}
+	l.NoteGranted(0)
+	if l.CanAdvanceView(1) {
+		t.Fatal("advance to a higher view allowed inside the promise window")
+	}
+	// Advancing to the promised view itself is always allowed.
+	if !l.CanAdvanceView(0) {
+		t.Fatal("advance to the promised view blocked")
+	}
+	*now = now.Add(120 * time.Millisecond)
+	if !l.CanAdvanceView(1) {
+		t.Fatal("advance still blocked after the promise expired")
+	}
+}
+
+func TestLeaseGrantCadence(t *testing.T) {
+	l, now := leaseFixture(4, 1)
+	if !l.GrantDue(0) {
+		t.Fatal("no grant due initially")
+	}
+	l.NoteGranted(0)
+	if l.GrantDue(0) {
+		t.Fatal("grant due immediately after granting")
+	}
+	*now = now.Add(40 * time.Millisecond) // LeaseDuration/3
+	if !l.GrantDue(0) {
+		t.Fatal("renewal not due after LeaseDuration/3")
+	}
+	// A view switch makes a grant due immediately.
+	l.NoteGranted(0)
+	if !l.GrantDue(1) {
+		t.Fatal("no grant due for a new view")
+	}
+}
+
+func TestStrongReadsDrainServeAndTimeout(t *testing.T) {
+	var q StrongReads
+	now := time.Unix(1000, 0)
+	mk := func(seq uint64) *types.Request {
+		return &types.Request{Txn: types.Transaction{Client: 1, Seq: seq}}
+	}
+	q.Defer(mk(1), now)
+	q.Defer(mk(2), now)
+	q.Defer(mk(3), now.Add(50*time.Millisecond))
+	var served, fell []uint64
+	serveOdd := func(r *types.Request) bool {
+		if r.Txn.Seq%2 == 1 {
+			served = append(served, r.Txn.Seq)
+			return true
+		}
+		return false
+	}
+	fallback := func(r *types.Request) { fell = append(fell, r.Txn.Seq) }
+
+	// At +60ms with maxWait 100ms: 1 and 3 serve, 2 stays queued.
+	q.Drain(now.Add(60*time.Millisecond), 100*time.Millisecond, serveOdd, fallback)
+	if len(served) != 2 || served[0] != 1 || served[1] != 3 {
+		t.Fatalf("served %v, want [1 3]", served)
+	}
+	if len(fell) != 0 || q.Len() != 1 {
+		t.Fatalf("fell=%v len=%d, want none queued but seq 2", fell, q.Len())
+	}
+	// At +110ms, 2 has waited past maxWait and falls back to ordering.
+	q.Drain(now.Add(110*time.Millisecond), 100*time.Millisecond,
+		func(*types.Request) bool { return false }, fallback)
+	if len(fell) != 1 || fell[0] != 2 || q.Len() != 0 {
+		t.Fatalf("fell=%v len=%d, want [2] and empty", fell, q.Len())
+	}
+
+	// FlushAll hands everything to fallback regardless of age.
+	q.Defer(mk(4), now)
+	fell = nil
+	q.FlushAll(fallback)
+	if len(fell) != 1 || fell[0] != 4 || q.Len() != 0 {
+		t.Fatalf("flush: fell=%v len=%d", fell, q.Len())
+	}
+}
+
+// TestReplyRingDigestExactMatch covers the dedup-replay cache: the ring must
+// hold several recent replies per client and only answer a retransmission
+// whose (client seq, request digest) BOTH match — a tiered read sharing a
+// sequence number with a cached write must never be "answered" by the
+// write's cached reply.
+func TestReplyRingDigestExactMatch(t *testing.T) {
+	var ring replyRing
+	d := func(b byte) types.Digest { return types.Digest{b} }
+	for i := 1; i <= replyRingSize+2; i++ {
+		ring.add(&Inform{ClientSeq: uint64(i), Digest: d(byte(i)), Seq: types.SeqNum(i)})
+	}
+	// The two oldest were evicted.
+	if m := ring.find(1, d(1)); m != nil {
+		t.Fatalf("evicted entry still found: %+v", m)
+	}
+	if m := ring.find(3, d(3)); m == nil || m.ClientSeq != 3 {
+		t.Fatalf("recent entry not found: %+v", m)
+	}
+	// Same seq, different digest: a read colliding with a cached write.
+	if m := ring.find(5, d(99)); m != nil {
+		t.Fatalf("digest mismatch answered from cache: %+v", m)
+	}
+	if got := ring.newestSeq(); got != types.SeqNum(replyRingSize+2) {
+		t.Fatalf("newestSeq=%d want %d", got, replyRingSize+2)
+	}
+}

@@ -124,6 +124,92 @@ type SnapshotChunk struct {
 	Data  []byte
 }
 
+// ReadRequest carries a read-only transaction a client wants served on the
+// fast read path (no ordering): SPECULATIVE reads go to any replica, STRONG
+// reads to the current primary. The request is signed like any transaction —
+// the consistency tier is inside the signed encoding — so a replica can
+// verify the client really asked for the weaker tier.
+type ReadRequest struct {
+	Req types.Request
+}
+
+// ReadReply answers a ReadRequest from a replica's local executed prefix,
+// without consensus. ExecSeq and StateDigest pin the exact prefix the values
+// were read from — the client-side anchor of digest-prefix safety: an
+// unrepaired speculative reply must quote a (seq, digest) pair that some
+// honest replica's history actually contained. Repaired marks a re-answer
+// sent after a rollback truncated past ExecSeq of the original reply.
+type ReadReply struct {
+	From        types.ReplicaID
+	Digest      types.Digest // D(〈T〉c) of the read request
+	ClientSeq   uint64       // client-local read sequence number
+	Values      [][]byte
+	ExecSeq     types.SeqNum      // executed prefix the values were read from
+	StateDigest types.Digest      // store digest at ExecSeq
+	View        types.View        // serving replica's view
+	Tier        types.Consistency // tier actually served
+	Repaired    bool
+	Tag         []byte // MAC over Payload(), replica → client
+}
+
+// Payload returns the digest the reply MAC covers: everything the client
+// relies on, so a network adversary can neither retier nor retarget a reply.
+func (m *ReadReply) Payload() types.Digest {
+	return types.DigestConcat(
+		[]byte("readreply"),
+		uint64Bytes(uint64(m.From)),
+		m.Digest[:],
+		uint64Bytes(m.ClientSeq),
+		uint64Bytes(uint64(m.ExecSeq)),
+		m.StateDigest[:],
+		uint64Bytes(uint64(m.View)),
+		[]byte{byte(m.Tier), boolByte(m.Repaired)},
+		valuesDigest(m.Values),
+	)
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func valuesDigest(values [][]byte) []byte {
+	d := types.DigestConcat(flatten(values)...)
+	return d[:]
+}
+
+// LeaseGrant is one replica's read-lease vote for the primary of View: the
+// grantor promises not to join any view higher than View until LeaseDuration
+// (the granting replica's config) has elapsed on its own clock since it sent
+// the grant. A primary holding nf unexpired grants (its own implicit) may
+// serve STRONG reads locally: any higher view needs nf join votes, which
+// must intersect the grant quorum in a non-faulty promiser — so no
+// conflicting view can commit writes while the lease is valid. Both sides
+// measure only durations on their own clocks; clock synchronization is never
+// assumed (only bounded drift and delivery delay, and those affect just the
+// fast path — expiry falls back to ordering).
+type LeaseGrant struct {
+	From          types.ReplicaID
+	View          types.View
+	Seq           types.SeqNum // grantor's executed head at grant time
+	DurationNanos int64        // grantor's promise window
+	Sig           []byte
+}
+
+// SignedPayload returns the bytes covered by the grant signature.
+func (g *LeaseGrant) SignedPayload() []byte {
+	d := types.DigestConcat(
+		[]byte("leasegrant"),
+		uint64Bytes(uint64(g.From)),
+		uint64Bytes(uint64(g.View)),
+		uint64Bytes(uint64(g.Seq)),
+		uint64Bytes(uint64(g.DurationNanos)),
+	)
+	return d[:]
+}
+
 // Checkpoint announces that the sender executed every batch up to Seq and
 // has the given state and ledger digests (§II-D). Signed so it can be used
 // as a view-change base.
@@ -166,4 +252,7 @@ func init() {
 	wire.Register(func() wire.Message { return &SnapshotRequest{} })
 	wire.Register(func() wire.Message { return &SnapshotOffer{} })
 	wire.Register(func() wire.Message { return &SnapshotChunk{} })
+	wire.Register(func() wire.Message { return &ReadRequest{} })
+	wire.Register(func() wire.Message { return &ReadReply{} })
+	wire.Register(func() wire.Message { return &LeaseGrant{} })
 }

@@ -45,6 +45,16 @@ type Metrics struct {
 	// which counts attempts started. The soak harness asserts on completions.
 	ViewChangesDone atomic.Int64
 
+	// Hybrid-consistency read path: reads served locally per tier (no
+	// consensus slot consumed), reads that fell back to ordering (no lease,
+	// wrong replica, deferral timeout), speculative serves re-answered after
+	// a rollback, and lease grants sent.
+	SpecReads     atomic.Int64
+	StrongReads   atomic.Int64
+	ReadFallbacks atomic.Int64
+	ReadRepairs   atomic.Int64
+	LeaseGrants   atomic.Int64
+
 	// Snapshot state transfer: snapshots served to lagging peers and
 	// installed from peers, chunks and bytes moved in each direction, extra
 	// pages pulled by the paginated record fetch, and state-sync attempts
@@ -88,6 +98,12 @@ type MetricsSnapshot struct {
 	ParallelWaves   int64 `json:"parallel_waves"`
 	ParallelTxns    int64 `json:"parallel_txns"`
 
+	SpecReads     int64 `json:"spec_reads"`
+	StrongReads   int64 `json:"strong_reads"`
+	ReadFallbacks int64 `json:"read_fallbacks"`
+	ReadRepairs   int64 `json:"read_repairs"`
+	LeaseGrants   int64 `json:"lease_grants"`
+
 	SnapshotsServed    int64 `json:"snapshots_served"`
 	SnapshotsInstalled int64 `json:"snapshots_installed"`
 	SnapshotChunksSent int64 `json:"snapshot_chunks_sent"`
@@ -125,6 +141,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ParallelWindows: m.ParallelWindows.Load(),
 		ParallelWaves:   m.ParallelWaves.Load(),
 		ParallelTxns:    m.ParallelTxns.Load(),
+
+		SpecReads:     m.SpecReads.Load(),
+		StrongReads:   m.StrongReads.Load(),
+		ReadFallbacks: m.ReadFallbacks.Load(),
+		ReadRepairs:   m.ReadRepairs.Load(),
+		LeaseGrants:   m.LeaseGrants.Load(),
 
 		SnapshotsServed:    m.SnapshotsServed.Load(),
 		SnapshotsInstalled: m.SnapshotsInstalled.Load(),

@@ -57,11 +57,21 @@ type Runtime struct {
 	// from pipeline workers (reqSeen stamping).
 	stableSeq atomic.Int64
 
-	// lastReply caches the most recent Inform per client so duplicates can
-	// be answered without re-execution. Guarded by replyMu: replies are
-	// cached by egress workers and read by the event loop.
+	// lastReply caches a small ring of recent Informs per client so
+	// duplicates can be answered without re-execution — a ring rather than
+	// depth-1, so a pipelined client's retry of an *older* in-flight
+	// sequence is still answered from cache exactly. Guarded by replyMu:
+	// replies are cached by egress workers and read by the event loop.
 	replyMu   sync.Mutex
-	lastReply map[types.ClientID]*Inform
+	lastReply map[types.ClientID]*replyRing
+
+	// Lease is the read-lease state machine (lease.go); specReads is the
+	// registry of served speculative reads still exposed to rollback
+	// (readpath.go). readMu guards the registry: repair fires from
+	// Executor.Rollback under the executor lock.
+	Lease     *Lease
+	readMu    sync.Mutex
+	specReads []specRead
 
 	// Durability gate: with storage attached, client replies are held here
 	// until the WAL group carrying their batch has been committed (and, in
@@ -180,11 +190,12 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		Batcher:    NewBatcher(cfg.BatchSize, cfg.BatchLinger, opts.ZeroPayload),
 		Metrics:    &Metrics{},
 		reqSeen:    make(map[types.Digest]types.SeqNum),
-		lastReply:  make(map[types.ClientID]*Inform),
+		lastReply:  make(map[types.ClientID]*replyRing),
 		durPending: make(map[types.SeqNum][]func()),
 		cpVotes:    make(map[types.SeqNum]map[types.ReplicaID]*Checkpoint),
 	}
 	rt.Sync = newStateSync(rt)
+	rt.Lease = NewLease(cfg)
 	for i := 0; i < cfg.N; i++ {
 		if types.ReplicaID(i) != cfg.ID {
 			rt.peers = append(rt.peers, types.ReplicaNode(types.ReplicaID(i)))
@@ -232,6 +243,7 @@ func NewRuntime(cfg Config, ring *crypto.KeyRing, net network.Transport, opts Ru
 		rt.Exec.onDurable = rt.noteDurable
 	}
 	rt.Exec.onRollback = rt.dropPendingReplies
+	rt.Exec.afterRollback = rt.RepairSpecReads
 	rt.stableSeq.Store(int64(rt.Exec.StableCheckpointSeq()))
 	return rt
 }
@@ -350,7 +362,12 @@ func (rt *Runtime) SendReplies(seq types.SeqNum, replies []Reply, cache bool, pr
 				// them from another goroutine the moment they are visible.
 				rt.replyMu.Lock()
 				for _, rp := range replies {
-					rt.lastReply[rp.Client] = rp.Msg
+					ring, ok := rt.lastReply[rp.Client]
+					if !ok {
+						ring = &replyRing{}
+						rt.lastReply[rp.Client] = ring
+					}
+					ring.add(rp.Msg)
 				}
 				rt.replyMu.Unlock()
 			}
@@ -362,15 +379,68 @@ func (rt *Runtime) SendReplies(seq types.SeqNum, replies []Reply, cache bool, pr
 	})
 }
 
+// replyRingSize is the number of recent replies cached per client. Sized to
+// cover a pipelined client's realistic outstanding window: a retry of any of
+// the last replyRingSize sequences is answered from cache exactly, instead
+// of only the very latest one.
+const replyRingSize = 8
+
+// replyRing is a per-client ring of the most recent replies, newest-first
+// lookup. Guarded by the runtime's replyMu.
+type replyRing struct {
+	replies [replyRingSize]*Inform
+	next    int
+}
+
+// add records a reply, evicting the oldest when full.
+func (r *replyRing) add(m *Inform) {
+	r.replies[r.next] = m
+	r.next = (r.next + 1) % replyRingSize
+}
+
+// find returns the cached reply matching a request exactly — same
+// client-local sequence number AND same request digest — newest first (a
+// pipelined client's retries skew recent). The digest match matters because
+// tiered reads that fall back to ordering run in their own sequence space: a
+// read's seq can collide with a write's, and replaying across that collision
+// would answer one request with the other's reply.
+func (r *replyRing) find(clientSeq uint64, digest types.Digest) *Inform {
+	for i := 1; i <= replyRingSize; i++ {
+		m := r.replies[(r.next-i+replyRingSize)%replyRingSize]
+		if m == nil {
+			return nil
+		}
+		if m.ClientSeq == clientSeq && m.Digest == digest {
+			return m
+		}
+	}
+	return nil
+}
+
+// newestSeq returns the global sequence number of the most recent cached
+// reply (0 when empty) — the idleness signal stable-checkpoint pruning uses.
+func (r *replyRing) newestSeq() types.SeqNum {
+	m := r.replies[(r.next-1+replyRingSize)%replyRingSize]
+	if m == nil {
+		return 0
+	}
+	return m.Seq
+}
+
 // ReplayReply re-sends the cached reply for a duplicate request, if any.
 // It returns true when a cached reply existed. Cached replies are durable by
 // construction (they are cached only after their WAL group committed), so
 // replaying never answers from volatile state.
 func (rt *Runtime) ReplayReply(req *types.Request) bool {
+	d := req.Digest()
 	rt.replyMu.Lock()
-	last, ok := rt.lastReply[req.Txn.Client]
+	ring, ok := rt.lastReply[req.Txn.Client]
+	var last *Inform
+	if ok {
+		last = ring.find(req.Txn.Seq, d)
+	}
 	rt.replyMu.Unlock()
-	if !ok || last.ClientSeq != req.Txn.Seq {
+	if last == nil {
 		return false
 	}
 	rt.Net.Send(types.ClientNode(req.Txn.Client), last)
@@ -510,6 +580,33 @@ func (rt *Runtime) VerifyCommonInbound(env *network.Envelope) (keep, handled boo
 		// the check for our own vote — so a network message claiming our
 		// identity is a spoof and must not reach it.
 		return m.From != rt.Cfg.ID, true
+	case *ReadRequest:
+		cp := m
+		if !env.Owned {
+			cp = &ReadRequest{Req: types.CloneRequest(m.Req)}
+			env.Msg = cp
+		}
+		if !env.From.IsClient() || cp.Req.Txn.Client != env.From.Client() {
+			return false, true
+		}
+		// Only read-only transactions with a non-ordered tier belong here;
+		// anything else must pay for ordering and is dropped (the client's
+		// ordered retransmission path still works).
+		if !cp.Req.Txn.ReadOnly() || cp.Req.Txn.Consistency == types.ConsistencyOrdered {
+			return false, true
+		}
+		if !rt.VerifyClientRequest(&cp.Req) {
+			return false, true
+		}
+		return true, true
+	case *LeaseGrant:
+		// The Ed25519 grant signature is verified by OnLeaseGrant on the
+		// event loop (grants are low-rate); here only spoofs of our own
+		// identity are rejected, mirroring Checkpoint.
+		return m.From != rt.Cfg.ID, true
+	case *ReadReply:
+		// Client-bound only; a replica receiving one is a misroute.
+		return false, true
 	case *Fetch:
 		// Unauthenticated by design.
 		return true, true
@@ -712,13 +809,14 @@ func (rt *Runtime) PruneAtStable(stable types.SeqNum) {
 	rt.reqMu.Unlock()
 	rt.replyMu.Lock()
 	if len(rt.lastReply) > replyCacheCap {
-		for c, msg := range rt.lastReply {
-			if msg.Seq+rt.Cfg.CheckpointInterval < stable {
+		for c, ring := range rt.lastReply {
+			if ring.newestSeq()+rt.Cfg.CheckpointInterval < stable {
 				delete(rt.lastReply, c)
 			}
 		}
 	}
 	rt.replyMu.Unlock()
+	rt.PruneSpecReads(stable)
 	rt.Batcher.PruneProposed(func(c types.ClientID, seq uint64) bool {
 		return rt.Exec.AlreadyExecuted(c, seq)
 	})

@@ -203,6 +203,75 @@ func (m *SnapshotOffer) Unmarshal(data []byte) error {
 }
 
 // WireID implements wire.Message.
+func (m *ReadRequest) WireID() uint16 { return wire.IDReadRequest }
+
+// MarshalTo implements wire.Message.
+func (m *ReadRequest) MarshalTo(buf []byte) []byte { return m.Req.AppendWire(buf) }
+
+// Unmarshal implements wire.Message.
+func (m *ReadRequest) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.Req.ReadWire(r)
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *ReadReply) WireID() uint16 { return wire.IDReadReply }
+
+// MarshalTo implements wire.Message.
+func (m *ReadReply) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = types.AppendDigest(buf, m.Digest)
+	buf = wire.AppendU64(buf, m.ClientSeq)
+	buf = wire.AppendBytesSlice(buf, m.Values)
+	buf = wire.AppendU64(buf, uint64(m.ExecSeq))
+	buf = types.AppendDigest(buf, m.StateDigest)
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU8(buf, uint8(m.Tier))
+	buf = wire.AppendBool(buf, m.Repaired)
+	return wire.AppendBytes(buf, m.Tag)
+}
+
+// Unmarshal implements wire.Message.
+func (m *ReadReply) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.Digest = types.ReadDigest(r)
+	m.ClientSeq = r.U64()
+	m.Values = r.BytesSlice()
+	m.ExecSeq = types.SeqNum(r.U64())
+	m.StateDigest = types.ReadDigest(r)
+	m.View = types.View(r.U64())
+	m.Tier = types.Consistency(r.U8())
+	m.Repaired = r.Bool()
+	m.Tag = r.Bytes()
+	return r.Close()
+}
+
+// WireID implements wire.Message.
+func (m *LeaseGrant) WireID() uint16 { return wire.IDLeaseGrant }
+
+// MarshalTo implements wire.Message.
+func (m *LeaseGrant) MarshalTo(buf []byte) []byte {
+	buf = wire.AppendI32(buf, int32(m.From))
+	buf = wire.AppendU64(buf, uint64(m.View))
+	buf = wire.AppendU64(buf, uint64(m.Seq))
+	buf = wire.AppendI64(buf, m.DurationNanos)
+	return wire.AppendBytes(buf, m.Sig)
+}
+
+// Unmarshal implements wire.Message.
+func (m *LeaseGrant) Unmarshal(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = types.ReplicaID(r.I32())
+	m.View = types.View(r.U64())
+	m.Seq = types.SeqNum(r.U64())
+	m.DurationNanos = r.I64()
+	m.Sig = r.Bytes()
+	return r.Close()
+}
+
+// WireID implements wire.Message.
 func (m *SnapshotChunk) WireID() uint16 { return wire.IDSnapshotChunk }
 
 // MarshalTo implements wire.Message.

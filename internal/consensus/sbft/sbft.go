@@ -340,6 +340,14 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.onClientRequest(env.From, &m.Req)
 	case *protocol.ForwardRequest:
 		r.onForwardRequest(&m.Req)
+	case *protocol.ReadRequest:
+		// SBFT does not implement the fast read path
+		// (protocol.ErrReadPathUnsupported): tiered reads are ordered like
+		// any other request. They are dedup-exempt end to end, so their
+		// separate client-local sequence space cannot collide with writes.
+		r.fallbackRead(&m.Req)
+	case *protocol.LeaseGrant:
+		// No lease machinery without the fast read path; grants are inert.
 	case *PrePrepare:
 		if env.From.IsReplica() {
 			r.handlePrePrepare(env.From.Replica(), m)
@@ -429,6 +437,18 @@ func (r *Replica) trackPending(req *types.Request) {
 	if _, ok := r.pendingReqs[d]; !ok {
 		r.pendingReqs[d] = pendingReq{req: *req, since: time.Now()}
 	}
+}
+
+// fallbackRead routes a tiered read through the ordering pipeline: the
+// primary batches it; a backup forwards it.
+func (r *Replica) fallbackRead(req *types.Request) {
+	r.rt.Metrics.ReadFallbacks.Add(1)
+	if r.isPrimary() && r.status == statusNormal {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	r.rt.SendReplica(r.rt.Cfg.Primary(r.view), &protocol.ForwardRequest{Req: *req})
 }
 
 // --- normal case ---
@@ -552,14 +572,32 @@ func (r *Replica) handlePrePrepare(from types.ReplicaID, m *PrePrepare) {
 			}
 		},
 		local)
+	// Validate shares stashed by onSignShare before this proposal fixed the
+	// digest, dropping mismatches; the collector's own share still has to
+	// loop back before the fast path can complete, so no threshold re-check
+	// is needed here.
+	for id, sh := range s.shares {
+		if id != cfg.ID && !r.rt.TS.VerifyShare(s.digest[:], sh) {
+			delete(s.shares, id)
+		}
+	}
 }
 
 func (r *Replica) onSignShare(from types.ReplicaID, m *SignShare) {
 	if r.status != statusNormal || m.View != r.view || !r.isCollector() || m.Share.Signer != from {
 		return
 	}
-	s, ok := r.slots[m.Seq]
-	if !ok || !s.haveBatch || s.proofSent {
+	lastExec := r.rt.Exec.LastExecuted()
+	if m.Seq <= lastExec || m.Seq > lastExec+types.SeqNum(8*r.rt.Cfg.Window) {
+		return
+	}
+	// The slot is created even when the pre-prepare has not arrived yet: the
+	// verify pipeline dispatches small SIGN-SHAREs ahead of large proposals,
+	// and shares are sent exactly once — dropping an early one permanently
+	// costs a share, which here means the fast path (all n shares) can never
+	// complete and every such slot pays the collector-timeout slow path.
+	s := r.slot(m.Seq)
+	if s.proofSent {
 		return
 	}
 	r.addSignShare(from, m, s)
@@ -572,15 +610,20 @@ func (r *Replica) addSignShare(from types.ReplicaID, m *SignShare, s *slot) {
 	if _, dup := s.shares[from]; dup {
 		return
 	}
-	if !r.rt.TS.VerifyShare(s.digest[:], m.Share) {
+	// Before the pre-prepare fixes the digest there is nothing to verify
+	// against: the share is stashed and handlePrePrepare validates the stash
+	// once the digest is known. Our own share (looped back after the
+	// pre-prepare) needs no check.
+	if s.haveBatch && from != r.rt.Cfg.ID && !r.rt.TS.VerifyShare(s.digest[:], m.Share) {
 		return
 	}
 	if len(s.shares) == 0 {
 		s.firstShare = time.Now()
 	}
 	s.shares[from] = m.Share
-	// Fast path: all n replicas answered.
-	if len(s.shares) == r.rt.Cfg.N {
+	// Fast path: all n replicas answered (only decidable once the digest is
+	// fixed — stashed shares cannot combine against a zero digest).
+	if s.haveBatch && len(s.shares) == r.rt.Cfg.N {
 		r.sendProof(m.Seq, s)
 	}
 }
@@ -660,6 +703,9 @@ func (r *Replica) onShare2(from types.ReplicaID, m *Share2) {
 	if r.status != statusNormal || m.View != r.view || !r.isCollector() || m.Share.Signer != from {
 		return
 	}
+	// No pre-proposal stash needed here, unlike onSignShare: second-round
+	// shares only answer a Prepare2 this collector itself sent, which it can
+	// only have done after the pre-prepare fixed the slot's batch and digest.
 	s, ok := r.slots[m.Seq]
 	if !ok || !s.haveBatch || s.proofSent {
 		return
@@ -930,10 +976,12 @@ func (r *Replica) afterInstall(snap *storage.Snapshot, events []protocol.Execute
 	r.fetchFrom(r.rt.Exec.LastExecuted())
 }
 
-// checkCollectorTimeouts moves stalled fast-path slots to the slow path.
+// checkCollectorTimeouts moves stalled fast-path slots to the slow path. A
+// slot that holds only stashed pre-proposal shares (no batch yet) cannot
+// start the slow path: there is no digest to combine against.
 func (r *Replica) checkCollectorTimeouts(now time.Time) {
 	for seq, s := range r.slots {
-		if s.proofSent || s.slowPath || len(s.shares) == 0 {
+		if !s.haveBatch || s.proofSent || s.slowPath || len(s.shares) == 0 {
 			continue
 		}
 		if len(s.shares) >= r.rt.Cfg.NF() && now.Sub(s.firstShare) > r.collTimeout {

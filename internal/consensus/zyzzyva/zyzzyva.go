@@ -265,6 +265,14 @@ func (r *Replica) dispatch(env network.Envelope) {
 		r.onClientRequest(env.From, &m.Req)
 	case *protocol.ForwardRequest:
 		r.onForwardRequest(&m.Req)
+	case *protocol.ReadRequest:
+		// Zyzzyva does not implement the fast read path
+		// (protocol.ErrReadPathUnsupported): tiered reads are ordered like
+		// any other request. They are dedup-exempt end to end, so their
+		// separate client-local sequence space cannot collide with writes.
+		r.fallbackRead(&m.Req)
+	case *protocol.LeaseGrant:
+		// No lease machinery without the fast read path; grants are inert.
 	case *OrderReq:
 		if env.From.IsReplica() {
 			r.handleOrderReq(env.From.Replica(), m)
@@ -326,6 +334,18 @@ func (r *Replica) onForwardRequest(req *types.Request) {
 	}
 	r.rt.Batcher.Add(*req)
 	r.proposeReady(false)
+}
+
+// fallbackRead routes a tiered read through the ordering pipeline: the
+// primary batches it; a backup forwards it.
+func (r *Replica) fallbackRead(req *types.Request) {
+	r.rt.Metrics.ReadFallbacks.Add(1)
+	if r.isPrimary() && r.status == statusNormal {
+		r.rt.Batcher.Add(*req)
+		r.proposeReady(false)
+		return
+	}
+	r.rt.SendReplica(r.rt.Cfg.Primary(r.view), &protocol.ForwardRequest{Req: *req})
 }
 
 func (r *Replica) trackPending(req *types.Request) {

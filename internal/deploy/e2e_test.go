@@ -25,6 +25,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/poexec/poe/internal/client"
 	"github.com/poexec/poe/internal/types"
 )
 
@@ -200,10 +201,13 @@ func TestE2ESteadyState(t *testing.T) {
 
 	// No-duplicate-application probe: re-submit an already-executed
 	// transaction verbatim (same client, same client-sequence). Replicas
-	// must deduplicate it rather than re-apply it; since its reply cache
-	// slot has since been overwritten, the duplicate gets no reply and the
-	// short submission context expiring is the expected outcome — what
-	// must NOT happen is key000 reverting to the duplicate's value.
+	// must deduplicate it rather than re-apply it. While the transaction is
+	// within the per-client reply ring (the last 8 replies), the duplicate
+	// is answered from the cache — the original reply, no re-execution;
+	// once later writes evict it from the ring, the duplicate gets no reply
+	// and the short submission context expiring is the expected outcome.
+	// In both cases, what must NOT happen is key000 reverting to the
+	// duplicate's value.
 	c := pool[0]
 	dupSeq := c.Sub.NextSeq()
 	dup := types.Transaction{
@@ -218,18 +222,96 @@ func TestE2ESteadyState(t *testing.T) {
 	}
 	cancel()
 	acked["key000"] = "dup-value"
-	submit(t, c, 20*time.Second, writeOp("key000", "after-dup")) // moves the reply cache past dupSeq
+	submit(t, c, 20*time.Second, writeOp("key000", "after-dup"))
 	acked["key000"] = "after-dup"
+	// One later write leaves dupSeq inside the ring: replayed, not re-run.
+	replayCtx, replayCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if _, err := c.Sub.SubmitTxn(replayCtx, dup); err != nil {
+		t.Fatalf("in-ring duplicate was not answered from the reply cache: %v", err)
+	}
+	replayCancel()
+	// Eight more writes from the same client evict dupSeq from the ring;
+	// now the duplicate can draw neither a cached reply nor a fresh quorum.
+	for i := 0; i < 8; i++ {
+		v := fmt.Sprintf("evict-%d", i)
+		submit(t, c, 20*time.Second, writeOp("key000", v))
+		acked["key000"] = v
+	}
 	dupCtx, dupCancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
 	if _, err := c.Sub.SubmitTxn(dupCtx, dup); err == nil {
-		t.Fatal("duplicate transaction unexpectedly completed with a fresh quorum")
+		t.Fatal("evicted duplicate transaction unexpectedly completed")
 	}
 	dupCancel()
 
 	verifyKeys(t, pool, acked, 20*time.Second)
+
+	// Tiered read-back at a 90% SPECULATIVE / 10% ORDERED mix: the fast
+	// read path over real processes and sockets. Speculative answers come
+	// from one backup's executed prefix, so a momentarily trailing replica
+	// may serve an older value — retry until the freshest write is visible
+	// (it must become visible: every write above was quorum-acked long ago).
+	orderedReads := 0
+	specReads := 0
+	i := 0
+	for key, val := range acked {
+		c := pool[i%len(pool)]
+		rd, ok := c.Sub.(TieredReader)
+		if !ok {
+			t.Fatalf("pool client %d does not implement TieredReader", i%len(pool))
+		}
+		tier := types.ConsistencySpeculative
+		if i%10 == 0 {
+			tier = types.ConsistencyOrdered
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			txn := types.Transaction{
+				Client:      c.ID,
+				Ops:         []types.Op{{Kind: types.OpRead, Key: key}},
+				Consistency: tier,
+				TimeNanos:   time.Now().UnixNano(),
+			}
+			var ans client.ReadAnswer
+			var err error
+			rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if tier == types.ConsistencyOrdered {
+				txn.Seq = c.Sub.NextSeq()
+				ans.Result, err = c.Sub.SubmitTxn(rctx, txn)
+				ans.Fallback = true
+			} else {
+				txn.Seq = rd.NextReadSeq()
+				ans, err = rd.ReadTxn(rctx, txn)
+			}
+			rcancel()
+			if err == nil && len(ans.Result.Values) == 1 && string(ans.Result.Values[0]) == val {
+				if tier == types.ConsistencySpeculative && !ans.Fallback {
+					if ans.ExecSeq == 0 {
+						t.Fatalf("speculative answer for %s carries no prefix tag", key)
+					}
+					specReads++
+				} else {
+					orderedReads++
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tiered read of %s (tier %v): err=%v values=%q, want %q",
+					key, tier, err, ans.Result.Values, val)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		i++
+	}
+	if specReads == 0 {
+		t.Fatal("no read in the 90% mix was served speculatively")
+	}
+
 	// Every submission above that returned was quorum-acked: 28 writes, the
-	// dup pair, and one read per key.
-	ackedTxns := int64(28 + 2 + len(acked))
+	// dup pair, the 8 eviction writes, one read per key, and the tiered
+	// reads that fell back to (or chose) ordering. The in-ring replay and
+	// the speculative serves never execute, so they are deliberately absent
+	// from the executed-count reconciliation.
+	ackedTxns := int64(28 + 2 + 8 + len(acked) + orderedReads)
 
 	if err := r.Shutdown(15 * time.Second); err != nil {
 		t.Fatalf("graceful shutdown: %v", err)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/poexec/poe/internal/client"
 	"github.com/poexec/poe/internal/types"
 	"github.com/poexec/poe/internal/workload"
 )
@@ -17,6 +18,16 @@ import (
 type Submitter interface {
 	SubmitTxn(ctx context.Context, txn types.Transaction) (types.Result, error)
 	NextSeq() uint64
+}
+
+// TieredReader is the optional fast-read surface of a submitter
+// (*client.Client satisfies it). When the workload tags a read-only
+// transaction SPECULATIVE or STRONG and the submitter supports it, the
+// driver routes it here instead of through ordering; otherwise the tag is
+// dropped and the read orders like any write.
+type TieredReader interface {
+	ReadTxn(ctx context.Context, txn types.Transaction) (client.ReadAnswer, error)
+	NextReadSeq() uint64
 }
 
 // LoadClient pairs a submitter with the client identity its transactions
@@ -98,6 +109,10 @@ type LoadPoint struct {
 	P999Ms       float64 `json:"p999_ms"`
 	MeanMs       float64 `json:"mean_ms"`
 	MaxMs        float64 `json:"max_ms"`
+	// Tiered reads completed via the fast read path, and how many of those
+	// were answered through ordering anyway (lease lapse, wrong replica).
+	Reads         int64 `json:"reads,omitempty"`
+	ReadsFallback int64 `json:"reads_fallback,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -121,12 +136,14 @@ func RunLoad(ctx context.Context, clients []LoadClient, opts LoadOptions) (LoadP
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	var (
-		hist      Hist
-		sent      atomic.Int64
-		completed atomic.Int64
-		errors    atomic.Int64
-		shed      int64
-		wg        sync.WaitGroup
+		hist          Hist
+		sent          atomic.Int64
+		completed     atomic.Int64
+		errors        atomic.Int64
+		reads         atomic.Int64
+		readsFallback atomic.Int64
+		shed          int64
+		wg            sync.WaitGroup
 	)
 	sem := make(chan struct{}, opts.MaxInFlight)
 
@@ -167,8 +184,15 @@ func RunLoad(ctx context.Context, clients []LoadClient, opts LoadOptions) (LoadP
 			continue
 		}
 		txn := gens[ci].Next()
-		txn.Seq = clients[ci].Sub.NextSeq()
 		sub := clients[ci].Sub
+		rd, tiered := sub.(TieredReader)
+		tiered = tiered && txn.Consistency != types.ConsistencyOrdered
+		if tiered {
+			txn.Seq = rd.NextReadSeq()
+		} else {
+			txn.Consistency = types.ConsistencyOrdered
+			txn.Seq = sub.NextSeq()
+		}
 		if measured {
 			sent.Add(1)
 		}
@@ -178,7 +202,19 @@ func RunLoad(ctx context.Context, clients []LoadClient, opts LoadOptions) (LoadP
 			defer func() { <-sem }()
 			sctx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
 			defer cancel()
-			_, err := sub.SubmitTxn(sctx, txn)
+			var err error
+			if tiered {
+				var ans client.ReadAnswer
+				ans, err = rd.ReadTxn(sctx, txn)
+				if err == nil && measured {
+					reads.Add(1)
+					if ans.Fallback {
+						readsFallback.Add(1)
+					}
+				}
+			} else {
+				_, err = sub.SubmitTxn(sctx, txn)
+			}
 			if !measured {
 				return
 			}
@@ -197,18 +233,20 @@ func RunLoad(ctx context.Context, clients []LoadClient, opts LoadOptions) (LoadP
 
 	elapsed := opts.Duration.Seconds()
 	point := LoadPoint{
-		OfferedTxnS:  opts.Rate,
-		AchievedTxnS: float64(completed.Load()) / elapsed,
-		DurationS:    elapsed,
-		Sent:         sent.Load(),
-		Completed:    completed.Load(),
-		Errors:       errors.Load(),
-		Shed:         shed,
-		P50Ms:        ms(hist.Quantile(0.50)),
-		P99Ms:        ms(hist.Quantile(0.99)),
-		P999Ms:       ms(hist.Quantile(0.999)),
-		MeanMs:       ms(hist.Mean()),
-		MaxMs:        ms(hist.Max()),
+		OfferedTxnS:   opts.Rate,
+		AchievedTxnS:  float64(completed.Load()) / elapsed,
+		DurationS:     elapsed,
+		Sent:          sent.Load(),
+		Completed:     completed.Load(),
+		Errors:        errors.Load(),
+		Shed:          shed,
+		P50Ms:         ms(hist.Quantile(0.50)),
+		P99Ms:         ms(hist.Quantile(0.99)),
+		P999Ms:        ms(hist.Quantile(0.999)),
+		MeanMs:        ms(hist.Mean()),
+		MaxMs:         ms(hist.Max()),
+		Reads:         reads.Load(),
+		ReadsFallback: readsFallback.Load(),
 	}
 	return point, ctx.Err()
 }
@@ -217,13 +255,16 @@ func RunLoad(ctx context.Context, clients []LoadClient, opts LoadOptions) (LoadP
 // (BENCH_PR8.json): one LoadPoint per offered rate, plus enough
 // configuration to reproduce the run.
 type SweepResult struct {
-	Schema   string      `json:"schema"`
-	N        int         `json:"n"`
-	Scheme   string      `json:"scheme"`
-	Clients  int         `json:"clients"`
-	Records  int         `json:"records"`
-	WriteMix float64     `json:"write_fraction"`
-	Points   []LoadPoint `json:"points"`
+	Schema   string  `json:"schema"`
+	N        int     `json:"n"`
+	Scheme   string  `json:"scheme"`
+	Clients  int     `json:"clients"`
+	Records  int     `json:"records"`
+	WriteMix float64 `json:"write_fraction"`
+	// Consistency mix of read-only transactions (workload.Config).
+	SpecMix   float64     `json:"speculative_fraction,omitempty"`
+	StrongMix float64     `json:"strong_fraction,omitempty"`
+	Points    []LoadPoint `json:"points"`
 }
 
 // SweepSchema identifies the BENCH_PR8.json format.

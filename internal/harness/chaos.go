@@ -253,7 +253,7 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 		clients[i] = s
 	}
 	var wg sync.WaitGroup
-	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring)
+	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring, newReadStats())
 
 	select {
 	case <-time.After(opts.Warmup):

@@ -159,7 +159,7 @@ func RunColdJoin(opts ColdJoinOptions) (ColdJoinReport, error) {
 		clients[i] = s
 	}
 	var wg sync.WaitGroup
-	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring)
+	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring, newReadStats())
 
 	select {
 	case <-time.After(opts.Warmup):

@@ -157,7 +157,7 @@ func RunCrashRestart(opts CrashRestartOptions) (CrashRestartReport, error) {
 		clients[i] = s
 	}
 	var wg sync.WaitGroup
-	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring)
+	startLoad(ctx, &wg, opts.Options, wcfg, clients, &completed, &latencySum, &measuring, newReadStats())
 
 	select {
 	case <-time.After(opts.Warmup):

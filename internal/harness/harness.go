@@ -143,6 +143,16 @@ type Options struct {
 	ParallelExec bool
 	ExecWorkers  int
 
+	// ReadFraction, when > 0, overrides the workload's write fraction so
+	// that this fraction of transactions is read-only (YCSB-B is 0.95,
+	// YCSB-C is 1.0). SpeculativeFraction and StrongFraction then set the
+	// consistency mix among read-only transactions (workload.Config); both
+	// zero keeps every read ORDERED — the all-consensus baseline the tiered
+	// paths are benchmarked against.
+	ReadFraction        float64
+	SpeculativeFraction float64
+	StrongFraction      float64
+
 	Seed int64
 }
 
@@ -281,6 +291,28 @@ type Result struct {
 	ParallelWindows int64
 	ParallelWaves   int64
 	ParallelTxns    int64
+
+	// Hybrid-consistency read path, replica side (summed): reads served
+	// locally per tier, reads pushed into ordering instead, speculative
+	// serves re-answered after a rollback, and lease grants sent.
+	SpecServes    int64
+	StrongServes  int64
+	ReadFallbacks int64
+	ReadRepairs   int64
+	LeaseGrants   int64
+	// Client side: tiered reads completed, completions that came through
+	// the ordering pipeline (Inform quorum), and repair re-answers received.
+	ReadsCompleted int64
+	ReadsFallback  int64
+	ReadsRepaired  int64
+	// Digest-prefix safety audit over unrepaired speculative answers: each
+	// sampled answer's (ExecSeq, StateDigest) tag is compared against the
+	// digests the replicas recorded when that sequence executed. Skipped
+	// counts samples whose digests were already pruned (retention window).
+	// Mismatches must be zero.
+	ReadAuditChecked    int64
+	ReadAuditSkipped    int64
+	ReadAuditMismatches int64
 }
 
 // WALGroupMean is the mean WAL commit-group size across replicas (0 for
@@ -308,6 +340,11 @@ func (r Result) String() string {
 	if r.ParallelWindows > 0 {
 		s += fmt.Sprintf("  par=%d windows(%.1f txn/wave)", r.ParallelWindows, r.ParallelismMean())
 	}
+	if r.SpecServes > 0 || r.StrongServes > 0 || r.ReadFallbacks > 0 {
+		s += fmt.Sprintf("  reads=spec:%d strong:%d fb:%d rep:%d audit=%d/%d(miss %d)",
+			r.SpecServes, r.StrongServes, r.ReadFallbacks, r.ReadRepairs,
+			r.ReadAuditChecked, r.ReadAuditChecked+r.ReadAuditSkipped, r.ReadAuditMismatches)
+	}
 	return s
 }
 
@@ -332,6 +369,104 @@ type submitter interface {
 	SubmitTxn(ctx context.Context, txn types.Transaction) (types.Result, error)
 	NextSeq() uint64
 	Start(ctx context.Context)
+}
+
+// tieredReader is the optional read-path side of a submitter. Clients
+// without it (the Zyzzyva wrapper) get their reads downgraded to ORDERED.
+type tieredReader interface {
+	ReadTxn(ctx context.Context, txn types.Transaction) (client.ReadAnswer, error)
+	NextReadSeq() uint64
+}
+
+// readStats accumulates client-side read-path outcomes and the samples for
+// the digest-prefix safety audit. Samples are keyed by (client, read seq) so
+// a later repair can retract the original answer from the audit set — a
+// repaired serve observed state the cluster abandoned, and its prefix tag is
+// deliberately no longer expected to match.
+type readStats struct {
+	completed atomic.Int64
+	fallback  atomic.Int64
+	repaired  atomic.Int64
+
+	mu      sync.Mutex
+	samples map[readSampleKey]readSample
+}
+
+type readSampleKey struct {
+	client types.ClientID
+	seq    uint64
+}
+
+type readSample struct {
+	execSeq types.SeqNum
+	state   types.Digest
+}
+
+// maxReadSamples bounds the audit set; benches at full throughput would
+// otherwise retain millions of digests.
+const maxReadSamples = 8192
+
+func newReadStats() *readStats {
+	return &readStats{samples: make(map[readSampleKey]readSample)}
+}
+
+func (s *readStats) observe(txn types.Transaction, ans client.ReadAnswer) {
+	s.completed.Add(1)
+	if ans.Fallback {
+		s.fallback.Add(1)
+		return
+	}
+	// Only unrepaired speculative serves carry an auditable prefix tag;
+	// strong serves are covered by the lease argument, and ExecSeq 0 means
+	// the serve saw only the initial table (nothing recorded to compare).
+	if ans.Tier != types.ConsistencySpeculative || ans.Repaired || ans.ExecSeq == 0 {
+		return
+	}
+	s.mu.Lock()
+	if len(s.samples) < maxReadSamples {
+		s.samples[readSampleKey{txn.Client, txn.Seq}] = readSample{ans.ExecSeq, ans.StateDigest}
+	}
+	s.mu.Unlock()
+}
+
+func (s *readStats) onRepair(ans client.ReadAnswer) {
+	s.repaired.Add(1)
+	s.mu.Lock()
+	delete(s.samples, readSampleKey{ans.Result.Client, ans.Result.Seq})
+	s.mu.Unlock()
+}
+
+// audit compares every retained sample against the digests the replicas
+// recorded at its executed sequence number: the answer passes if any replica
+// still retaining that sequence recorded the same state digest, is skipped
+// if every replica already pruned it, and is a safety violation otherwise.
+func (s *readStats) audit(replicas []replicaHandle) (checked, skipped, mismatches int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, smp := range s.samples {
+		retained, matched := false, false
+		for _, h := range replicas {
+			state, _, ok := h.Runtime().Exec.DigestsAt(smp.execSeq)
+			if !ok {
+				continue
+			}
+			retained = true
+			if state == smp.state {
+				matched = true
+				break
+			}
+		}
+		switch {
+		case matched:
+			checked++
+		case retained:
+			checked++
+			mismatches++
+		default:
+			skipped++
+		}
+	}
+	return checked, skipped, mismatches
 }
 
 // Calibration of the size-based send-cost model (Options.WireCost): one
@@ -382,6 +517,11 @@ func Run(opts Options) (Result, error) {
 
 	wcfg := workload.DefaultConfig(opts.Records)
 	wcfg.Seed = opts.Seed
+	if opts.ReadFraction > 0 {
+		wcfg.WriteFraction = 1 - opts.ReadFraction
+	}
+	wcfg.SpeculativeFraction = opts.SpeculativeFraction
+	wcfg.StrongFraction = opts.StrongFraction
 	var table map[string][]byte
 	if !opts.ZeroPayload {
 		table = workload.InitialTable(wcfg)
@@ -430,18 +570,22 @@ func Run(opts Options) (Result, error) {
 	var latencySum atomic.Int64 // nanoseconds
 	var measuring atomic.Bool
 
+	stats := newReadStats()
 	clients := make([]submitter, opts.Clients)
 	for i := 0; i < opts.Clients; i++ {
 		s, err := buildClient(opts, i, ring, joiner)
 		if err != nil {
 			return Result{}, err
 		}
+		if cc, ok := s.(*client.Client); ok {
+			cc.OnRepair = stats.onRepair
+		}
 		s.Start(ctx)
 		clients[i] = s
 	}
 
 	var wg sync.WaitGroup
-	startLoad(ctx, &wg, opts, wcfg, clients, &completed, &latencySum, &measuring)
+	startLoad(ctx, &wg, opts, wcfg, clients, &completed, &latencySum, &measuring, stats)
 
 	// Warmup, then measure (the paper uses 60 s + 120 s; scaled here).
 	select {
@@ -497,6 +641,10 @@ func Run(opts Options) (Result, error) {
 	for _, h := range replicas {
 		res.addReplicaMetrics(h.Runtime().Metrics)
 	}
+	res.ReadsCompleted = stats.completed.Load()
+	res.ReadsFallback = stats.fallback.Load()
+	res.ReadsRepaired = stats.repaired.Load()
+	res.ReadAuditChecked, res.ReadAuditSkipped, res.ReadAuditMismatches = stats.audit(replicas)
 	return res, nil
 }
 
@@ -520,6 +668,11 @@ func (r *Result) addReplicaMetrics(m *protocol.Metrics) {
 	r.ParallelWindows += m.ParallelWindows.Load()
 	r.ParallelWaves += m.ParallelWaves.Load()
 	r.ParallelTxns += m.ParallelTxns.Load()
+	r.SpecServes += m.SpecReads.Load()
+	r.StrongServes += m.StrongReads.Load()
+	r.ReadFallbacks += m.ReadFallbacks.Load()
+	r.ReadRepairs += m.ReadRepairs.Load()
+	r.LeaseGrants += m.LeaseGrants.Load()
 }
 
 // replicaConfig derives replica i's protocol configuration from the run
@@ -542,7 +695,7 @@ func replicaDir(root string, i int) string {
 // each submitting generated transactions until the context ends, counting
 // completions and latency while the measurement window is open.
 func startLoad(ctx context.Context, wg *sync.WaitGroup, opts Options, wcfg workload.Config,
-	clients []submitter, completed, latencySum *atomic.Int64, measuring *atomic.Bool) {
+	clients []submitter, completed, latencySum *atomic.Int64, measuring *atomic.Bool, stats *readStats) {
 	for i, s := range clients {
 		gen := workload.NewGenerator(wcfg, types.ClientID(types.ClientIDBase)+types.ClientID(i))
 		genMu := &sync.Mutex{}
@@ -550,17 +703,35 @@ func startLoad(ctx context.Context, wg *sync.WaitGroup, opts Options, wcfg workl
 			wg.Add(1)
 			go func(s submitter) {
 				defer wg.Done()
+				rd, canRead := s.(tieredReader)
 				for ctx.Err() == nil {
 					genMu.Lock()
 					txn := gen.Next()
 					genMu.Unlock()
-					txn.Seq = s.NextSeq()
+					// Tiered reads travel the fast read path with their own
+					// sequence space; everything else (including reads on a
+					// client without the read API, or zero-payload mode,
+					// which strips the ops) orders normally.
+					tiered := canRead && !opts.ZeroPayload &&
+						txn.Consistency != types.ConsistencyOrdered
+					if tiered {
+						txn.Seq = rd.NextReadSeq()
+					} else {
+						txn.Consistency = types.ConsistencyOrdered
+						txn.Seq = s.NextSeq()
+					}
 					if opts.ZeroPayload {
 						txn.Ops = nil
 					}
 					start := time.Now()
 					txn.TimeNanos = start.UnixNano()
-					if _, err := s.SubmitTxn(ctx, txn); err != nil {
+					if tiered {
+						ans, err := rd.ReadTxn(ctx, txn)
+						if err != nil {
+							return
+						}
+						stats.observe(txn, ans)
+					} else if _, err := s.SubmitTxn(ctx, txn); err != nil {
 						return
 					}
 					if measuring.Load() {

@@ -17,13 +17,17 @@ import (
 //	[4-byte big-endian payload length][4-byte CRC-32C of payload][payload]
 //
 // where the payload is one format byte followed by the record body:
-// formatWire (0x01) marks the hand-written wire codec of types.ExecRecord
-// (types/wire.go) — the only format the append path writes. Payloads whose
-// first byte is anything else are the version-0 gob encoding from before the
-// codec existed and are decoded by the recovery fallback (legacy.go); the
-// discrimination is sound because a gob stream opens with a type-definition
-// message whose leading length byte is never 0x01 (see legacy.go). The
-// framing gives the log two properties crash recovery depends on:
+// formatWire2 (0x02) marks the current hand-written wire codec of
+// types.ExecRecord (types/wire.go) — the only format the append path writes.
+// formatWire (0x01) marked the same codec before transactions carried a
+// consistency-tier byte; its records no longer decode under the current
+// layout and recovery refuses them explicitly rather than mis-decoding.
+// Payloads whose first byte is anything else are the version-0 gob encoding
+// from before the codec existed and are decoded by the recovery fallback
+// (legacy.go); the discrimination is sound because a gob stream opens with a
+// type-definition message whose leading length byte is tens of bytes, never a
+// small format byte (see legacy.go). The framing gives the log two properties
+// crash recovery depends on:
 //
 //   - A torn final record — the tail the process was writing when it died,
 //     cut at an arbitrary byte — is recognized (the remaining bytes are
@@ -35,9 +39,16 @@ import (
 //     replay damaged history.
 const walHeaderSize = 8
 
-// formatWire is the payload format byte of wire-codec records and
-// snapshots. Version-0 (gob) payloads carry no format byte.
-const formatWire = 0x01
+// formatWire is the payload format byte of wire-codec snapshots and of WAL
+// records written before transactions carried a consistency tier; formatWire2
+// is the current WAL record format (the transaction layout gained a byte, so
+// old records must be refused, not decoded under the new layout — snapshots
+// encode raw table state only and were unaffected). Version-0 (gob) payloads
+// carry no format byte.
+const (
+	formatWire  = 0x01
+	formatWire2 = 0x02
+)
 
 // maxRecordSize bounds a single WAL record. A declared length beyond it is
 // treated as corruption rather than as an enormous torn tail.
@@ -67,7 +78,7 @@ func appendFramedRecord(buf []byte, rec *types.ExecRecord) []byte {
 	wire.CountMarshal()
 	hdrAt := len(buf)
 	buf = append(buf, make([]byte, walHeaderSize)...)
-	buf = append(buf, formatWire)
+	buf = append(buf, formatWire2)
 	buf = rec.AppendWire(buf)
 	payload := buf[hdrAt+walHeaderSize:]
 	binary.BigEndian.PutUint32(buf[hdrAt:], uint32(len(payload)))
@@ -79,12 +90,19 @@ func appendFramedRecord(buf []byte, rec *types.ExecRecord) []byte {
 // wire-codec records decode through the zero-reflection path; anything else
 // falls back to the version-0 gob decoder kept for pre-codec logs.
 func decodeRecord(payload []byte) (types.ExecRecord, error) {
-	if len(payload) > 0 && payload[0] == formatWire {
+	if len(payload) > 0 && payload[0] == formatWire2 {
 		var rec types.ExecRecord
 		if err := rec.Unmarshal(payload[1:]); err != nil {
 			return types.ExecRecord{}, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
 		}
 		return rec, nil
+	}
+	if len(payload) > 0 && payload[0] == formatWire {
+		// Pre-consistency-tier transaction layout: the record body does not
+		// decode under the current codec. Refusing is deliberate — silently
+		// mis-decoding durable history would be far worse than requiring the
+		// replica to rejoin via snapshot state transfer.
+		return types.ExecRecord{}, fmt.Errorf("%w: record written by an older storage format (0x01); wipe the data directory and rejoin via state transfer", ErrCorrupt)
 	}
 	return decodeRecordGob(payload)
 }

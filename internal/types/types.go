@@ -112,6 +112,41 @@ type Op struct {
 	Value []byte
 }
 
+// Consistency selects how a transaction's results may be produced. The zero
+// value (ConsistencyOrdered) is the classic path — full consensus ordering —
+// so every transaction that predates the read tiers keeps its semantics.
+// The other tiers only apply to read-only transactions; replicas order
+// anything else regardless of the tag.
+type Consistency uint8
+
+const (
+	// ConsistencyOrdered runs the transaction through consensus ordering.
+	ConsistencyOrdered Consistency = iota
+	// ConsistencyStrong serves a read-only transaction linearizably from
+	// the current primary under a quorum-granted read lease, falling back
+	// to ordering when no valid lease is held.
+	ConsistencyStrong
+	// ConsistencySpeculative serves a read-only transaction locally from
+	// any replica's executed (possibly still speculative) prefix. The reply
+	// is tagged with the executed sequence number and state digest; if a
+	// rollback later truncates past that point the replica re-answers with
+	// the repaired value.
+	ConsistencySpeculative
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case ConsistencyOrdered:
+		return "ordered"
+	case ConsistencyStrong:
+		return "strong"
+	case ConsistencySpeculative:
+		return "speculative"
+	default:
+		return fmt.Sprintf("consistency(%d)", uint8(c))
+	}
+}
+
 // Transaction is a client-issued unit of work: an ordered list of operations
 // executed atomically and deterministically by every replica.
 type Transaction struct {
@@ -119,6 +154,26 @@ type Transaction struct {
 	Seq       uint64 // client-local sequence number, for deduplication
 	Ops       []Op
 	TimeNanos int64 // client send time; carried through for latency accounting
+
+	// Consistency tiers read-only transactions onto the fast read path; see
+	// the Consistency doc. Part of the signed canonical encoding, so a
+	// relaying replica cannot silently downgrade a client's read tier.
+	Consistency Consistency
+}
+
+// ReadOnly reports whether every operation in the transaction is a read.
+// Only read-only transactions are eligible for the non-ordered consistency
+// tiers; an empty transaction is not considered read-only.
+func (t *Transaction) ReadOnly() bool {
+	if len(t.Ops) == 0 {
+		return false
+	}
+	for i := range t.Ops {
+		if t.Ops[i].Kind != OpRead {
+			return false
+		}
+	}
+	return true
 }
 
 // Digest returns a collision-resistant identifier of the transaction: the

@@ -43,11 +43,16 @@ func (o *Op) ReadWire(r *wire.Reader) {
 }
 
 // AppendWire appends the transaction's encoding: client, seq, send time,
-// ops. This is the byte string transaction digests are computed over.
+// consistency tier, ops. This is the byte string transaction digests are
+// computed over — the consistency byte is covered by the client signature, so
+// a relay cannot retier a read. (The tier byte was added with the read path;
+// WAL records written under the previous layout use the older storage format
+// version and are refused, not mis-decoded.)
 func (t *Transaction) AppendWire(buf []byte) []byte {
 	buf = wire.AppendI32(buf, int32(t.Client))
 	buf = wire.AppendU64(buf, t.Seq)
 	buf = wire.AppendI64(buf, t.TimeNanos)
+	buf = wire.AppendU8(buf, uint8(t.Consistency))
 	buf = wire.AppendU32(buf, uint32(len(t.Ops)))
 	for i := range t.Ops {
 		buf = t.Ops[i].AppendWire(buf)
@@ -60,6 +65,7 @@ func (t *Transaction) ReadWire(r *wire.Reader) {
 	t.Client = ClientID(r.I32())
 	t.Seq = r.U64()
 	t.TimeNanos = r.I64()
+	t.Consistency = Consistency(r.U8())
 	n := r.Count(9) // kind byte + two u32 length prefixes
 	if n == 0 {
 		t.Ops = nil
@@ -121,7 +127,7 @@ func (b *Batch) AppendWire(buf []byte) []byte {
 func (b *Batch) ReadWire(r *wire.Reader) {
 	b.ZeroPayload = r.Bool()
 	b.ZeroCount = int(r.U64())
-	n := r.Count(28) // minimum encoded size of an empty request
+	n := r.Count(29) // minimum encoded size of an empty request
 	if n == 0 {
 		b.Requests = nil
 	} else {

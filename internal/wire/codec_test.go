@@ -38,6 +38,22 @@ func sampleRequest(i int) types.Request {
 	}
 }
 
+func sampleRead(i int) types.Request {
+	return types.Request{
+		Txn: types.Transaction{
+			Client:      types.ClientIDBase + types.ClientID(i),
+			Seq:         uint64(i),
+			TimeNanos:   int64(1000 * i),
+			Consistency: types.ConsistencySpeculative,
+			Ops: []types.Op{
+				{Kind: types.OpRead, Key: fmt.Sprintf("key-%d", i)},
+				{Kind: types.OpRead, Key: "other"},
+			},
+		},
+		Sig: []byte{byte(i), 8, 9},
+	}
+}
+
 func sampleBatch(n int) types.Batch {
 	b := types.Batch{}
 	for i := 0; i < n; i++ {
@@ -88,6 +104,14 @@ func samples() []wire.Message {
 			},
 		},
 		&protocol.SnapshotChunk{}, &protocol.SnapshotChunk{From: 2, Seq: 96, Index: 1, Data: bytes.Repeat([]byte("z"), 1024)},
+		&protocol.ReadRequest{}, &protocol.ReadRequest{Req: sampleRead(3)},
+		&protocol.ReadReply{}, &protocol.ReadReply{
+			From: 1, Digest: types.DigestBytes([]byte("r")), ClientSeq: 6,
+			Values: [][]byte{[]byte("v"), nil}, ExecSeq: 42,
+			StateDigest: types.DigestBytes([]byte("s")), View: 2,
+			Tier: types.ConsistencySpeculative, Repaired: true, Tag: []byte("mac"),
+		},
+		&protocol.LeaseGrant{}, &protocol.LeaseGrant{From: 2, View: 3, Seq: 128, DurationNanos: 5e7, Sig: []byte("sig")},
 		&types.ExecRecord{}, func() wire.Message { r := sampleRecord(5); return &r }(),
 		// poe
 		&poe.Propose{}, &poe.Propose{View: 1, Seq: 2, Batch: sampleBatch(3), Auth: auth},

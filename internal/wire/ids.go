@@ -21,6 +21,11 @@ const (
 	IDSnapshotOffer   uint16 = 10
 	IDSnapshotChunk   uint16 = 11
 
+	// Hybrid-consistency read path (internal/consensus/protocol/readpath.go).
+	IDReadRequest uint16 = 12
+	IDReadReply   uint16 = 13
+	IDLeaseGrant  uint16 = 14
+
 	// 16–31: PoE.
 	IDPoePropose   uint16 = 16
 	IDPoeSupport   uint16 = 17

@@ -46,6 +46,14 @@ type Config struct {
 	ValueSize int
 	// OpsPerTxn is the number of operations per transaction (default 1).
 	OpsPerTxn int
+	// SpeculativeFraction and StrongFraction set the consistency mix for
+	// read-only transactions: a read-only transaction is tagged SPECULATIVE
+	// with probability SpeculativeFraction, STRONG with StrongFraction, and
+	// ORDERED (full consensus, the pre-tiering behaviour) otherwise. Both
+	// zero — the default — leaves every transaction ORDERED. Transactions
+	// containing writes always order.
+	SpeculativeFraction float64
+	StrongFraction      float64
 	// Seed seeds the generator.
 	Seed int64
 }
@@ -61,6 +69,25 @@ func DefaultConfig(records int) Config {
 		OpsPerTxn:     1,
 		Seed:          42,
 	}
+}
+
+// YCSBB returns the YCSB-B profile ("read mostly": 95% reads) with all
+// reads tagged SPECULATIVE. This is the headline configuration for the
+// tiered read path — nearly the whole load bypasses consensus.
+func YCSBB(records int) Config {
+	cfg := DefaultConfig(records)
+	cfg.WriteFraction = 0.05
+	cfg.SpeculativeFraction = 1.0
+	return cfg
+}
+
+// YCSBC returns the YCSB-C profile ("read only": 100% reads) with all reads
+// tagged SPECULATIVE.
+func YCSBC(records int) Config {
+	cfg := DefaultConfig(records)
+	cfg.WriteFraction = 0
+	cfg.SpeculativeFraction = 1.0
+	return cfg
 }
 
 // Key returns the i-th record key. Keys are fixed-width so table layout is
@@ -125,6 +152,15 @@ func (g *Generator) Next() types.Transaction {
 			txn.Ops = append(txn.Ops, types.Op{Kind: types.OpWrite, Key: key, Value: v})
 		} else {
 			txn.Ops = append(txn.Ops, types.Op{Kind: types.OpRead, Key: key})
+		}
+	}
+	if txn.ReadOnly() && (g.cfg.SpeculativeFraction > 0 || g.cfg.StrongFraction > 0) {
+		u := g.rng.Float64()
+		switch {
+		case u < g.cfg.SpeculativeFraction:
+			txn.Consistency = types.ConsistencySpeculative
+		case u < g.cfg.SpeculativeFraction+g.cfg.StrongFraction:
+			txn.Consistency = types.ConsistencyStrong
 		}
 	}
 	return txn
